@@ -1,0 +1,91 @@
+//===- bench/bench_llstar_vs_packrat.cpp - Speculation reduction ----------===//
+//
+// Quantifies the paper's headline claim: by statically removing as much
+// speculation as possible, LL(*) provides PEG expressivity with far less
+// speculative work (Sections 1, 6.2; the v3-vs-v2 2.5x speed observation
+// is the same effect end to end).
+//
+// Both parsers run the *same* PEG-mode grammar (RatsJava) over the same
+// inputs. We report recognition time and, more tellingly, the volume of
+// speculative work: packrat rule attempts vs LL(*) syntactic-predicate
+// evaluations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchGrammars.h"
+#include "BenchHarness.h"
+#include "peg/PackratParser.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace llstar;
+using namespace llstar::bench;
+
+int main() {
+  std::printf("=== LL(*) vs pure packrat on the same PEG-mode grammar "
+              "(RatsJava) ===\n\n");
+  std::printf("%-7s %8s %12s %12s %8s %14s %14s\n", "units", "lines",
+              "LL(*) ms", "packrat ms", "ratio", "LL(*) synpred",
+              "packrat tries");
+
+  PreparedGrammar P = PreparedGrammar::prepare(benchGrammar("RatsJava"));
+
+  for (int Units : {20, 40, 80, 160}) {
+    std::string Input = generateJava(Units, 99);
+    int64_t Lines = countLines(Input);
+    TokenStream Stream = P.tokenize(Input);
+
+    // LL(*) (recognition only, to match the packrat configuration).
+    double LLTime = 0;
+    int64_t SynPreds = 0;
+    {
+      Stream.seek(0);
+      DiagnosticEngine Diags;
+      ParserOptions Opts;
+      Opts.BuildTree = false;
+      LLStarParser Parser(*P.AG, Stream, &P.Env, Diags, Opts);
+      auto Start = std::chrono::steady_clock::now();
+      bool Ok = P.runParse(Stream, Parser);
+      LLTime = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
+      if (!Ok) {
+        std::fprintf(stderr, "LL(*) failed:\n%s\n", Diags.str().c_str());
+        return 1;
+      }
+      SynPreds = Parser.stats().SynPredEvals;
+    }
+
+    // Packrat.
+    double PegTime = 0;
+    int64_t Attempts = 0;
+    {
+      Stream.seek(0);
+      DiagnosticEngine Diags;
+      PackratParser Parser(P.AG->grammar(), Stream, &P.Env, Diags);
+      auto Start = std::chrono::steady_clock::now();
+      Parser.parse(P.Spec->StartRule);
+      PegTime = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+      if (!Parser.ok()) {
+        std::fprintf(stderr, "packrat failed\n");
+        return 1;
+      }
+      Attempts = Parser.stats().AltAttempts;
+    }
+
+    std::printf("%-7d %8lld %10.2fms %10.2fms %7.2fx %14lld %14lld\n",
+                Units, (long long)Lines, LLTime * 1000, PegTime * 1000,
+                LLTime > 0 ? PegTime / LLTime : 0.0, (long long)SynPreds,
+                (long long)Attempts);
+  }
+
+  std::printf("\nShape check: LL(*) wins and the gap comes from removed "
+              "speculation — synpred evaluations are orders of magnitude "
+              "rarer than packrat alternative attempts. (Paper: ANTLR v3 "
+              "LL(*) parsers were ~2.5x faster than the always-"
+              "backtracking v2 strategy.)\n");
+  return 0;
+}

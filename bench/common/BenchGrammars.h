@@ -1,0 +1,63 @@
+//===- bench/common/BenchGrammars.h - Benchmark grammar suite ---*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six-grammar benchmark suite standing in for the paper's Figure 12
+/// grammars (Java1.5, RatsC, RatsJava, VB.NET, TSQL, C#). Each grammar is
+/// written in this toolkit's meta-language and recreates the construct mix
+/// that gives the paper's Table 1/2 decision-class distributions:
+///
+///  - Java:    hand-tuned grammar with explicit syntactic predicates and
+///             cyclic member-declaration decisions (paper: Java1.5);
+///  - RatsC:   C subset in PEG mode (backtrack=true) with the
+///             declaration-vs-definition ambiguity (paper: RatsC);
+///  - RatsJava:the Java grammar converted to PEG mode (paper: RatsJava);
+///  - Basic:   keyword-led, line-oriented language, almost all LL(1)
+///             (paper: VB.NET);
+///  - Sql:     SELECT/DML/DDL with deep fixed-k keyword decisions and
+///             left-recursive expressions (paper: TSQL);
+///  - CSharp:  Java-like plus properties/namespaces, a few predicates
+///             (paper: C#).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_BENCH_BENCHGRAMMARS_H
+#define LLSTAR_BENCH_BENCHGRAMMARS_H
+
+#include <string>
+#include <vector>
+
+namespace llstar {
+namespace bench {
+
+/// One benchmark grammar plus its workload generator hook.
+struct BenchGrammar {
+  const char *Name;      ///< paper-analog name
+  const char *PaperName; ///< the grammar it stands in for
+  const char *Text;      ///< meta-language source
+  /// Generates a deterministic synthetic input of roughly \p Units
+  /// top-level declarations/statements.
+  std::string (*Workload)(int Units, unsigned Seed);
+  const char *StartRule;
+};
+
+/// All six grammars, in the paper's Table 1 order.
+const std::vector<BenchGrammar> &benchGrammars();
+
+/// Lookup by name; aborts if unknown.
+const BenchGrammar &benchGrammar(const std::string &Name);
+
+// Individual workload generators (also used by the examples/tests).
+std::string generateJava(int Units, unsigned Seed);
+std::string generateC(int Units, unsigned Seed);
+std::string generateBasic(int Units, unsigned Seed);
+std::string generateSql(int Units, unsigned Seed);
+std::string generateCSharp(int Units, unsigned Seed);
+
+} // namespace bench
+} // namespace llstar
+
+#endif // LLSTAR_BENCH_BENCHGRAMMARS_H

@@ -1,0 +1,65 @@
+#include "BenchHarness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace llstar;
+using namespace llstar::bench;
+
+int64_t llstar::bench::countLines(const std::string &Text) {
+  int64_t N = 0;
+  for (char C : Text)
+    N += C == '\n';
+  return N;
+}
+
+PreparedGrammar PreparedGrammar::prepare(const BenchGrammar &Spec) {
+  PreparedGrammar P;
+  P.Spec = &Spec;
+  P.GrammarLines = countLines(Spec.Text);
+
+  DiagnosticEngine Diags;
+  P.AG = analyzeGrammarText(Spec.Text, Diags);
+  if (!P.AG) {
+    std::fprintf(stderr, "grammar %s failed to analyze:\n%s\n", Spec.Name,
+                 Diags.str().c_str());
+    std::abort();
+  }
+
+  DiagnosticEngine LexDiags;
+  P.Lex = std::make_unique<Lexer>(P.AG->grammar().lexerSpec(), LexDiags);
+  if (LexDiags.hasErrors()) {
+    std::fprintf(stderr, "grammar %s lexer failed:\n%s\n", Spec.Name,
+                 LexDiags.str().c_str());
+    std::abort();
+  }
+
+  // The C grammar's single semantic predicate (paper Section 4.2): a
+  // symbol-table lookup, simulated here by the workload's naming
+  // convention — type names start with 'T' or are known typedefs.
+  P.Env.definePredicate("isTypeName", [&P] {
+    if (!P.CurrentStream)
+      return false;
+    const Token &T = P.CurrentStream->LT(1);
+    return !T.Text.empty() && T.Text[0] == 'T';
+  });
+  return P;
+}
+
+TokenStream PreparedGrammar::tokenize(const std::string &Input) {
+  DiagnosticEngine Diags;
+  std::vector<Token> Tokens = Lex->tokenize(Input, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "grammar %s: workload failed to lex:\n%s\n",
+                 Spec->Name, Diags.str().c_str());
+    std::abort();
+  }
+  return TokenStream(std::move(Tokens));
+}
+
+bool PreparedGrammar::runParse(TokenStream &Stream, LLStarParser &P) {
+  CurrentStream = &Stream;
+  P.parse(Spec->StartRule);
+  CurrentStream = nullptr;
+  return P.ok();
+}

@@ -1,0 +1,60 @@
+//===- bench/common/BenchHarness.h - Shared bench plumbing ------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the benchmark binaries: analyze a benchmark grammar,
+/// bind its semantic environment (the C grammar's isTypeName predicate),
+/// lex a workload, run the LL(*) parser with statistics, and format table
+/// rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_BENCH_BENCHHARNESS_H
+#define LLSTAR_BENCH_BENCHHARNESS_H
+
+#include "BenchGrammars.h"
+
+#include "analysis/AnalyzedGrammar.h"
+#include "lexer/Lexer.h"
+#include "lexer/TokenStream.h"
+#include "runtime/LLStarParser.h"
+#include "runtime/SemanticEnv.h"
+
+#include <memory>
+#include <string>
+
+namespace llstar {
+namespace bench {
+
+/// A fully prepared benchmark grammar: analysis result + compiled lexer +
+/// semantic bindings.
+struct PreparedGrammar {
+  const BenchGrammar *Spec = nullptr;
+  std::unique_ptr<AnalyzedGrammar> AG;
+  std::unique_ptr<Lexer> Lex;
+  SemanticEnv Env;
+  /// Lines of grammar text (Table 1's "Lines" column).
+  int64_t GrammarLines = 0;
+  /// set per parse by bindEnv: the token stream the predicates inspect.
+  TokenStream *CurrentStream = nullptr;
+
+  /// Parses + analyzes; aborts with a message on grammar errors.
+  static PreparedGrammar prepare(const BenchGrammar &Spec);
+
+  /// Lexes input; aborts on lex errors.
+  TokenStream tokenize(const std::string &Input);
+
+  /// Runs one full parse collecting stats into \p P. Returns success.
+  bool runParse(TokenStream &Stream, LLStarParser &P);
+};
+
+/// Number of newline-terminated lines in \p Text.
+int64_t countLines(const std::string &Text);
+
+} // namespace bench
+} // namespace llstar
+
+#endif // LLSTAR_BENCH_BENCHHARNESS_H

@@ -1,0 +1,210 @@
+//===- bench/common/GrammarBasicSql.cpp - Basic and SQL grammars ----------===//
+//
+// Basic (paper analog: VB.NET): keyword-led statement language; nearly
+// every decision is LL(1), matching the paper's 95% fixed / 89% LL(1)
+// profile for VB.NET.
+//
+// Sql (paper analog: TSQL): DML/DDL statement language with deep fixed-k
+// keyword decisions (CREATE TABLE/INDEX/VIEW, LEFT OUTER JOIN) and a
+// left-recursive boolean expression rule exercising the precedence
+// rewrite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchGrammars.h"
+
+namespace llstar {
+namespace bench {
+
+const char *BasicGrammarText = R"GRAMMAR(
+grammar Basic;
+
+program   : statement* EOF ;
+statement : 'DIM' ID 'AS' typeName ('=' expression)?
+          | 'REDIM' ID '(' expression ')'
+          | 'CONST' ID 'AS' typeName '=' expression
+          | 'IF' expression 'THEN' statement* elseClause? 'END' 'IF'
+          | 'FOR' 'EACH' ID 'IN' expression statement* 'NEXT'
+          | 'FOR' ID '=' expression 'TO' expression ('STEP' expression)?
+            statement* 'NEXT'
+          | 'WHILE' expression statement* 'WEND'
+          | 'DO' statement* 'LOOP' ('WHILE' | 'UNTIL') expression
+          | 'SUB' ID '(' paramList? ')' statement* 'END' 'SUB'
+          | 'FUNCTION' ID '(' paramList? ')' 'AS' typeName statement*
+            'END' 'FUNCTION'
+          | 'RETURN' expression
+          | 'PRINT' expressionList
+          | 'CALL' qualified '(' expressionList? ')'
+          | 'SELECT' 'CASE' expression caseClause* 'END' 'SELECT'
+          | 'EXIT' ('FOR' | 'SUB' | 'FUNCTION' | 'DO')
+          | 'WITH' qualified statement* 'END' 'WITH'
+          | 'ON' 'ERROR' ('RESUME' 'NEXT' | 'GOTO' INT_LIT)
+          // Member assignment vs method-call statement: both begin with an
+          // arbitrarily long dotted name. The hand syntactic predicate
+          // mirrors the manually specified predicates of the commercial
+          // grammars the paper benchmarks.
+          | (qualified '=')=> qualified '=' expression
+          | qualified '(' expressionList? ')'
+          ;
+qualified  : ID ('.' ID)* ;
+elseClause : 'ELSEIF' expression 'THEN' statement* elseClause?
+           | 'ELSE' statement*
+           ;
+caseClause : 'CASE' ('ELSE' | expression (',' expression)*) statement* ;
+paramList  : param (',' param)* ;
+param      : ('BYVAL' | 'BYREF')? ID 'AS' typeName ;
+typeName   : 'INTEGER' | 'LONG' | 'SINGLE' | 'DOUBLE' | 'STRING'
+           | 'BOOLEAN' | ID ;
+
+expressionList : expression (',' expression)* ;
+expression     : orExpr ;
+orExpr         : andExpr ('OR' andExpr)* ;
+andExpr        : notExpr ('AND' notExpr)* ;
+notExpr        : 'NOT' notExpr | comparison ;
+comparison     : concat (('=' | '<>' | '<' | '>' | '<=' | '>=') concat)? ;
+concat         : additive ('&' additive)* ;
+additive       : multiplicative (('+' | '-') multiplicative)* ;
+multiplicative : unary (('*' | '/' | 'MOD') unary)* ;
+unary          : '-' unary | power ;
+power          : atom ('^' unary)? ;
+atom           : INT_LIT | REAL_LIT | STRING_LIT | 'TRUE' | 'FALSE'
+               | qualified ('(' expressionList? ')')?
+               | '(' expression ')'
+               ;
+
+ID         : [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT_LIT    : [0-9]+ ;
+REAL_LIT   : [0-9]+ '.' [0-9]+ ;
+STRING_LIT : '"' (~["\n])* '"' ;
+WS         : [ \t\r\n]+ -> skip ;
+COMMENT    : '\'' ~[\n]* -> skip ;
+)GRAMMAR";
+
+const char *SqlGrammarText = R"GRAMMAR(
+grammar Sql;
+
+batch        : sqlStatement* EOF ;
+sqlStatement : ( selectStatement
+               | insertStatement
+               | updateStatement
+               | deleteStatement
+               | createStatement
+               | alterStatement
+               | dropStatement
+               | declareStatement
+               | setStatement
+               | ifStatement
+               | whileStatement
+               | beginEndBlock
+               | 'PRINT' expression
+               | 'TRUNCATE' 'TABLE' qualifiedName
+               ) ';'? ;
+
+ifStatement    : 'IF' expression sqlStatement ('ELSE' sqlStatement)? ;
+whileStatement : 'WHILE' expression sqlStatement ;
+beginEndBlock  : 'BEGIN' sqlStatement* 'END' ;
+
+selectStatement : 'SELECT' ('DISTINCT' | 'ALL')? ('TOP' INT_LIT)?
+                  selectList
+                  'FROM' tableSources
+                  ('WHERE' expression)?
+                  ('GROUP' 'BY' expressionList ('HAVING' expression)?)?
+                  ('ORDER' 'BY' orderItem (',' orderItem)*)?
+                ;
+selectList   : '*' | selectItem (',' selectItem)* ;
+selectItem   : expression ('AS'? ID)? ;
+orderItem    : expression ('ASC' | 'DESC')? ;
+tableSources : tableSource (',' tableSource)* ;
+tableSource  : tablePrimary joinClause* ;
+tablePrimary : qualifiedName ('AS'? ID)?
+             | '(' selectStatement ')' 'AS'? ID
+             ;
+joinClause   : ('INNER'
+               | 'LEFT' 'OUTER'?
+               | 'RIGHT' 'OUTER'?
+               | 'FULL' 'OUTER'?
+               | 'CROSS'
+               )? 'JOIN' tablePrimary 'ON' expression ;
+
+insertStatement : 'INSERT' 'INTO' qualifiedName ('(' idList ')')?
+                  ('VALUES' '(' expressionList ')' | selectStatement) ;
+updateStatement : 'UPDATE' qualifiedName 'SET' setClause (',' setClause)*
+                  ('WHERE' expression)? ;
+setClause       : qualifiedName '=' expression ;
+deleteStatement : 'DELETE' 'FROM' qualifiedName ('WHERE' expression)? ;
+
+createStatement : 'CREATE' 'TABLE' qualifiedName
+                  '(' columnDef (',' columnDef)* ')'
+                | 'CREATE' 'UNIQUE'? 'CLUSTERED'? 'INDEX' ID
+                  'ON' qualifiedName '(' idList ')'
+                | 'CREATE' 'VIEW' qualifiedName 'AS' selectStatement
+                | 'CREATE' 'PROCEDURE' qualifiedName
+                  ('@' ID typeSpec (',' '@' ID typeSpec)*)? 'AS'
+                  sqlStatement+
+                ;
+alterStatement  : 'ALTER' 'TABLE' qualifiedName
+                  ( 'ADD' columnDef
+                  | 'DROP' 'COLUMN' ID
+                  | 'ALTER' 'COLUMN' columnDef
+                  | 'ADD' 'CONSTRAINT' ID ('PRIMARY' 'KEY' | 'UNIQUE')
+                    '(' idList ')'
+                  )
+                | 'ALTER' 'VIEW' qualifiedName 'AS' selectStatement
+                ;
+dropStatement   : 'DROP' ('TABLE' | 'INDEX' | 'VIEW' | 'PROCEDURE')
+                  qualifiedName ;
+declareStatement: 'DECLARE' '@' ID typeSpec ('=' expression)? ;
+setStatement    : 'SET' '@' ID '=' expression ;
+
+columnDef    : ID typeSpec columnOption* ;
+columnOption : 'NOT' 'NULL' | 'NULL' | 'PRIMARY' 'KEY' | 'UNIQUE'
+             | 'DEFAULT' literal ;
+typeSpec     : ('INT' | 'BIGINT' | 'BIT' | 'FLOAT' | 'DATETIME' | 'TEXT'
+               | 'VARCHAR' '(' INT_LIT ')'
+               | 'DECIMAL' '(' INT_LIT ',' INT_LIT ')'
+               ) ;
+idList        : ID (',' ID)* ;
+qualifiedName : ID ('.' ID)* ;
+
+// Left-recursive boolean/arithmetic expressions; highest precedence first.
+// The analyzer rewrites this into precedence loops automatically.
+expression : expression ('*' | '/') expression
+           | expression ('+' | '-') expression
+           | expression ('=' | '<>' | '<' | '>' | '<=' | '>=') expression
+           | 'NOT' expression
+           | expression 'AND' expression
+           | expression 'OR' expression
+           | predicate
+           ;
+// Row-value comparison vs parenthesized scalar: both alternatives begin
+// '(' expression, and telling them apart means scanning past an
+// arbitrarily nested expression to the ',' — beyond any regular
+// approximation, hence the hand syntactic predicate (backtracking).
+predicate  : ('(' expression ',')=>
+             '(' expressionList ')' '=' '(' expressionList ')'
+           | operand ('BETWEEN' operand 'AND' operand
+                     | 'IN' '(' expressionList ')'
+                     | 'LIKE' STRING_LIT
+                     | 'IS' 'NOT'? 'NULL'
+                     )? ;
+operand    : literal
+           | '@' ID
+           | qualifiedName ('(' expressionList? ')')?
+           | 'EXISTS' '(' selectStatement ')'
+           | 'CASE' ('WHEN' expression 'THEN' expression)+
+             ('ELSE' expression)? 'END'
+           | '(' selectStatement ')'
+           | '(' expression ')'
+           ;
+literal    : INT_LIT | STRING_LIT | 'NULL' ;
+expressionList : expression (',' expression)* ;
+
+ID         : [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT_LIT    : [0-9]+ ;
+STRING_LIT : '\'' (~['\n])* '\'' ;
+WS         : [ \t\r\n]+ -> skip ;
+LINE_COMMENT : '--' ~[\n]* -> skip ;
+)GRAMMAR";
+
+} // namespace bench
+} // namespace llstar

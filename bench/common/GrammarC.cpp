@@ -1,0 +1,117 @@
+//===- bench/common/GrammarC.cpp - C benchmark grammar (PEG mode) ---------===//
+//
+// A C subset in PEG mode (paper analog: RatsC). Function definitions come
+// before declarations in externalDecl, so — exactly as the paper observes
+// of the RatsC grammar — distinguishing `int f();` from `int f() {...}`
+// speculates across the entire function body. The single semantic
+// predicate {isTypeName}? mirrors the one predicate in the ANTLR C grammar
+// (paper Section 4.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchGrammars.h"
+
+namespace llstar {
+namespace bench {
+
+const char *RatsCGrammarText = R"GRAMMAR(
+grammar RatsC;
+options { backtrack=true; memoize=true; }
+
+translationUnit : externalDecl* EOF ;
+externalDecl    : functionDef | declaration ;
+functionDef     : declSpecifier+ declarator compoundStatement ;
+declaration     : declSpecifier+ initDeclarator (',' initDeclarator)* ';'
+                | declSpecifier+ ';'
+                ;
+
+declSpecifier   : 'typedef' | 'extern' | 'static' | 'const' | 'volatile'
+                | 'inline' | 'register'
+                | 'unsigned' | 'signed' | 'void' | 'char' | 'short' | 'int'
+                | 'long' | 'float' | 'double'
+                | structSpecifier
+                | enumSpecifier
+                | {isTypeName}? ID
+                ;
+enumSpecifier   : 'enum' ID ('{' enumerator (',' enumerator)* '}')?
+                | 'enum' '{' enumerator (',' enumerator)* '}'
+                ;
+enumerator      : ID ('=' conditionalExpression)? ;
+structSpecifier : ('struct' | 'union') ID ('{' structDeclaration+ '}')?
+                | ('struct' | 'union') '{' structDeclaration+ '}'
+                ;
+structDeclaration : declSpecifier+ declarator (',' declarator)* ';' ;
+
+declarator        : '*' 'const'? declarator | directDeclarator ;
+directDeclarator  : (ID | '(' declarator ')') declaratorSuffix* ;
+declaratorSuffix  : '[' conditionalExpression? ']'
+                  | '(' paramList? ')'
+                  ;
+paramList         : paramDecl (',' paramDecl)* ;
+paramDecl         : declSpecifier+ declarator ;
+initDeclarator    : declarator ('=' initializer)? ;
+initializer       : assignmentExpression
+                  | '{' initializer (',' initializer)* '}'
+                  ;
+
+compoundStatement : '{' blockItem* '}' ;
+blockItem         : declaration | statement ;
+statement         : compoundStatement
+                  | 'if' '(' expression ')' statement ('else' statement)?
+                  | 'while' '(' expression ')' statement
+                  | 'do' statement 'while' '(' expression ')' ';'
+                  | 'for' '(' expression? ';' expression? ';' expression? ')'
+                    statement
+                  | 'switch' '(' expression ')' '{' switchGroup* '}'
+                  | 'goto' ID ';'
+                  | 'return' expression? ';'
+                  | 'break' ';'
+                  | 'continue' ';'
+                  | ';'
+                  | expression ';'
+                  ;
+switchGroup       : switchLabel+ blockItem* ;
+switchLabel       : 'case' conditionalExpression ':' | 'default' ':' ;
+
+expression            : assignmentExpression (',' assignmentExpression)* ;
+assignmentExpression  : unaryExpression assignOp assignmentExpression
+                      | conditionalExpression
+                      ;
+assignOp              : '=' | '+=' | '-=' | '*=' | '/=' ;
+conditionalExpression : logicalOr ('?' expression ':' conditionalExpression)? ;
+logicalOr             : logicalAnd ('||' logicalAnd)* ;
+logicalAnd            : bitOr ('&&' bitOr)* ;
+bitOr                 : bitAnd ('|' bitAnd)* ;
+bitAnd                : equality ('&' equality)* ;
+equality              : relational (('==' | '!=') relational)* ;
+relational            : additive (('<' | '>' | '<=' | '>=') additive)* ;
+additive              : multiplicative (('+' | '-') multiplicative)* ;
+multiplicative        : castExpression (('*' | '/' | '%') castExpression)* ;
+castExpression        : '(' typeNameDecl ')' castExpression
+                      | unaryExpression
+                      ;
+typeNameDecl          : declSpecifier+ '*'* ;
+unaryExpression       : ('+' | '-' | '!' | '~' | '*' | '&') castExpression
+                      | ('++' | '--') unaryExpression
+                      | 'sizeof' unaryExpression
+                      | postfixExpression
+                      ;
+postfixExpression     : primaryExpression postfixSuffix* ('++' | '--')? ;
+postfixSuffix         : '[' expression ']'
+                      | '(' argumentList? ')'
+                      | '.' ID
+                      | '->' ID
+                      ;
+argumentList          : assignmentExpression (',' assignmentExpression)* ;
+primaryExpression     : ID | INT_LIT | STRING_LIT | '(' expression ')' ;
+
+ID         : [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT_LIT    : [0-9]+ ;
+STRING_LIT : '"' (~["\\\n] | '\\' .)* '"' ;
+WS         : [ \t\r\n]+ -> skip ;
+LINE_COMMENT  : '//' ~[\n]* -> skip ;
+BLOCK_COMMENT : '/*' ~[*]* '*'+ (~[*/] ~[*]* '*'+)* '/' -> skip ;
+)GRAMMAR";
+
+} // namespace bench
+} // namespace llstar

@@ -1,0 +1,145 @@
+//===- bench/common/GrammarCSharp.cpp - C# benchmark grammar --------------===//
+//
+// A C# subset (paper analog: the commercial C# grammar): Java-like
+// structure plus namespaces, using directives, properties, foreach, and
+// base access. The member decision (field vs method vs property vs
+// constructor) requires scanning past arbitrarily long modifier lists and
+// qualified types — cyclic-DFA territory — and several hand syntactic
+// predicates mirror the commercial grammar's manually specified
+// predicates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchGrammars.h"
+
+namespace llstar {
+namespace bench {
+
+const char *CSharpGrammarText = R"GRAMMAR(
+grammar CSharp;
+
+compilationUnit : usingDirective* namespaceMember* EOF ;
+usingDirective  : 'using' qualifiedName ';' ;
+namespaceMember : namespaceDecl | typeDecl ;
+namespaceDecl   : 'namespace' qualifiedName '{' namespaceMember* '}' ;
+qualifiedName   : ID ('.' ID)* ;
+
+typeDecl   : classDecl | structDecl | interfaceDecl | enumDecl ;
+classDecl  : modifier* 'class' ID (':' typeList)? classBody ;
+structDecl : modifier* 'struct' ID (':' typeList)? classBody ;
+interfaceDecl : modifier* 'interface' ID (':' typeList)?
+                '{' interfaceMember* '}' ;
+interfaceMember : typeOrVoid ID '(' formalParams? ')' ';'
+                | type ID '{' ('get' ';')? ('set' ';')? '}'
+                | type ID '=' expression ';'
+                ;
+enumDecl   : modifier* 'enum' ID
+             '{' ID ('=' INT_LIT)? (',' ID ('=' INT_LIT)?)* '}' ;
+modifier   : 'public' | 'private' | 'protected' | 'internal' | 'static'
+           | 'sealed' | 'virtual' | 'override' | 'readonly' | 'abstract' ;
+typeList   : type (',' type)* ;
+classBody  : '{' memberDecl* '}' ;
+
+memberDecl : (modifier* typeOrVoid ID '(')=> methodDecl
+           | (modifier* type ID '{')=> propertyDecl
+           | (modifier* 'static' '{')=> staticInit
+           | fieldDecl
+           | constructorDecl
+           | typeDecl
+           ;
+methodDecl      : modifier* typeOrVoid ID '(' formalParams? ')'
+                  (block | ';') ;
+propertyDecl    : modifier* type ID '{' accessor+ '}' ;
+accessor        : ('get' | 'set') (block | ';') ;
+staticInit      : 'static' block ;
+fieldDecl       : modifier* type varDeclarator (',' varDeclarator)* ';' ;
+constructorDecl : modifier* ID '(' formalParams? ')' block ;
+varDeclarator   : ID ('=' variableInit)? ;
+variableInit    : expression | arrayInit ;
+arrayInit       : '{' (variableInit (',' variableInit)*)? '}' ;
+typeOrVoid      : type | 'void' ;
+type            : primitiveType ('[' ']')* | qualifiedName ('[' ']')* ;
+primitiveType   : 'int' | 'bool' | 'char' | 'long' | 'double' | 'float'
+                | 'string' | 'object' | 'decimal' | 'byte' | 'short' ;
+formalParams    : formalParam (',' formalParam)* ;
+formalParam     : ('ref' | 'out')? type ID ;
+
+block     : '{' statement* '}' ;
+statement : block
+          | 'if' parExpr statement ('else' statement)?
+          | 'while' parExpr statement
+          | 'do' statement 'while' parExpr ';'
+          | 'for' '(' forInit? ';' expression? ';' expressionList? ')'
+            statement
+          | 'foreach' '(' type ID 'in' expression ')' statement
+          | 'switch' parExpr '{' switchGroup* '}'
+          | 'try' block (catchClause+ finallyClause? | finallyClause)
+          | 'using' '(' localVarDecl ')' statement
+          | 'lock' parExpr statement
+          | 'return' expression? ';'
+          | 'break' ';'
+          | 'continue' ';'
+          | 'throw' expression ';'
+          | ';'
+          | (localVarDecl ';')=> localVarDecl ';'
+          | statementExpression ';'
+          ;
+switchGroup   : switchLabel+ statement* ;
+switchLabel   : 'case' expression ':' | 'default' ':' ;
+catchClause   : 'catch' ('(' type ID? ')')? block ;
+finallyClause : 'finally' block ;
+parExpr             : '(' expression ')' ;
+forInit             : (localVarDecl)=> localVarDecl | expressionList ;
+localVarDecl        : type varDeclarator (',' varDeclarator)* ;
+expressionList      : expression (',' expression)* ;
+statementExpression : expression ;
+
+expression     : conditional (assignOp expression)? ;
+assignOp       : '=' | '+=' | '-=' | '*=' | '/=' | '%=' ;
+conditional    : nullCoalesce ('?' expression ':' conditional)? ;
+nullCoalesce   : logicalOr ('??' logicalOr)* ;
+logicalOr      : logicalAnd ('||' logicalAnd)* ;
+logicalAnd     : bitOr ('&&' bitOr)* ;
+bitOr          : bitAnd ('|' bitAnd)* ;
+bitAnd         : equality ('&' equality)* ;
+equality       : relational (('==' | '!=') relational)* ;
+relational     : additive (('<' | '>' | '<=' | '>=') additive
+                          | ('is' | 'as') type)* ;
+additive       : multiplicative (('+' | '-') multiplicative)* ;
+multiplicative : unary (('*' | '/' | '%') unary)* ;
+unary          : ('+' | '-' | '!' | '~') unary
+               | ('++' | '--') postfix
+               | (castExpr)=> castExpr
+               | postfix
+               ;
+castExpr       : '(' type ')' unary ;
+postfix        : primary postfixOp* ('++' | '--')? ;
+postfixOp      : '.' ID arguments? | '[' expression ']' ;
+arguments      : '(' expressionList? ')' ;
+primary        : literal
+               | 'new' creator
+               | 'this' arguments?
+               | 'base' '.' ID arguments?
+               | 'typeof' '(' type ')'
+               | '(' expression ')'
+               | ID arguments?
+               ;
+creator        : qualifiedName arguments
+               | primitiveType ('[' expression ']')+
+               | qualifiedName ('[' expression ']')+
+               ;
+literal        : INT_LIT | FLOAT_LIT | STRING_LIT | CHAR_LIT | 'true'
+               | 'false' | 'null' ;
+
+ID         : [a-zA-Z_] [a-zA-Z0-9_]* ;
+INT_LIT    : [0-9]+ | '0' ('x'|'X') [0-9a-fA-F]+ ;
+FLOAT_LIT  : [0-9]+ '.' [0-9]+ ([eE] [+\-]? [0-9]+)? [fFdDmM]? ;
+STRING_LIT : '"' (~["\\\n] | '\\' .)* '"' ;
+CHAR_LIT   : '\'' (~['\\\n] | '\\' .) '\'' ;
+WS         : [ \t\r\n]+ -> skip ;
+LINE_COMMENT  : '//' ~[\n]* -> skip ;
+BLOCK_COMMENT : '/*' ~[*]* '*'+ (~[*/] ~[*]* '*'+)* '/' -> skip ;
+)GRAMMAR";
+
+} // namespace bench
+} // namespace llstar

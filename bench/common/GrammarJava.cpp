@@ -1,0 +1,165 @@
+//===- bench/common/GrammarJava.cpp - Java benchmark grammars -------------===//
+//
+// The Java-subset grammar (paper analog: Java1.5) and its PEG-mode twin
+// (paper analog: RatsJava). The hand-tuned version uses explicit syntactic
+// predicates where Java genuinely needs unbounded or structural lookahead
+// (local declarations vs expression statements, object casts vs
+// parenthesized expressions, enhanced-for vs classic-for) and relies on
+// cyclic DFAs for the member-declaration decisions; the PEG version turns
+// on backtrack mode and drops the hand predicates, mirroring a mechanical
+// Rats! conversion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchGrammars.h"
+
+namespace llstar {
+namespace bench {
+
+// Shared body: everything below `compilationUnit` is identical between the
+// two variants except the three hand predicates, which the PEG twin
+// replaces with plain ordered alternatives.
+#define JAVA_BODY(STMT_LOCAL, FOR_EACH, CAST_ALT)                             \
+  "\n"                                                                        \
+  "compilationUnit : packageDecl? importDecl* typeDecl* EOF ;\n"              \
+  "packageDecl     : 'package' qualifiedName ';' ;\n"                         \
+  "importDecl      : 'import' 'static'? qualifiedName ('.' '*')? ';' ;\n"     \
+  "qualifiedName   : ID ('.' ID)* ;\n"                                        \
+  "\n"                                                                        \
+  "typeDecl      : classDecl | interfaceDecl | enumDecl | ';' ;\n"            \
+  "classDecl     : modifier* 'class' ID ('extends' type)?\n"                  \
+  "                ('implements' typeList)? classBody ;\n"                    \
+  "interfaceDecl : modifier* 'interface' ID ('extends' typeList)?\n"          \
+  "                '{' interfaceMember* '}' ;\n"                              \
+  "interfaceMember : modifier* typeOrVoid ID '(' formalParams? ')' ';'\n"     \
+  "                | modifier* type ID '=' expression ';'\n"                  \
+  "                ;\n"                                                       \
+  "enumDecl      : modifier* 'enum' ID '{' ID (',' ID)*\n"                    \
+  "                (';' memberDecl*)? '}' ;\n"                                \
+  "modifier      : 'public' | 'private' | 'protected' | 'static' | 'final'\n" \
+  "              | 'abstract' | 'synchronized' | 'native' | 'transient'\n"    \
+  "              | 'volatile' ;\n"                                            \
+  "typeList      : type (',' type)* ;\n"                                      \
+  "classBody     : '{' memberDecl* '}' ;\n"                                   \
+  "\n"                                                                        \
+  "memberDecl      : methodDecl | fieldDecl | constructorDecl\n"              \
+  "                | staticInit | typeDecl ;\n"                               \
+  "methodDecl      : modifier* typeOrVoid ID '(' formalParams? ')'\n"         \
+  "                  ('throws' typeList)? (block | ';') ;\n"                  \
+  "fieldDecl       : modifier* type varDeclarator (',' varDeclarator)*\n"     \
+  "                  ';' ;\n"                                                 \
+  "constructorDecl : modifier* ID '(' formalParams? ')'\n"                    \
+  "                  ('throws' typeList)? block ;\n"                          \
+  "staticInit      : 'static' block ;\n"                                      \
+  "varDeclarator   : ID ('[' ']')* ('=' variableInit)? ;\n"                   \
+  "variableInit    : expression | arrayInit ;\n"                              \
+  "arrayInit       : '{' (variableInit (',' variableInit)* ','?)? '}' ;\n"    \
+  "typeOrVoid      : type | 'void' ;\n"                                       \
+  "type            : primitiveType ('[' ']')*\n"                              \
+  "                | qualifiedName ('[' ']')* ;\n"                            \
+  "primitiveType   : 'int' | 'boolean' | 'char' | 'long' | 'double'\n"        \
+  "                | 'float' | 'byte' | 'short' ;\n"                          \
+  "formalParams    : formalParam (',' formalParam)* ;\n"                      \
+  "formalParam     : 'final'? type ID ('[' ']')* ;\n"                         \
+  "\n"                                                                        \
+  "block     : '{' statement* '}' ;\n"                                       \
+  "statement : block\n"                                                      \
+  "          | 'if' parExpr statement ('else' statement)?\n"                  \
+  "          | 'while' parExpr statement\n"                                   \
+  "          | 'do' statement 'while' parExpr ';'\n"                          \
+  "          | 'for' '(' forControl ')' statement\n"                          \
+  "          | 'switch' parExpr '{' switchGroup* '}'\n"                       \
+  "          | 'try' block (catchClause+ finallyClause? | finallyClause)\n"   \
+  "          | 'throw' expression ';'\n"                                      \
+  "          | 'synchronized' parExpr block\n"                                \
+  "          | 'return' expression? ';'\n"                                    \
+  "          | 'break' ID? ';'\n"                                             \
+  "          | 'continue' ID? ';'\n"                                          \
+  "          | 'assert' expression (':' expression)? ';'\n"                   \
+  "          | ';'\n"                                                         \
+  "          | " STMT_LOCAL "\n"                                              \
+  "          | statementExpression ';'\n"                                     \
+  "          ;\n"                                                             \
+  "switchGroup   : switchLabel+ statement* ;\n"                               \
+  "switchLabel   : 'case' expression ':' | 'default' ':' ;\n"                 \
+  "catchClause   : 'catch' '(' type ID ')' block ;\n"                         \
+  "finallyClause : 'finally' block ;\n"                                       \
+  "parExpr       : '(' expression ')' ;\n"                                    \
+  "forControl    : " FOR_EACH "\n"                                            \
+  "              | forInit? ';' expression? ';' expressionList? ;\n"          \
+  "forInit       : " STMT_LOCAL_FORINIT " ;\n"                                \
+  "localVarDecl  : 'final'? type varDeclarator (',' varDeclarator)* ;\n"      \
+  "expressionList      : expression (',' expression)* ;\n"                    \
+  "statementExpression : expression ;\n"                                      \
+  "\n"                                                                        \
+  "expression     : conditional (assignOp expression)? ;\n"                   \
+  "assignOp       : '=' | '+=' | '-=' | '*=' | '/=' | '%=' | '&='\n"          \
+  "               | '|=' | '^=' ;\n"                                          \
+  "conditional    : logicalOr ('?' expression ':' conditional)? ;\n"          \
+  "logicalOr      : logicalAnd ('||' logicalAnd)* ;\n"                        \
+  "logicalAnd     : bitOr ('&&' bitOr)* ;\n"                                  \
+  "bitOr          : bitXor ('|' bitXor)* ;\n"                                 \
+  "bitXor         : bitAnd ('^' bitAnd)* ;\n"                                 \
+  "bitAnd         : equality ('&' equality)* ;\n"                             \
+  "equality       : relational (('==' | '!=') relational)* ;\n"               \
+  "relational     : shift (('<' | '>' | '<=' | '>=') shift\n"                 \
+  "                       | 'instanceof' type)* ;\n"                          \
+  "shift          : additive (('<<' | '>>') additive)* ;\n"                   \
+  "additive       : multiplicative (('+' | '-') multiplicative)* ;\n"         \
+  "multiplicative : unary (('*' | '/' | '%') unary)* ;\n"                     \
+  "unary          : ('+' | '-' | '!' | '~') unary\n"                          \
+  "               | ('++' | '--') postfix\n"                                  \
+  "               | " CAST_ALT "\n"                                           \
+  "               | postfix\n"                                                \
+  "               ;\n"                                                        \
+  "castExpr       : '(' type ')' unary ;\n"                                   \
+  "postfix        : primary postfixOp* ('++' | '--')? ;\n"                    \
+  "postfixOp      : '.' ID arguments? | '[' expression ']' ;\n"               \
+  "arguments      : '(' expressionList? ')' ;\n"                              \
+  "primary        : literal\n"                                                \
+  "               | 'new' creator\n"                                          \
+  "               | 'this' arguments?\n"                                      \
+  "               | 'super' '.' ID arguments?\n"                              \
+  "               | '(' expression ')'\n"                                     \
+  "               | ID arguments?\n"                                          \
+  "               ;\n"                                                        \
+  "creator        : qualifiedName arguments\n"                                \
+  "               | primitiveType ('[' expression ']')+\n"                    \
+  "               | qualifiedName ('[' expression ']')+\n"                    \
+  "               ;\n"                                                        \
+  "literal        : INT_LIT | FLOAT_LIT | STRING_LIT | CHAR_LIT | 'true'\n"   \
+  "               | 'false' | 'null' ;\n"                                     \
+  "\n"                                                                        \
+  "ID         : [a-zA-Z_$] [a-zA-Z0-9_$]* ;\n"                                \
+  "INT_LIT    : [0-9]+ | '0' ('x'|'X') [0-9a-fA-F]+ ;\n"                      \
+  "FLOAT_LIT  : [0-9]+ '.' [0-9]+ ([eE] [+\\-]? [0-9]+)? [fFdD]? ;\n"         \
+  "STRING_LIT : '\"' (~[\"\\\\\\n] | '\\\\' .)* '\"' ;\n"                     \
+  "CHAR_LIT   : '\\'' (~['\\\\\\n] | '\\\\' .) '\\'' ;\n"                     \
+  "WS         : [ \\t\\r\\n]+ -> skip ;\n"                                    \
+  "LINE_COMMENT  : '//' ~[\\n]* -> skip ;\n"                                  \
+  "BLOCK_COMMENT : '/*' ~[*]* '*'+ (~[*/] ~[*]* '*'+)* '/' -> skip ;\n"
+
+#define STMT_LOCAL_FORINIT FOR_INIT_BODY
+
+// Hand-tuned variant: explicit syntactic predicates.
+#define FOR_INIT_BODY "(localVarDecl)=> localVarDecl | expressionList"
+const char *JavaGrammarText =
+    "grammar Java;\n" JAVA_BODY(
+        /*STMT_LOCAL=*/"(localVarDecl)=> localVarDecl ';'",
+        /*FOR_EACH=*/"('final'? type ID ':')=> 'final'? type ID ':' expression",
+        /*CAST_ALT=*/"(castExpr)=> castExpr");
+#undef FOR_INIT_BODY
+
+// Mechanical PEG conversion: backtrack mode, ordered choice instead of the
+// hand predicates, structure otherwise preserved — the paper's RatsJava
+// treatment.
+#define FOR_INIT_BODY "localVarDecl | expressionList"
+const char *RatsJavaGrammarText =
+    "grammar RatsJava;\noptions { backtrack=true; memoize=true; }\n" JAVA_BODY(
+        /*STMT_LOCAL=*/"localVarDecl ';'",
+        /*FOR_EACH=*/"'final'? type ID ':' expression",
+        /*CAST_ALT=*/"castExpr");
+#undef FOR_INIT_BODY
+
+} // namespace bench
+} // namespace llstar

@@ -1,0 +1,720 @@
+//===- bench/common/Workloads.cpp - Synthetic benchmark inputs ------------===//
+//
+// Deterministic workload generators, one per benchmark grammar. These
+// substitute for the paper's Figure 13 sample inputs (JDK sources,
+// Microsoft sample code): same construct mix — nested declarations,
+// statements, and expressions in realistic proportions — reproducible from
+// a seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchGrammars.h"
+
+#include <random>
+
+namespace llstar {
+namespace bench {
+
+namespace {
+
+/// Tiny helper wrapping the RNG and an output buffer with indentation.
+class Writer {
+public:
+  explicit Writer(unsigned Seed) : Rng(Seed) {}
+
+  std::string Out;
+  int Indent = 0;
+
+  void line(const std::string &S) {
+    for (int I = 0; I < Indent; ++I)
+      Out += "  ";
+    Out += S;
+    Out += "\n";
+  }
+  /// Uniform integer in [0, N).
+  int pick(int N) { return int(Rng() % unsigned(N)); }
+  bool chance(int Percent) { return pick(100) < Percent; }
+  std::string ident(const char *Prefix) {
+    return std::string(Prefix) + std::to_string(pick(26));
+  }
+  std::string number() { return std::to_string(pick(1000)); }
+
+private:
+  std::mt19937 Rng;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Java / RatsJava / (shared shape with CSharp)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string javaExpr(Writer &W, int Depth);
+
+/// The Java statement generator is shared with the CSharp workload; this
+/// flag switches the few constructs whose spelling differs (foreach).
+bool &csharpDialect() {
+  static bool Flag = false;
+  return Flag;
+}
+
+std::string javaPrimary(Writer &W, int Depth) {
+  switch (W.pick(Depth > 2 ? 4 : 6)) {
+  case 0:
+    return W.number();
+  case 1:
+    return W.ident("v");
+  case 2:
+    return "\"s" + W.number() + "\"";
+  case 3:
+    return W.ident("f") + "(" + (W.chance(60) ? javaExpr(W, Depth + 1) : "") +
+           ")";
+  case 4:
+    return "(" + javaExpr(W, Depth + 1) + ")";
+  default:
+    return "new " + W.ident("C") + "(" + javaExpr(W, Depth + 1) + ")";
+  }
+}
+
+std::string javaExpr(Writer &W, int Depth) {
+  std::string E = javaPrimary(W, Depth);
+  static const char *Ops[] = {"+", "-", "*", "/", "==", "<", "&&", "||"};
+  while (Depth < 3 && W.chance(35))
+    E += std::string(" ") + Ops[W.pick(8)] + " " + javaPrimary(W, Depth + 1);
+  if (W.chance(20))
+    E += "." + W.ident("m") + "(" + (W.chance(50) ? W.ident("v") : "") + ")";
+  return E;
+}
+
+const char *javaType(Writer &W) {
+  static const char *Types[] = {"int",     "boolean", "long",
+                                "double",  "String",  "Foo",
+                                "Bar",     "java.util.List"};
+  return Types[W.pick(8)];
+}
+
+void javaStatement(Writer &W, int Depth);
+
+void javaBlock(Writer &W, int Depth, int MinStatements = 1) {
+  W.line("{");
+  ++W.Indent;
+  int N = MinStatements + W.pick(4);
+  for (int I = 0; I < N; ++I)
+    javaStatement(W, Depth);
+  --W.Indent;
+  W.line("}");
+}
+
+void javaStatement(Writer &W, int Depth) {
+  if (Depth > 3) {
+    W.line(W.ident("v") + " = " + javaExpr(W, 2) + ";");
+    return;
+  }
+  switch (W.pick(17)) {
+  case 0:
+    W.line(std::string(javaType(W)) + " " + W.ident("v") + " = " +
+           javaExpr(W, 1) + ";");
+    break;
+  case 1:
+    W.line("if (" + javaExpr(W, 1) + ")");
+    javaBlock(W, Depth + 1);
+    if (W.chance(40)) {
+      W.line("else");
+      javaBlock(W, Depth + 1);
+    }
+    break;
+  case 2:
+    W.line("while (" + W.ident("v") + " < " + W.number() + ")");
+    javaBlock(W, Depth + 1);
+    break;
+  case 3:
+    W.line("for (int i = 0; i < " + W.number() + "; i = i + 1)");
+    javaBlock(W, Depth + 1);
+    break;
+  case 4:
+    W.line("return " + javaExpr(W, 1) + ";");
+    break;
+  case 5:
+    W.line(W.ident("f") + "(" + javaExpr(W, 2) + ");");
+    break;
+  case 6:
+    W.line("this." + W.ident("m") + "(" + W.ident("v") + ");");
+    break;
+  case 7: {
+    W.line("switch (" + W.ident("v") + ") {");
+    ++W.Indent;
+    int Cases = 1 + W.pick(3);
+    for (int I = 0; I < Cases; ++I) {
+      W.line("case " + W.number() + ":");
+      ++W.Indent;
+      W.line(W.ident("v") + " = " + javaExpr(W, 2) + ";");
+      W.line("break;");
+      --W.Indent;
+    }
+    W.line("default:");
+    ++W.Indent;
+    W.line("break;");
+    --W.Indent;
+    --W.Indent;
+    W.line("}");
+    break;
+  }
+  case 8:
+    W.line("try");
+    javaBlock(W, Depth + 1);
+    W.line("catch (Exception e)");
+    javaBlock(W, Depth + 1);
+    if (W.chance(30)) {
+      W.line("finally");
+      javaBlock(W, Depth + 1);
+    }
+    break;
+  case 9:
+    W.line("do");
+    javaBlock(W, Depth + 1);
+    W.line("while (" + W.ident("v") + " > 0);");
+    break;
+  case 10:
+    if (csharpDialect())
+      W.line("foreach (" + std::string(javaType(W)) + " e in " +
+             W.ident("items") + ")");
+    else
+      W.line("for (" + std::string(javaType(W)) + " e : " + W.ident("items") +
+             ")");
+    javaBlock(W, Depth + 1);
+    break;
+  case 11:
+    W.line(W.ident("v") + " += (" + std::string(javaType(W)) + ") " +
+           W.ident("raw") + ";");
+    break;
+  case 12:
+    W.line("int[] arr" + W.number() + " = { " + W.number() + ", " +
+           W.number() + " };");
+    break;
+  case 13:
+    W.line(std::string("throw new ") +
+           (csharpDialect() ? "InvalidOperationException" :
+                              "IllegalStateException") +
+           "(\"bad " + W.number() + "\");");
+    break;
+  case 14:
+    W.line(W.ident("v") + "++;");
+    break;
+  default:
+    W.line(W.ident("v") + " = " + javaExpr(W, 1) + ";");
+    break;
+  }
+}
+
+} // namespace
+
+std::string generateJava(int Units, unsigned Seed) {
+  Writer W(Seed);
+  W.line("package com.example.generated;");
+  W.line("import java.util.List;");
+  W.line("import static java.lang.Math.*;");
+  W.line("");
+  for (int C = 0; C < Units; ++C) {
+    // A sprinkling of interfaces and enums among the classes.
+    if (C % 9 == 4) {
+      W.line("public interface Iface" + std::to_string(C) + " {");
+      ++W.Indent;
+      W.line("int compute(int a);");
+      W.line("void visit(" + std::string(javaType(W)) + " node);");
+      W.line("int LIMIT = " + W.number() + ";");
+      --W.Indent;
+      W.line("}");
+      continue;
+    }
+    if (C % 11 == 6) {
+      W.line("enum Color" + std::to_string(C) + " { RED, GREEN, BLUE }");
+      continue;
+    }
+    W.line("public class Class" + std::to_string(C) +
+           (W.chance(30) ? " extends Base" : "") +
+           (W.chance(20) ? " implements Iface4" : "") + " {");
+    ++W.Indent;
+    int Fields = 1 + W.pick(4);
+    for (int F = 0; F < Fields; ++F)
+      W.line(std::string("private ") + javaType(W) + " " + W.ident("fld") +
+             (W.chance(50) ? " = " + javaExpr(W, 1) : "") + ";");
+    if (W.chance(20)) {
+      W.line("static");
+      javaBlock(W, 1, 1);
+    }
+    int Methods = 1 + W.pick(4);
+    for (int M = 0; M < Methods; ++M) {
+      W.line(std::string("public ") + (W.chance(30) ? "void" : javaType(W)) +
+             " method" + std::to_string(M) + "(" +
+             (W.chance(70) ? std::string(javaType(W)) + " a" : "") + ")" +
+             (W.chance(20) ? " throws Exception" : ""));
+      javaBlock(W, 0, 2);
+    }
+    if (W.chance(50)) {
+      W.line("Class" + std::to_string(C) + "(int x)");
+      javaBlock(W, 0, 1);
+    }
+    --W.Indent;
+    W.line("}");
+  }
+  return W.Out;
+}
+
+//===----------------------------------------------------------------------===//
+// C (RatsC)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string cExpr(Writer &W, int Depth);
+
+std::string cPrimary(Writer &W, int Depth) {
+  switch (W.pick(Depth > 2 ? 3 : 5)) {
+  case 0:
+    return W.number();
+  case 1:
+    return W.ident("v");
+  case 2:
+    return "\"s" + W.number() + "\"";
+  case 3:
+    return W.ident("f") + "(" + (W.chance(60) ? cExpr(W, Depth + 1) : "") +
+           ")";
+  default:
+    return "(" + cExpr(W, Depth + 1) + ")";
+  }
+}
+
+std::string cExpr(Writer &W, int Depth) {
+  std::string E = cPrimary(W, Depth);
+  static const char *Ops[] = {"+", "-", "*", "/", "==", "<", "&&", "|"};
+  while (Depth < 3 && W.chance(35))
+    E += std::string(" ") + Ops[W.pick(8)] + " " + cPrimary(W, Depth + 1);
+  if (W.chance(15))
+    E = "p->" + W.ident("fld") + " + " + E;
+  return E;
+}
+
+/// Type specifier; type names use the T prefix recognized by the
+/// benchmark's isTypeName predicate binding.
+std::string cType(Writer &W) {
+  static const char *Types[] = {"int",           "unsigned int", "char",
+                                "long",          "double",       "Tsize",
+                                "Tnode",         "struct point"};
+  return Types[W.pick(8)];
+}
+
+void cStatement(Writer &W, int Depth);
+
+void cBlock(Writer &W, int Depth, int MinStatements = 1) {
+  W.line("{");
+  ++W.Indent;
+  int N = MinStatements + W.pick(5);
+  for (int I = 0; I < N; ++I)
+    cStatement(W, Depth);
+  --W.Indent;
+  W.line("}");
+}
+
+void cStatement(Writer &W, int Depth) {
+  if (Depth > 3) {
+    W.line(W.ident("v") + " = " + cExpr(W, 2) + ";");
+    return;
+  }
+  switch (W.pick(12)) {
+  case 0:
+    W.line(cType(W) + " " + W.ident("v") + " = " + cExpr(W, 1) + ";");
+    break;
+  case 9: {
+    W.line("switch (" + W.ident("v") + ") {");
+    ++W.Indent;
+    W.line("case " + W.number() + ":");
+    ++W.Indent;
+    W.line(W.ident("v") + " = " + cExpr(W, 2) + ";");
+    W.line("break;");
+    --W.Indent;
+    W.line("default:");
+    ++W.Indent;
+    W.line("break;");
+    --W.Indent;
+    --W.Indent;
+    W.line("}");
+    break;
+  }
+  case 10:
+    W.line("do");
+    cBlock(W, Depth + 1);
+    W.line("while (" + W.ident("v") + " > 0);");
+    break;
+  case 11:
+    W.line(W.ident("v") + " += (int) " + W.ident("raw") + "++;");
+    break;
+  case 1:
+    W.line("if (" + cExpr(W, 1) + ")");
+    cBlock(W, Depth + 1);
+    break;
+  case 2:
+    W.line("while (" + W.ident("v") + " < " + W.number() + ")");
+    cBlock(W, Depth + 1);
+    break;
+  case 3:
+    W.line("for (i = 0; i < " + W.number() + "; i += 1)");
+    cBlock(W, Depth + 1);
+    break;
+  case 4:
+    W.line("return " + cExpr(W, 1) + ";");
+    break;
+  case 5:
+    W.line(W.ident("f") + "(" + cExpr(W, 2) + ");");
+    break;
+  case 6:
+    W.line("*" + W.ident("p") + " = " + cExpr(W, 1) + ";");
+    break;
+  default:
+    W.line(W.ident("v") + " = " + cExpr(W, 1) + ";");
+    break;
+  }
+}
+
+} // namespace
+
+std::string generateC(int Units, unsigned Seed) {
+  Writer W(Seed);
+  W.line("typedef unsigned int Tsize;");
+  W.line("struct point { int x; int y; };");
+  W.line("enum color { RED, GREEN = 3, BLUE };");
+  W.line("static int counter;");
+  W.line("");
+  for (int F = 0; F < Units; ++F) {
+    // Mix prototypes (declarations) with definitions: the decision the
+    // paper highlights for RatsC.
+    if (W.chance(25)) {
+      W.line("int proto" + std::to_string(F) + "(int a, char b);");
+      continue;
+    }
+    W.line((W.chance(30) ? std::string("static ") : std::string()) +
+           cType(W) + " func" + std::to_string(F) + "(int a, Tsize n)");
+    cBlock(W, 0, 2);
+  }
+  return W.Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Basic
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string basicExpr(Writer &W, int Depth) {
+  std::string E;
+  switch (W.pick(Depth > 2 ? 3 : 4)) {
+  case 0:
+    E = W.number();
+    break;
+  case 1:
+    E = W.ident("V");
+    break;
+  case 2:
+    E = "\"s" + W.number() + "\"";
+    break;
+  default:
+    E = "(" + basicExpr(W, Depth + 1) + ")";
+    break;
+  }
+  // At most one comparison operator per chain: Basic's comparison rule is
+  // non-associative (a < b >= c is a syntax error, as in VB).
+  static const char *Arith[] = {"+", "-", "*", "&"};
+  while (Depth < 3 && W.chance(30))
+    E += std::string(" ") + Arith[W.pick(4)] + " " +
+         (W.chance(50) ? W.ident("V") : W.number());
+  if (W.chance(25))
+    E += std::string(" ") + (W.chance(50) ? "<" : ">=") + " " + W.number();
+  if (Depth < 2 && W.chance(20))
+    E += std::string(" ") + (W.chance(50) ? "AND" : "OR") + " " +
+         W.ident("V");
+  return E;
+}
+
+void basicStatement(Writer &W, int Depth) {
+  if (Depth > 3) {
+    W.line(W.ident("V") + " = " + basicExpr(W, 2));
+    return;
+  }
+  switch (W.pick(12)) {
+  case 0:
+    W.line("DIM " + W.ident("V") + " AS INTEGER = " + basicExpr(W, 1));
+    break;
+  case 8:
+    W.line(W.ident("Obj") + "." + W.ident("Fld") + " = " + basicExpr(W, 1));
+    break;
+  case 9:
+    W.line(W.ident("Obj") + "." + W.ident("M") + "(" + basicExpr(W, 1) +
+           ")");
+    break;
+  case 10:
+    W.line("WITH " + W.ident("Obj") + "." + W.ident("Sub"));
+    ++W.Indent;
+    W.line(W.ident("V") + " = " + basicExpr(W, 2));
+    --W.Indent;
+    W.line("END WITH");
+    break;
+  case 11:
+    W.line("FOR EACH E IN " + W.ident("Col"));
+    ++W.Indent;
+    W.line("PRINT E");
+    --W.Indent;
+    W.line("NEXT");
+    break;
+  case 1: {
+    W.line("IF " + basicExpr(W, 1) + " THEN");
+    ++W.Indent;
+    basicStatement(W, Depth + 1);
+    --W.Indent;
+    if (W.chance(40)) {
+      W.line("ELSE");
+      ++W.Indent;
+      basicStatement(W, Depth + 1);
+      --W.Indent;
+    }
+    W.line("END IF");
+    break;
+  }
+  case 2:
+    W.line("FOR I = 1 TO " + W.number());
+    ++W.Indent;
+    basicStatement(W, Depth + 1);
+    --W.Indent;
+    W.line("NEXT");
+    break;
+  case 3:
+    W.line("WHILE " + W.ident("V") + " < " + W.number());
+    ++W.Indent;
+    basicStatement(W, Depth + 1);
+    --W.Indent;
+    W.line("WEND");
+    break;
+  case 4:
+    W.line("PRINT " + basicExpr(W, 1) + ", " + basicExpr(W, 2));
+    break;
+  case 5:
+    W.line("CALL Proc" + std::to_string(W.pick(10)) + "(" +
+           basicExpr(W, 1) + ")");
+    break;
+  default:
+    W.line(W.ident("V") + " = " + basicExpr(W, 1));
+    break;
+  }
+}
+
+} // namespace
+
+std::string generateBasic(int Units, unsigned Seed) {
+  Writer W(Seed);
+  for (int S = 0; S < Units; ++S) {
+    if (S % 7 == 3) {
+      W.line("SUB Proc" + std::to_string(S) + "(BYVAL X AS INTEGER)");
+      ++W.Indent;
+      basicStatement(W, 1);
+      basicStatement(W, 1);
+      W.line("RETURN X + 1");
+      --W.Indent;
+      W.line("END SUB");
+    } else if (S % 11 == 5) {
+      W.line("FUNCTION Fn" + std::to_string(S) +
+             "(BYREF Y AS DOUBLE) AS DOUBLE");
+      ++W.Indent;
+      basicStatement(W, 1);
+      W.line("RETURN Y * 2");
+      --W.Indent;
+      W.line("END FUNCTION");
+    } else {
+      basicStatement(W, 0);
+    }
+  }
+  return W.Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Sql
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string sqlCondition(Writer &W, int Depth) {
+  std::string E = W.ident("col") + " " +
+                  std::string(W.chance(50) ? "=" : ">") + " " + W.number();
+  if (Depth < 2 && W.chance(10)) // row-value comparison (backtracks)
+    E = "(" + W.ident("col") + ", " + W.ident("col") + ") = (" +
+        W.number() + ", " + W.number() + ")";
+  if (Depth < 2 && W.chance(40))
+    E += std::string(W.chance(50) ? " AND " : " OR ") +
+         sqlCondition(W, Depth + 1);
+  if (W.chance(15))
+    E += " AND name" + std::to_string(W.pick(5)) + " IS NOT NULL";
+  if (Depth < 1 && W.chance(8))
+    E += " AND EXISTS (SELECT id FROM tbl" + std::to_string(W.pick(9)) +
+         " WHERE flag = 1)";
+  return E;
+}
+
+std::string sqlSelect(Writer &W, int Depth) {
+  std::string S = "SELECT ";
+  if (W.chance(20))
+    S += "DISTINCT ";
+  if (W.chance(15))
+    S += "TOP " + W.number() + " ";
+  if (W.chance(20)) {
+    S += "*";
+  } else {
+    S += W.ident("col");
+    int Extra = W.pick(3);
+    for (int I = 0; I < Extra; ++I)
+      S += ", " + W.ident("col") + (W.chance(30) ? " AS alias" : "");
+  }
+  S += " FROM tbl" + std::to_string(W.pick(9));
+  if (W.chance(35)) {
+    static const char *Joins[] = {"INNER JOIN", "LEFT JOIN",
+                                  "LEFT OUTER JOIN", "RIGHT OUTER JOIN",
+                                  "JOIN"};
+    S += std::string(" ") + Joins[W.pick(5)] + " tbl" +
+         std::to_string(W.pick(9)) + " ON " + W.ident("col") + " = " +
+         W.ident("col");
+  }
+  if (W.chance(60))
+    S += " WHERE " + sqlCondition(W, Depth);
+  if (W.chance(20))
+    S += " GROUP BY " + W.ident("col");
+  if (W.chance(25))
+    S += " ORDER BY " + W.ident("col") + (W.chance(50) ? " DESC" : "");
+  return S;
+}
+
+} // namespace
+
+std::string generateSql(int Units, unsigned Seed) {
+  Writer W(Seed);
+  W.line("CREATE TABLE tbl0 (id INT NOT NULL PRIMARY KEY, name VARCHAR(64), "
+         "amount DECIMAL(10, 2) DEFAULT 0);");
+  W.line("CREATE UNIQUE INDEX idx0 ON tbl0 (id, name);");
+  W.line("DECLARE @total INT = 0;");
+  for (int S = 0; S < Units; ++S) {
+    switch (W.pick(12)) {
+    case 8:
+      W.line("ALTER TABLE tbl" + std::to_string(W.pick(9)) +
+             " ADD extra" + W.number() + " INT NULL;");
+      break;
+    case 9:
+      W.line("IF @total > " + W.number() + " BEGIN SET @total = 0; " +
+             sqlSelect(W, 1) + "; END");
+      break;
+    case 10:
+      W.line("WHILE @total < " + W.number() + " SET @total = @total + 1;");
+      break;
+    case 11:
+      W.line("PRINT @total;");
+      break;
+    case 0:
+    case 1:
+    case 2:
+    case 3:
+      W.line(sqlSelect(W, 0) + ";");
+      break;
+    case 4:
+      W.line("INSERT INTO tbl" + std::to_string(W.pick(9)) +
+             " (a, b) VALUES (" + W.number() + ", 'x" + W.number() + "');");
+      break;
+    case 5:
+      W.line("UPDATE tbl" + std::to_string(W.pick(9)) + " SET " +
+             W.ident("col") + " = " + W.number() + " WHERE " +
+             sqlCondition(W, 1) + ";");
+      break;
+    case 6:
+      W.line("DELETE FROM tbl" + std::to_string(W.pick(9)) + " WHERE " +
+             sqlCondition(W, 1) + ";");
+      break;
+    default:
+      W.line("SET @total = @total + " + W.number() + ";");
+      break;
+    }
+  }
+  return W.Out;
+}
+
+//===----------------------------------------------------------------------===//
+// CSharp
+//===----------------------------------------------------------------------===//
+
+std::string generateCSharp(int Units, unsigned Seed) {
+  Writer W(Seed);
+  csharpDialect() = true;
+  W.line("using System;");
+  W.line("using System.Collections.Generic;");
+  W.line("");
+  W.line("namespace Generated.Sample {");
+  ++W.Indent;
+  for (int C = 0; C < Units; ++C) {
+    W.line("public class Class" + std::to_string(C) + " {");
+    ++W.Indent;
+    int Fields = 1 + W.pick(3);
+    for (int F = 0; F < Fields; ++F)
+      W.line(std::string("private ") + javaType(W) + " " + W.ident("fld") +
+             " = " + W.number() + ";");
+    // Properties: the CSharp-specific member kind.
+    int Props = 1 + W.pick(2);
+    for (int P = 0; P < Props; ++P) {
+      W.line("public int Prop" + std::to_string(P) + " {");
+      ++W.Indent;
+      W.line("get { return " + W.ident("fld") + "; }");
+      W.line("set { " + W.ident("fld") + " = " + W.number() + "; }");
+      --W.Indent;
+      W.line("}");
+    }
+    int Methods = 1 + W.pick(3);
+    for (int M = 0; M < Methods; ++M) {
+      W.line("public " + std::string(W.chance(40) ? "void" : "int") +
+             " Method" + std::to_string(M) + "(int a)");
+      javaBlock(W, 0, 2);
+    }
+    --W.Indent;
+    W.line("}");
+  }
+  --W.Indent;
+  W.line("}");
+  csharpDialect() = false;
+  return W.Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+extern const char *JavaGrammarText;
+extern const char *RatsJavaGrammarText;
+extern const char *RatsCGrammarText;
+extern const char *BasicGrammarText;
+extern const char *SqlGrammarText;
+extern const char *CSharpGrammarText;
+
+const std::vector<BenchGrammar> &benchGrammars() {
+  static const std::vector<BenchGrammar> Grammars = {
+      {"Java", "Java1.5", JavaGrammarText, generateJava, "compilationUnit"},
+      {"RatsC", "RatsC", RatsCGrammarText, generateC, "translationUnit"},
+      {"RatsJava", "RatsJava", RatsJavaGrammarText, generateJava,
+       "compilationUnit"},
+      {"Basic", "VB.NET", BasicGrammarText, generateBasic, "program"},
+      {"Sql", "TSQL", SqlGrammarText, generateSql, "batch"},
+      {"CSharp", "C#", CSharpGrammarText, generateCSharp, "compilationUnit"},
+  };
+  return Grammars;
+}
+
+const BenchGrammar &benchGrammar(const std::string &Name) {
+  for (const BenchGrammar &G : benchGrammars())
+    if (Name == G.Name)
+      return G;
+  std::abort();
+}
+
+} // namespace bench
+} // namespace llstar

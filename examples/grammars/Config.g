@@ -1,0 +1,14 @@
+// A tiny INI-like configuration language, compiled ahead of time by the
+// llstar generator (see examples/CMakeLists.txt).
+grammar Config;
+
+file    : section* EOF ;
+section : '[' ID ']' entry* ;
+entry   : ID '=' value ;
+value   : INT | STRING | ID (',' ID)* ;
+
+ID     : [a-zA-Z_] [a-zA-Z0-9_.]* ;
+INT    : '-'? [0-9]+ ;
+STRING : '"' (~["\n])* '"' ;
+WS     : [ \t\r\n]+ -> skip ;
+COMMENT : '#' ~[\n]* -> skip ;

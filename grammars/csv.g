@@ -1,0 +1,13 @@
+// RFC-4180-style CSV. Newlines are significant tokens here, so only
+// spaces/tabs are skipped.
+grammar Csv;
+
+file   : header (NL record)* NL? EOF ;
+header : record ;
+record : field (',' field)* ;
+field  : QUOTED | BARE | ;
+
+QUOTED : '"' (~["] | '""')* '"' ;
+BARE   : (~[,"\r\n ] ~[,"\r\n]*) ;
+NL     : '\r'? '\n' ;
+WS     : [ \t]+ -> skip ;

@@ -1,0 +1,24 @@
+// A Graphviz DOT subset: graphs, digraphs, subgraphs, attributes.
+// The edge-vs-node statement decision needs lookahead past the node id.
+grammar Dot;
+
+graph     : 'strict'? ('graph' | 'digraph') ID? '{' stmt* '}' EOF ;
+stmt      : (nodeId edgeRhs)=> edgeStmt ';'?
+          | ('graph' | 'node' | 'edge') attrList ';'?
+          | 'subgraph' ID? '{' stmt* '}'
+          | ID '=' idOrValue ';'?
+          | nodeStmt ';'?
+          ;
+nodeStmt  : nodeId attrList? ;
+edgeStmt  : nodeId edgeRhs+ attrList? ;
+edgeRhs   : ('->' | '--') nodeId ;
+nodeId    : ID (':' ID)? ;
+attrList  : ('[' (attr (',' attr)*)? ']')+ ;
+attr      : ID '=' idOrValue ;
+idOrValue : ID | NUMBER | STRING ;
+
+ID     : [a-zA-Z_] [a-zA-Z0-9_]* ;
+NUMBER : '-'? [0-9]+ ('.' [0-9]+)? ;
+STRING : '"' (~["\\] | '\\' .)* '"' ;
+WS     : [ \t\r\n]+ -> skip ;
+COMMENT : '//' ~[\n]* -> skip ;

@@ -1,0 +1,13 @@
+// INI configuration files (same language as the generated-parser example).
+grammar Ini;
+
+file    : section* EOF ;
+section : '[' ID ']' entry* ;
+entry   : ID '=' value ;
+value   : INT | STRING | ID (',' ID)* ;
+
+ID     : [a-zA-Z_] [a-zA-Z0-9_.]* ;
+INT    : '-'? [0-9]+ ;
+STRING : '"' (~["\n])* '"' ;
+WS     : [ \t\r\n]+ -> skip ;
+COMMENT : '#' ~[\n]* -> skip ;

@@ -1,0 +1,12 @@
+// JSON (ECMA-404). Pure LL(1): every decision is a one-token DFA.
+grammar Json;
+
+json    : value EOF ;
+value   : object | array | STRING | NUMBER | 'true' | 'false' | 'null' ;
+object  : '{' (member (',' member)*)? '}' ;
+member  : STRING ':' value ;
+array   : '[' (value (',' value)*)? ']' ;
+
+STRING : '"' (~["\\] | '\\' ["\\/bfnrtu])* '"' ;
+NUMBER : '-'? ('0' | [1-9] [0-9]*) ('.' [0-9]+)? (('e' | 'E') ('+' | '-')? [0-9]+)? ;
+WS     : [ \t\r\n]+ -> skip ;

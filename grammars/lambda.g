@@ -1,0 +1,15 @@
+// Lambda calculus with let-bindings; application is left-associative
+// juxtaposition via the left-recursion rewrite.
+grammar Lambda;
+
+program : term EOF ;
+term    : 'lambda' ID '.' term
+        | 'let' ID '=' term 'in' term
+        | app
+        ;
+app     : app atom | atom ;
+atom    : ID | NUMBER | '(' term ')' ;
+
+ID     : [a-z] [a-zA-Z0-9_]* ;
+NUMBER : [0-9]+ ;
+WS     : [ \t\r\n]+ -> skip ;

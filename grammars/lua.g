@@ -1,0 +1,78 @@
+// A Lua 5.x subset. Two classic lookahead problems live here:
+//  - statement-level `varlist = explist` vs a bare function call both
+//    begin with an arbitrarily long prefix expression (a.b[k].c = v vs
+//    a.b[k].c(x)): resolved with a syntactic predicate;
+//  - the numeric and generic `for` forms share the NAME prefix.
+// The expression rule is immediately left-recursive with mixed
+// associativities ('^' and '..' are right-associative in Lua).
+grammar Lua;
+// PEG mode: stat-level decisions (assignment vs call, the suffix loop)
+// are beyond any regular approximation; analysis keeps backtracking only
+// where needed (paper Section 2).
+options { backtrack=true; memoize=true; }
+
+chunk   : block EOF ;
+block   : stat* retstat? ;
+retstat : 'return' explist? ';'? ;
+
+stat : ';'
+     | (varlist '=')=> varlist '=' explist
+     | prefixexp
+     | 'do' block 'end'
+     | 'while' exp 'do' block 'end'
+     | 'repeat' block 'until' exp
+     | 'if' exp 'then' block ('elseif' exp 'then' block)*
+       ('else' block)? 'end'
+     | ('for' NAME '=')=> 'for' NAME '=' exp ',' exp (',' exp)? 'do'
+       block 'end'
+     | 'for' namelist 'in' explist 'do' block 'end'
+     | 'function' funcname funcbody
+     | 'local' ('function' NAME funcbody | namelist ('=' explist)?)
+     | 'break'
+     ;
+
+funcname : NAME ('.' NAME)* (':' NAME)? ;
+varlist  : var (',' var)* ;
+var      : prefixexp ;
+namelist : NAME (',' NAME)* ;
+explist  : exp (',' exp)* ;
+
+exp : {assoc=right} exp '^' exp
+    | ('not' | '#' | '-') exp
+    | exp ('*' | '/' | '%') exp
+    | exp ('+' | '-') exp
+    | {assoc=right} exp '..' exp
+    | exp ('<' | '>' | '<=' | '>=' | '~=' | '==') exp
+    | exp 'and' exp
+    | exp 'or' exp
+    | 'nil' | 'true' | 'false' | NUMBER | STRING | '...'
+    | 'function' funcbody
+    | prefixexp
+    | tableconstructor
+    ;
+
+prefixexp  : primaryexp suffix* ;
+primaryexp : NAME | '(' exp ')' ;
+suffix     : '.' NAME
+           | '[' exp ']'
+           | ':' NAME args
+           | args
+           ;
+args       : '(' explist? ')' | STRING | tableconstructor ;
+
+funcbody : '(' parlist? ')' block 'end' ;
+parlist  : namelist (',' '...')? | '...' ;
+
+tableconstructor : '{' (field ((',' | ';') field)* (',' | ';')?)? '}' ;
+field            : '[' exp ']' '=' exp
+                 | (NAME '=')=> NAME '=' exp
+                 | exp
+                 ;
+
+NAME    : [a-zA-Z_] [a-zA-Z0-9_]* ;
+NUMBER  : [0-9]+ ('.' [0-9]+)? ([eE] [+\-]? [0-9]+)?
+        | '0' [xX] [0-9a-fA-F]+ ;
+STRING  : '"' (~["\\\n] | '\\' .)* '"'
+        | '\'' (~['\\\n] | '\\' .)* '\'' ;
+WS      : [ \t\r\n]+ -> skip ;
+COMMENT : '--' ~[\n]* -> skip ;

@@ -1,0 +1,12 @@
+// S-expressions with quote sugar.
+grammar Sexpr;
+
+program : sexpr* EOF ;
+sexpr   : atom | '(' sexpr* ')' | '\'' sexpr ;
+atom    : SYMBOL | NUMBER | STRING ;
+
+SYMBOL : [a-zA-Z+\-*/<>=!?_] [a-zA-Z0-9+\-*/<>=!?_]* ;
+NUMBER : '-'? [0-9]+ ('.' [0-9]+)? ;
+STRING : '"' (~["\\] | '\\' .)* '"' ;
+WS     : [ \t\r\n]+ -> skip ;
+COMMENT : ';' ~[\n]* -> skip ;

@@ -1,0 +1,109 @@
+//===- analysis/ATNConfig.h - ATN configurations ----------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ATN configuration tuple (p, i, gamma, pi) of paper Section 5.1: ATN
+/// state, predicted alternative, interned call stack, and optional
+/// predicate. A lookahead-DFA state is a set of these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_ANALYSIS_ATNCONFIG_H
+#define LLSTAR_ANALYSIS_ATNCONFIG_H
+
+#include "analysis/PredictionContext.h"
+#include "dfa/SemanticContext.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace llstar {
+
+/// One ATN configuration.
+struct AtnConfig {
+  int32_t State = -1;
+  /// Predicted alternative, 1-based.
+  int32_t Alt = 0;
+  PredictionContextId Ctx = PredictionContextPool::Empty;
+  SemanticContext Pred;
+  /// True once closure popped an empty stack and chased arbitrary call
+  /// sites: predicates encountered beyond that point belong to *other*
+  /// invocation contexts and must not gate this decision.
+  bool AfterWildcard = false;
+  /// Resolution mark set by resolveWithPreds (not part of identity).
+  bool WasResolved = false;
+
+  AtnConfig() = default;
+  AtnConfig(int32_t State, int32_t Alt, PredictionContextId Ctx,
+            SemanticContext Pred, bool AfterWildcard = false)
+      : State(State), Alt(Alt), Ctx(Ctx), Pred(Pred),
+        AfterWildcard(AfterWildcard) {}
+
+  friend bool operator==(const AtnConfig &X, const AtnConfig &Y) {
+    return X.State == Y.State && X.Alt == Y.Alt && X.Ctx == Y.Ctx &&
+           X.Pred == Y.Pred && X.AfterWildcard == Y.AfterWildcard;
+  }
+  friend bool operator<(const AtnConfig &X, const AtnConfig &Y) {
+    if (X.State != Y.State)
+      return X.State < Y.State;
+    if (X.Alt != Y.Alt)
+      return X.Alt < Y.Alt;
+    if (X.Ctx != Y.Ctx)
+      return X.Ctx < Y.Ctx;
+    if (X.AfterWildcard != Y.AfterWildcard)
+      return X.AfterWildcard < Y.AfterWildcard;
+    return X.Pred < Y.Pred;
+  }
+
+  size_t hash() const {
+    size_t H = size_t(uint32_t(State));
+    H = H * 0x100000001b3ull ^ size_t(uint32_t(Alt));
+    H = H * 0x100000001b3ull ^ size_t(uint32_t(Ctx));
+    H = H * 0x100000001b3ull ^ Pred.hash();
+    H = H * 0x100000001b3ull ^ size_t(AfterWildcard);
+    return H;
+  }
+};
+
+struct AtnConfigHash {
+  size_t operator()(const AtnConfig &C) const { return C.hash(); }
+};
+
+/// A sorted, de-duplicated set of configurations (one DFA state's worth).
+/// Sorting gives a canonical form so identical sets unify in the DFA-state
+/// dedup map.
+struct ConfigSet {
+  std::vector<AtnConfig> Configs;
+  bool Overflowed = false;
+  /// Alternatives whose closure hit the recursion-depth limit: their
+  /// lookahead beyond this state is incomplete.
+  std::set<int32_t> OverflowedAlts;
+  /// Set by resolve() when predicate resolution covered every alternative
+  /// present: the DFA state becomes terminal (predicate edges only); more
+  /// lookahead cannot help, and overflowed configurations would produce
+  /// misleading terminal edges.
+  bool FullyPredResolved = false;
+
+  bool empty() const { return Configs.empty(); }
+
+  void normalize();
+
+  friend bool operator==(const ConfigSet &X, const ConfigSet &Y) {
+    return X.Configs == Y.Configs;
+  }
+
+  size_t hash() const {
+    size_t H = 0xcbf29ce484222325ull;
+    for (const AtnConfig &C : Configs)
+      H = H * 0x100000001b3ull ^ C.hash();
+    return H;
+  }
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_ANALYSIS_ATNCONFIG_H

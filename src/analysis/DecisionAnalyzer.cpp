@@ -1,0 +1,727 @@
+#include "analysis/DecisionAnalyzer.h"
+
+#include "analysis/ATNConfig.h"
+#include "analysis/PredictionContext.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace llstar;
+
+void ConfigSet::normalize() {
+  std::sort(Configs.begin(), Configs.end());
+  Configs.erase(std::unique(Configs.begin(), Configs.end()), Configs.end());
+}
+
+namespace {
+
+struct ConfigSetHash {
+  size_t operator()(const ConfigSet &S) const { return S.hash(); }
+};
+
+struct ConfigSetEq {
+  bool operator()(const ConfigSet &X, const ConfigSet &Y) const {
+    return X == Y;
+  }
+};
+
+/// DFA construction for one decision (paper Algorithms 8-11).
+class Analyzer {
+public:
+  Analyzer(const Atn &M, int32_t Decision, const AnalysisOptions &Opts,
+           DiagnosticEngine &Diags)
+      : M(M), Decision(Decision), Opts(Opts), Diags(Diags),
+        DecisionState(M.decisionState(Decision)) {}
+
+  std::unique_ptr<LookaheadDfa> run() {
+    Dfa = std::make_unique<LookaheadDfa>(Decision);
+    if (!createDfa()) {
+      // LikelyNonLLRegular or resource limit: rebuild as the LL(1)
+      // fallback (Section 5.4).
+      Dfa = std::make_unique<LookaheadDfa>(Decision);
+      Dfa->setUsedFallback();
+      buildFallback();
+    }
+    Dfa->finish();
+    return std::move(Dfa);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Closure (Algorithm 9)
+  //===--------------------------------------------------------------------===//
+
+  using BusySet = std::unordered_set<AtnConfig, AtnConfigHash>;
+
+  /// Adds the closure of \p C to \p D. \p RecursiveAlts accumulates the
+  /// alternatives in which recursive rule invocation was observed; more
+  /// than one aborts construction when \p AbortOnMultiRecursion.
+  /// Returns false on abort.
+  bool closure(ConfigSet &D, const AtnConfig &C, BusySet &Busy,
+               std::set<int32_t> &RecursiveAlts, bool AbortOnMultiRecursion) {
+    if (Aborted)
+      return false;
+    if (!Busy.insert(C).second)
+      return true;
+    if (int32_t(D.Configs.size()) > Opts.MaxConfigsPerState) {
+      // Closure blow-up land mine: treat like a resource abort.
+      Aborted = true;
+      return false;
+    }
+    D.Configs.push_back(C);
+
+    const AtnState &S = M.state(C.State);
+
+    if (S.Kind == AtnStateKind::RuleStop) {
+      if (!Pool.isEmpty(C.Ctx)) {
+        // Pop the most recent invocation and continue past the call.
+        AtnConfig Next(Pool.returnState(C.Ctx), C.Alt, Pool.parent(C.Ctx),
+                       C.Pred, C.AfterWildcard);
+        return closure(D, Next, Busy, RecursiveAlts, AbortOnMultiRecursion);
+      }
+      // Empty stack: statically unknown caller; chase every call site in
+      // the grammar, and also the end-of-input continuation (any rule may
+      // be used as a start rule). Configurations beyond this point carry
+      // AfterWildcard so foreign predicates are not hoisted into this
+      // decision.
+      AtnConfig AtEof(M.eofState(), C.Alt, PredictionContextPool::Empty,
+                      C.Pred, /*AfterWildcard=*/true);
+      if (!closure(D, AtEof, Busy, RecursiveAlts, AbortOnMultiRecursion))
+        return false;
+      for (auto [SiteState, SiteTrans] : M.callSitesOf(S.RuleIndex)) {
+        const AtnTransition &T =
+            M.state(SiteState).Transitions[size_t(SiteTrans)];
+        AtnConfig Next(T.FollowState, C.Alt, PredictionContextPool::Empty,
+                       C.Pred, /*AfterWildcard=*/true);
+        if (!closure(D, Next, Busy, RecursiveAlts, AbortOnMultiRecursion))
+          return false;
+      }
+      return true;
+    }
+
+    for (const AtnTransition &T : S.Transitions) {
+      switch (T.Kind) {
+      case AtnTransitionKind::Atom:
+      case AtnTransitionKind::Set:
+        break; // terminal edges are handled by move()
+      case AtnTransitionKind::Epsilon:
+      case AtnTransitionKind::Action: {
+        AtnConfig Next(T.Target, C.Alt, C.Ctx, C.Pred, C.AfterWildcard);
+        if (!closure(D, Next, Busy, RecursiveAlts, AbortOnMultiRecursion))
+          return false;
+        break;
+      }
+      case AtnTransitionKind::SemPred: {
+        // Record only left-edge predicates of this decision's own context;
+        // predicates reached through the wildcard follow belong elsewhere.
+        SemanticContext Pred = C.Pred.isNone() && !C.AfterWildcard
+                                   ? SemanticContext::pred(T.PredIndex)
+                                   : C.Pred;
+        AtnConfig Next(T.Target, C.Alt, C.Ctx, Pred, C.AfterWildcard);
+        if (!closure(D, Next, Busy, RecursiveAlts, AbortOnMultiRecursion))
+          return false;
+        break;
+      }
+      case AtnTransitionKind::SynPred: {
+        SemanticContext Pred = C.Pred.isNone() && !C.AfterWildcard
+                                   ? SemanticContext::synPredRule(T.RuleIndex)
+                                   : C.Pred;
+        AtnConfig Next(T.Target, C.Alt, C.Ctx, Pred, C.AfterWildcard);
+        if (!closure(D, Next, Busy, RecursiveAlts, AbortOnMultiRecursion))
+          return false;
+        break;
+      }
+      case AtnTransitionKind::Rule: {
+        int32_t Follow = T.FollowState;
+        int32_t Depth = Pool.countOccurrences(C.Ctx, Follow);
+        if (Depth == 1) {
+          RecursiveAlts.insert(C.Alt);
+          if (AbortOnMultiRecursion && RecursiveAlts.size() > 1) {
+            // LikelyNonLLRegular: recursion in more than one alternative.
+            Aborted = true;
+            return false;
+          }
+        }
+        if (Depth >= Opts.MaxRecursionDepth) {
+          // Recursion overflow: stop pursuing this path but keep what we
+          // have (Section 5.3).
+          D.Overflowed = true;
+          D.OverflowedAlts.insert(C.Alt);
+          Dfa->setOverflowed();
+          continue;
+        }
+        AtnConfig Next(T.Target, C.Alt, Pool.push(C.Ctx, Follow), C.Pred,
+                       C.AfterWildcard);
+        if (!closure(D, Next, Busy, RecursiveAlts, AbortOnMultiRecursion))
+          return false;
+        break;
+      }
+      }
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Move
+  //===--------------------------------------------------------------------===//
+
+  /// Configurations directly reachable from \p D on terminal \p Label.
+  std::vector<AtnConfig> move(const ConfigSet &D, TokenType Label) const {
+    std::vector<AtnConfig> Out;
+    for (const AtnConfig &C : D.Configs)
+      for (const AtnTransition &T : M.state(C.State).Transitions) {
+        bool Matches =
+            (T.Kind == AtnTransitionKind::Atom && T.Label == Label) ||
+            (T.Kind == AtnTransitionKind::Set && T.Labels.contains(Label));
+        if (Matches)
+          Out.push_back(
+              AtnConfig(T.Target, C.Alt, C.Ctx, C.Pred, C.AfterWildcard));
+      }
+    return Out;
+  }
+
+  /// Distinct terminal labels leaving \p D, in stable order.
+  std::vector<TokenType> terminalLabels(const ConfigSet &D) const {
+    std::set<TokenType> Labels;
+    for (const AtnConfig &C : D.Configs)
+      for (const AtnTransition &T : M.state(C.State).Transitions) {
+        if (T.Kind == AtnTransitionKind::Atom)
+          Labels.insert(T.Label);
+        else if (T.Kind == AtnTransitionKind::Set)
+          T.Labels.forEach([&](int32_t V) { Labels.insert(TokenType(V)); });
+      }
+    return std::vector<TokenType>(Labels.begin(), Labels.end());
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Resolve (Algorithms 10 and 11)
+  //===--------------------------------------------------------------------===//
+
+  /// Alternatives participating in at least one conflicting configuration
+  /// pair (Definition 7): same ATN state, equivalent stacks, different alts.
+  /// \p ConflictingConfigs (when non-null) receives the indices into
+  /// D.Configs of the configurations that are themselves part of a
+  /// conflicting pair.
+  std::set<int32_t> conflictSet(const ConfigSet &D,
+                                std::set<size_t> *ConflictingConfigs) const {
+    std::set<int32_t> Conflicts;
+    // Group configs by ATN state, then test pairs within each group.
+    std::map<int32_t, std::vector<size_t>> ByState;
+    for (size_t I = 0; I < D.Configs.size(); ++I)
+      ByState[D.Configs[I].State].push_back(I);
+    for (auto &[State, Group] : ByState) {
+      (void)State;
+      for (size_t I = 0; I < Group.size(); ++I)
+        for (size_t J = I + 1; J < Group.size(); ++J) {
+          const AtnConfig &A = D.Configs[Group[I]];
+          const AtnConfig &B = D.Configs[Group[J]];
+          if (A.Alt == B.Alt)
+            continue;
+          if (Pool.equivalent(A.Ctx, B.Ctx)) {
+            Conflicts.insert(A.Alt);
+            Conflicts.insert(B.Alt);
+            if (ConflictingConfigs) {
+              ConflictingConfigs->insert(Group[I]);
+              ConflictingConfigs->insert(Group[J]);
+            }
+          }
+        }
+    }
+    return Conflicts;
+  }
+
+  std::set<int32_t> predictedAlts(const ConfigSet &D) const {
+    std::set<int32_t> Alts;
+    for (const AtnConfig &C : D.Configs)
+      Alts.insert(C.Alt);
+    return Alts;
+  }
+
+  void resolve(ConfigSet &D) {
+    std::set<size_t> ConflictingConfigs;
+    std::set<int32_t> Conflicts = conflictSet(D, &ConflictingConfigs);
+    if (D.Overflowed) {
+      // The analysis terminated early (Algorithm 10). An alternative whose
+      // own closure hit the recursion limit has incomplete lookahead: it
+      // potentially matches anything, so it conflicts with every
+      // alternative still present. Alternatives that did not overflow keep
+      // their precise lookahead and may still be separated by further
+      // expansion (e.g. `local function f...` vs `local x = ...` where the
+      // overflow came from a third alternative's closure).
+      std::set<int32_t> All = predictedAlts(D);
+      bool AnyTainted = false;
+      for (int32_t Alt : D.OverflowedAlts)
+        if (All.count(Alt))
+          AnyTainted = true;
+      if (All.size() > 1 && AnyTainted)
+        Conflicts = std::move(All);
+    }
+    if (Conflicts.size() < 2)
+      return;
+    if (resolveWithPreds(D, Conflicts)) {
+      // An overflow-forced resolution makes the state terminal: closure
+      // stopped early, so further terminal edges would be built from
+      // crippled configurations. Ordinary predicate-resolved states keep
+      // expanding (the paper's Algorithm 8 puts them back on the work
+      // list); their predicate edges act as a fallback when no terminal
+      // edge applies.
+      if (D.Overflowed && Conflicts == predictedAlts(D))
+        D.FullyPredResolved = true;
+      return;
+    }
+
+    // Resolve statically in favor of the lowest-numbered alternative
+    // (Section 3.1). On recursion overflow the surviving configurations of
+    // higher alternatives cannot be trusted (closure stopped early), so the
+    // whole alternative is dropped; for ordinary ambiguities only the
+    // configurations that actually conflict are removed — non-conflicting
+    // continuations of the same alternative stay viable.
+    int32_t Min = *Conflicts.begin();
+    if (D.Overflowed) {
+      D.Configs.erase(std::remove_if(D.Configs.begin(), D.Configs.end(),
+                                     [&](const AtnConfig &C) {
+                                       return Conflicts.count(C.Alt) &&
+                                              C.Alt != Min;
+                                     }),
+                      D.Configs.end());
+    } else {
+      std::vector<AtnConfig> Kept;
+      Kept.reserve(D.Configs.size());
+      for (size_t I = 0; I < D.Configs.size(); ++I) {
+        const AtnConfig &C = D.Configs[I];
+        if (ConflictingConfigs.count(I) && C.Alt != Min)
+          continue;
+        Kept.push_back(C);
+      }
+      D.Configs = std::move(Kept);
+    }
+    reportResolution(Conflicts, Min, D.Overflowed);
+  }
+
+  bool resolveWithPreds(ConfigSet &D, const std::set<int32_t> &Conflicts) {
+    // A predicate gates a conflicting alternative only if it *dominates*
+    // it: every lookahead-bearing configuration (one with terminal
+    // transitions) of that alternative carries the same predicate.
+    // Without the dominance requirement, a predicate found on one nested
+    // path (e.g. a {isTypeName}? reached through one branch of the
+    // follow) would wrongly gate the whole alternative.
+    std::map<int32_t, SemanticContext> AltPred;
+    std::set<int32_t> Predicated;
+    for (int32_t Alt : Conflicts) {
+      SemanticContext Common = SemanticContext::none();
+      bool Any = false, Dominates = true;
+      for (const AtnConfig &C : D.Configs) {
+        if (C.Alt != Alt)
+          continue;
+        bool HasAtom = false;
+        for (const AtnTransition &T : M.state(C.State).Transitions)
+          if (T.Kind == AtnTransitionKind::Atom ||
+              T.Kind == AtnTransitionKind::Set)
+            HasAtom = true;
+        if (!HasAtom)
+          continue;
+        if (!Any) {
+          Common = C.Pred;
+          Any = true;
+        } else if (C.Pred != Common) {
+          Dominates = false;
+        }
+      }
+      if (Any && Dominates && !Common.isNone()) {
+        AltPred.emplace(Alt, Common);
+        Predicated.insert(Alt);
+      }
+    }
+
+    std::vector<int32_t> Unpredicated;
+    for (int32_t Alt : Conflicts)
+      if (!Predicated.count(Alt))
+        Unpredicated.push_back(Alt);
+
+    // Predicates to attach to a representative config per alternative
+    // (None = an unconditional last-resort edge).
+    std::map<int32_t, SemanticContext> Synthesized;
+
+    if (Opts.Backtrack && !Unpredicated.empty()) {
+      // PEG mode: auto-insert a backtracking predicate on every conflicting
+      // alternative that lacks one. The highest-numbered alternative acts
+      // as the default (PEG ordered choice: if every earlier speculation
+      // fails, take the last).
+      int32_t Max = *Conflicts.rbegin();
+      for (int32_t Alt : Unpredicated)
+        Synthesized[Alt] = Alt != Max
+                               ? SemanticContext::synPredAlt(Decision, Alt)
+                               : SemanticContext::none();
+      Unpredicated.clear();
+    }
+
+    if (Predicated.empty() && Synthesized.empty())
+      return false; // no predicates anywhere: resolve statically by order
+
+    std::set<int32_t> Dropped;
+    if (!Unpredicated.empty()) {
+      // Gated-predicate semantics: the lowest unpredicated alternative
+      // becomes the default (unconditional last-resort edge); any further
+      // unpredicated alternatives lose statically. This is what makes
+      // left-recursion precedence loops work: "iterate" carries a
+      // precedence predicate and "exit" is the unpredicated default.
+      int32_t DefaultAlt = Unpredicated.front();
+      Synthesized[DefaultAlt] = SemanticContext::none();
+      Dropped.insert(Unpredicated.begin() + 1, Unpredicated.end());
+      if (!Dropped.empty()) {
+        reportResolution(Dropped, DefaultAlt, D.Overflowed);
+        D.Configs.erase(std::remove_if(D.Configs.begin(), D.Configs.end(),
+                                       [&](const AtnConfig &C) {
+                                         return Dropped.count(C.Alt) != 0;
+                                       }),
+                        D.Configs.end());
+      }
+    }
+
+    // Mark one representative per alternative: a config carrying the
+    // dominating predicate where available, else attach the synthesized
+    // predicate.
+    std::set<int32_t> Done;
+    for (AtnConfig &C : D.Configs) {
+      if (!Predicated.count(C.Alt) || Done.count(C.Alt))
+        continue;
+      if (C.Pred == AltPred.at(C.Alt)) {
+        C.WasResolved = true;
+        Done.insert(C.Alt);
+      }
+    }
+    for (auto &[Alt, Pred] : Synthesized) {
+      if (Done.count(Alt))
+        continue;
+      for (AtnConfig &C : D.Configs)
+        if (C.Alt == Alt) {
+          C.Pred = Pred;
+          C.WasResolved = true;
+          Done.insert(Alt);
+          break;
+        }
+    }
+    return true;
+  }
+
+  void reportResolution(const std::set<int32_t> &Conflicts, int32_t Min,
+                        bool Overflowed) {
+    if (ReportedResolution)
+      return; // one warning per decision is enough
+    ReportedResolution = true;
+    std::vector<std::string> AltNames;
+    for (int32_t A : Conflicts)
+      AltNames.push_back(std::to_string(A));
+    const AtnState &S = M.state(DecisionState);
+    std::string RuleName =
+        S.RuleIndex >= 0 ? M.grammar().rule(S.RuleIndex).Name : "<none>";
+    Diags.warning(formatString(
+        "decision %d (rule %s): %s between alternatives {%s}; "
+        "resolving in favor of alternative %d",
+        Decision, RuleName.c_str(),
+        Overflowed ? "recursion overflow makes input ambiguous"
+                   : "input can be matched ambiguously",
+        join(AltNames, ",").c_str(), Min));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // createDFA (Algorithm 8)
+  //===--------------------------------------------------------------------===//
+
+  int32_t acceptStateFor(int32_t Alt) {
+    auto It = AcceptByAlt.find(Alt);
+    if (It != AcceptByAlt.end())
+      return It->second;
+    int32_t Id = Dfa->addState();
+    Dfa->state(Id).PredictedAlt = Alt;
+    AcceptByAlt.emplace(Alt, Id);
+    StateConfigs.resize(size_t(Id) + 1);
+    return Id;
+  }
+
+  /// Registers \p D as a DFA state (or finds the identical existing one).
+  /// Returns the state id and whether it was new.
+  std::pair<int32_t, bool> internState(ConfigSet &&D) {
+    std::set<int32_t> Alts = predictedAlts(D);
+    if (Alts.size() == 1) {
+      // Accept state: no more lookahead needed; map this config set to the
+      // shared accept state for the alternative.
+      int32_t Id = acceptStateFor(*Alts.begin());
+      Known.emplace(std::move(D), Id);
+      return {Id, false};
+    }
+    auto It = Known.find(D);
+    if (It != Known.end())
+      return {It->second, false};
+    int32_t Id = Dfa->addState();
+    StateConfigs.resize(size_t(Id) + 1);
+    StateConfigs[size_t(Id)] = D;
+    Known.emplace(std::move(D), Id);
+    return {Id, true};
+  }
+
+  /// Adds the ordered predicate edges for resolved configurations of state
+  /// \p Id (the last loop of Algorithm 8).
+  void addPredicateEdges(int32_t Id) {
+    const ConfigSet &D = StateConfigs[size_t(Id)];
+    std::map<int32_t, SemanticContext> ByAlt; // ordered by alternative
+    for (const AtnConfig &C : D.Configs)
+      if (C.WasResolved)
+        ByAlt.emplace(C.Alt, C.Pred);
+    for (auto &[Alt, Pred] : ByAlt) {
+      DfaPredEdge E;
+      E.Pred = Pred;
+      E.Alt = Alt;
+      E.Target = acceptStateFor(Alt);
+      Dfa->state(Id).PredEdges.push_back(E);
+    }
+  }
+
+  /// Returns false on abort (fallback needed).
+  bool createDfa() {
+    const AtnState &S = M.state(DecisionState);
+    assert(S.isDecision() && "not a decision state");
+
+    ConfigSet D0;
+    BusySet Busy;
+    std::set<int32_t> RecursiveAlts;
+    for (size_t I = 0; I < S.Transitions.size(); ++I) {
+      assert(S.Transitions[I].Kind == AtnTransitionKind::Epsilon &&
+             "decision transitions must be epsilon");
+      AtnConfig C(S.Transitions[I].Target, int32_t(I) + 1,
+                  PredictionContextPool::Empty, SemanticContext::none());
+      if (!closure(D0, C, Busy, RecursiveAlts, /*AbortOnMultiRecursion=*/true))
+        return false;
+    }
+    resolve(D0);
+    D0.normalize();
+
+    auto [D0Id, D0New] = internState(std::move(D0));
+    if (D0Id != 0) {
+      // The start state resolved to a single alternative (e.g. statically
+      // resolved ambiguity); build the trivial DFA with an accepting start.
+      // internState created the accept state with some id; remap by making
+      // state 0 an alias via an unconditional predicate edge.
+      // Simpler: rebuild with state 0 as the accept.
+      Dfa = std::make_unique<LookaheadDfa>(Decision);
+      int32_t Id = Dfa->addState();
+      Dfa->state(Id).PredictedAlt = M.state(DecisionState).isDecision()
+                                        ? acceptAltOfTrivial()
+                                        : 1;
+      return true;
+    }
+    std::vector<int32_t> Work;
+    if (D0New && StateConfigs[0].FullyPredResolved)
+      addPredicateEdges(0); // pure-predicate decision: terminal start state
+    else
+      Work.push_back(0);
+    while (!Work.empty()) {
+      if (Aborted)
+        return false;
+      if (int32_t(Dfa->numStates()) > Opts.MaxDfaStates) {
+        Aborted = true;
+        return false;
+      }
+      int32_t Id = Work.back();
+      Work.pop_back();
+
+      // Copy: internState may reallocate StateConfigs.
+      ConfigSet D = StateConfigs[size_t(Id)];
+      for (TokenType Label : terminalLabels(D)) {
+        ConfigSet DNext;
+        BusySet NextBusy;
+        std::set<int32_t> NextRecursive;
+        for (const AtnConfig &C : move(D, Label))
+          if (!closure(DNext, C, NextBusy, NextRecursive,
+                       /*AbortOnMultiRecursion=*/true))
+            return false;
+        if (DNext.empty())
+          continue;
+        resolve(DNext);
+        DNext.normalize();
+        auto [Target, IsNew] = internState(std::move(DNext));
+        if (Label == TokenEof && Target == Id)
+          continue; // an EOF self-loop adds no information, only hangs
+        DfaEdge E;
+        E.Label = Label;
+        E.Target = Target;
+        Dfa->state(Id).Edges.push_back(E);
+        if (IsNew) {
+          if (StateConfigs[size_t(Target)].FullyPredResolved)
+            addPredicateEdges(Target); // terminal: predicate edges only
+          else
+            Work.push_back(Target);
+        }
+      }
+      addPredicateEdges(Id);
+    }
+    return true;
+  }
+
+  /// When D0 itself resolves to one alternative, find it.
+  int32_t acceptAltOfTrivial() {
+    // AcceptByAlt holds exactly one entry in this path.
+    assert(AcceptByAlt.size() == 1 && "trivial DFA expects one alternative");
+    return AcceptByAlt.begin()->first;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // LL(1) fallback (Section 5.4)
+  //===--------------------------------------------------------------------===//
+
+  void buildFallback() {
+    // Drop all bookkeeping from the aborted full construction; state ids in
+    // those maps refer to the discarded DFA.
+    Aborted = false;
+    Known.clear();
+    StateConfigs.clear();
+    AcceptByAlt.clear();
+    ReportedResolution = false;
+    const AtnState &S = M.state(DecisionState);
+    size_t NumAlts = S.Transitions.size();
+
+    // Approximate per-alternative LL(1) sets with a closure that never
+    // aborts (recursion overflow simply stops descent).
+    std::vector<std::set<TokenType>> First(NumAlts);
+    std::vector<SemanticContext> AltPred(NumAlts, SemanticContext::none());
+    for (size_t I = 0; I < NumAlts; ++I) {
+      ConfigSet D;
+      BusySet Busy;
+      std::set<int32_t> RecursiveAlts;
+      AtnConfig C(S.Transitions[I].Target, int32_t(I) + 1,
+                  PredictionContextPool::Empty, SemanticContext::none());
+      closure(D, C, Busy, RecursiveAlts, /*AbortOnMultiRecursion=*/false);
+      if (Aborted) {
+        // Even the approximation blew up; treat the alternative as
+        // matching anything and rely on order/backtracking.
+        Aborted = false;
+        D.Configs.clear();
+      }
+      // A discovered predicate is a valid gate for the whole alternative
+      // only if it dominates it: every atom-bearing configuration carries
+      // the same predicate. (A predicate deep inside one branch of the
+      // alternative must not gate the others.)
+      SemanticContext Common = SemanticContext::none();
+      bool Any = false, Dominates = true;
+      for (const AtnConfig &Cfg : D.Configs) {
+        bool HasAtom = false;
+        for (const AtnTransition &T : M.state(Cfg.State).Transitions) {
+          if (T.Kind == AtnTransitionKind::Atom) {
+            First[I].insert(T.Label);
+            HasAtom = true;
+          } else if (T.Kind == AtnTransitionKind::Set) {
+            T.Labels.forEach(
+                [&](int32_t V) { First[I].insert(TokenType(V)); });
+            HasAtom = true;
+          }
+        }
+        if (!HasAtom)
+          continue;
+        if (!Any) {
+          Common = Cfg.Pred;
+          Any = true;
+        } else if (Cfg.Pred != Common) {
+          Dominates = false;
+        }
+      }
+      if (Any && Dominates)
+        AltPred[I] = Common;
+    }
+
+    int32_t D0 = Dfa->addState();
+    assert(D0 == 0 && "fallback start state must be state 0");
+    (void)D0;
+
+    // Collect every token and the alternatives it can begin.
+    std::map<TokenType, std::vector<int32_t>> AltsOf;
+    for (size_t I = 0; I < NumAlts; ++I)
+      for (TokenType T : First[I])
+        AltsOf[T].push_back(int32_t(I) + 1);
+
+    // Conflicted label sets share intermediate predicate states.
+    std::map<std::vector<int32_t>, int32_t> PredStates;
+    bool WarnedAmbiguity = false;
+
+    for (auto &[Label, Alts] : AltsOf) {
+      int32_t Target;
+      if (Alts.size() == 1) {
+        Target = acceptStateFor(Alts[0]);
+      } else {
+        auto It = PredStates.find(Alts);
+        if (It != PredStates.end()) {
+          Target = It->second;
+        } else {
+          Target = buildFallbackPredState(Alts, AltPred, WarnedAmbiguity);
+          PredStates.emplace(Alts, Target);
+        }
+      }
+      DfaEdge E;
+      E.Label = Label;
+      E.Target = Target;
+      Dfa->state(0).Edges.push_back(E);
+    }
+  }
+
+  /// A state whose predicate edges arbitrate between \p Alts.
+  int32_t buildFallbackPredState(const std::vector<int32_t> &Alts,
+                                 const std::vector<SemanticContext> &AltPred,
+                                 bool &WarnedAmbiguity) {
+    // Do all conflicting alternatives have (or can be given) predicates?
+    bool AllPredicated = true;
+    for (size_t J = 0; J + 1 < Alts.size(); ++J)
+      if (AltPred[size_t(Alts[J]) - 1].isNone() && !Opts.Backtrack)
+        AllPredicated = false;
+
+    if (!AllPredicated) {
+      if (!WarnedAmbiguity) {
+        WarnedAmbiguity = true;
+        reportResolution(std::set<int32_t>(Alts.begin(), Alts.end()), Alts[0],
+                         /*Overflowed=*/true);
+      }
+      return acceptStateFor(Alts[0]);
+    }
+
+    int32_t Id = Dfa->addState();
+    StateConfigs.resize(Dfa->numStates());
+    for (size_t J = 0; J < Alts.size(); ++J) {
+      int32_t Alt = Alts[J];
+      SemanticContext Pred = AltPred[size_t(Alt) - 1];
+      if (Pred.isNone() && J + 1 < Alts.size())
+        Pred = SemanticContext::synPredAlt(Decision, Alt);
+      // The last alternative keeps an unconditional edge (ordered choice).
+      DfaPredEdge E;
+      E.Pred = Pred;
+      E.Alt = Alt;
+      E.Target = acceptStateFor(Alt);
+      Dfa->state(Id).PredEdges.push_back(E);
+    }
+    return Id;
+  }
+
+  const Atn &M;
+  int32_t Decision;
+  AnalysisOptions Opts;
+  DiagnosticEngine &Diags;
+  int32_t DecisionState;
+
+  PredictionContextPool Pool;
+  std::unique_ptr<LookaheadDfa> Dfa;
+  std::unordered_map<ConfigSet, int32_t, ConfigSetHash, ConfigSetEq> Known;
+  std::vector<ConfigSet> StateConfigs;
+  std::map<int32_t, int32_t> AcceptByAlt;
+  bool Aborted = false;
+  bool ReportedResolution = false;
+};
+
+} // namespace
+
+std::unique_ptr<LookaheadDfa>
+llstar::analyzeDecision(const Atn &M, int32_t Decision,
+                        const AnalysisOptions &Opts, DiagnosticEngine &Diags) {
+  return Analyzer(M, Decision, Opts, Diags).run();
+}

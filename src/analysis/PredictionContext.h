@@ -1,0 +1,111 @@
+//===- analysis/PredictionContext.h - Interned ATN stacks -------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consed immutable stacks of ATN follow states — the gamma component
+/// of the paper's ATN configurations (p, i, gamma, pi). Closure pushes a
+/// follow state at each rule invocation and pops at rule stop states.
+///
+/// Interning makes stacks cheap to copy (they are just ids), makes
+/// configuration equality O(1), and implements the suffix test of the
+/// paper's stack-equivalence relation (Definition 6) in O(depth).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_ANALYSIS_PREDICTIONCONTEXT_H
+#define LLSTAR_ANALYSIS_PREDICTIONCONTEXT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace llstar {
+
+/// An interned stack id. Id 0 is the empty stack.
+using PredictionContextId = int32_t;
+
+/// Owns all stacks created during one decision's DFA construction.
+class PredictionContextPool {
+public:
+  static constexpr PredictionContextId Empty = 0;
+
+  PredictionContextPool() {
+    // Node 0 is the empty stack; fields unused.
+    Nodes.push_back({-1, -1, 0});
+  }
+
+  /// The stack \p Parent with \p ReturnState pushed on top.
+  PredictionContextId push(PredictionContextId Parent, int32_t ReturnState) {
+    uint64_t Key = (uint64_t(uint32_t(Parent)) << 32) | uint32_t(ReturnState);
+    auto It = Interned.find(Key);
+    if (It != Interned.end())
+      return It->second;
+    Nodes.push_back({ReturnState, Parent, Nodes[size_t(Parent)].Depth + 1});
+    PredictionContextId Id = PredictionContextId(Nodes.size()) - 1;
+    Interned.emplace(Key, Id);
+    return Id;
+  }
+
+  bool isEmpty(PredictionContextId Id) const { return Id == Empty; }
+
+  /// Top of stack; only valid on non-empty stacks.
+  int32_t returnState(PredictionContextId Id) const {
+    return Nodes[size_t(Id)].ReturnState;
+  }
+  /// Stack with the top popped; only valid on non-empty stacks.
+  PredictionContextId parent(PredictionContextId Id) const {
+    return Nodes[size_t(Id)].Parent;
+  }
+  int32_t depth(PredictionContextId Id) const {
+    return Nodes[size_t(Id)].Depth;
+  }
+
+  /// Number of occurrences of \p ReturnState anywhere in the stack — the
+  /// recursion-depth measure of the paper's closure (Section 5.3).
+  int32_t countOccurrences(PredictionContextId Id, int32_t ReturnState) const {
+    int32_t Count = 0;
+    for (PredictionContextId S = Id; S != Empty; S = Nodes[size_t(S)].Parent)
+      if (Nodes[size_t(S)].ReturnState == ReturnState)
+        ++Count;
+    return Count;
+  }
+
+  /// Stack equivalence per paper Definition 6: equal, at least one empty,
+  /// or one a suffix of the other.
+  bool equivalent(PredictionContextId A, PredictionContextId B) const {
+    if (A == B || A == Empty || B == Empty)
+      return true;
+    // Suffix test: strip the longer stack down to the shorter's depth, then
+    // compare ids (interning makes equal stacks identical).
+    int32_t Da = depth(A), Db = depth(B);
+    while (Da > Db) {
+      A = parent(A);
+      --Da;
+    }
+    while (Db > Da) {
+      B = parent(B);
+      --Db;
+    }
+    return A == B;
+  }
+
+  size_t size() const { return Nodes.size(); }
+
+private:
+  struct Node {
+    int32_t ReturnState;
+    PredictionContextId Parent;
+    int32_t Depth;
+  };
+
+  std::vector<Node> Nodes;
+  std::unordered_map<uint64_t, PredictionContextId> Interned;
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_ANALYSIS_PREDICTIONCONTEXT_H

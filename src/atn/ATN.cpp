@@ -1,0 +1,95 @@
+#include "atn/ATN.h"
+
+#include "support/StringUtils.h"
+
+using namespace llstar;
+
+void Atn::finalize() {
+  CallSites.assign(G->numRules(), {});
+  for (const AtnState &S : States)
+    for (size_t T = 0; T < S.Transitions.size(); ++T) {
+      const AtnTransition &Tr = S.Transitions[T];
+      if (Tr.Kind == AtnTransitionKind::Rule)
+        CallSites[size_t(Tr.RuleIndex)].push_back({S.Id, int32_t(T)});
+    }
+}
+
+static const char *stateKindName(AtnStateKind Kind) {
+  switch (Kind) {
+  case AtnStateKind::Basic:
+    return "basic";
+  case AtnStateKind::RuleStart:
+    return "ruleStart";
+  case AtnStateKind::RuleStop:
+    return "ruleStop";
+  case AtnStateKind::BlockStart:
+    return "blockStart";
+  case AtnStateKind::BlockEnd:
+    return "blockEnd";
+  case AtnStateKind::StarLoopEntry:
+    return "starLoopEntry";
+  case AtnStateKind::PlusLoopBack:
+    return "plusLoopBack";
+  case AtnStateKind::LoopEnd:
+    return "loopEnd";
+  }
+  return "?";
+}
+
+std::string Atn::str() const {
+  std::string Out;
+  for (const AtnState &S : States) {
+    Out += formatString("s%d [%s, rule %s", S.Id, stateKindName(S.Kind),
+                        S.RuleIndex >= 0
+                            ? G->rule(S.RuleIndex).Name.c_str()
+                            : "<none>");
+    if (S.isDecision())
+      Out += formatString(", decision %d", S.Decision);
+    Out += "]\n";
+    for (const AtnTransition &T : S.Transitions) {
+      switch (T.Kind) {
+      case AtnTransitionKind::Epsilon:
+        Out += formatString("  -eps-> s%d\n", T.Target);
+        break;
+      case AtnTransitionKind::Atom:
+        Out += formatString("  -%s-> s%d",
+                            G->vocabulary().name(T.Label).c_str(), T.Target);
+        Out += "\n";
+        break;
+      case AtnTransitionKind::Set:
+        Out += formatString("  -set%s-> s%d", T.Labels.str().c_str(),
+                            T.Target);
+        Out += "\n";
+        break;
+      case AtnTransitionKind::Rule:
+        Out += formatString("  -rule(%s)-> s%d follow s%d",
+                            G->rule(T.RuleIndex).Name.c_str(), T.Target,
+                            T.FollowState);
+        if (T.Precedence > 0)
+          Out += formatString(" prec %d", T.Precedence);
+        Out += "\n";
+        break;
+      case AtnTransitionKind::SemPred: {
+        const AtnPredicate &P = Predicates[size_t(T.PredIndex)];
+        if (P.isPrecedence())
+          Out += formatString("  -{prec<=%d}?-> s%d\n", P.MinPrecedence,
+                              T.Target);
+        else
+          Out += formatString("  -{%s}?-> s%d\n", P.Name.c_str(), T.Target);
+        break;
+      }
+      case AtnTransitionKind::SynPred:
+        Out += formatString("  -(%s)=>-> s%d\n",
+                            G->rule(T.RuleIndex).Name.c_str(), T.Target);
+        break;
+      case AtnTransitionKind::Action: {
+        const AtnAction &A = Actions[size_t(T.ActionIndex)];
+        Out += formatString("  -%s%s%s-> s%d\n", A.Always ? "{{" : "{",
+                            A.Name.c_str(), A.Always ? "}}" : "}", T.Target);
+        break;
+      }
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,28 @@
+//===- atn/ATNBuilder.h - Grammar -> ATN transformation ---------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the ATN for a grammar following the transformation of paper
+/// Figure 7, extended with cycles for the EBNF operators (Section 5.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_ATN_ATNBUILDER_H
+#define LLSTAR_ATN_ATNBUILDER_H
+
+#include "atn/ATN.h"
+#include "grammar/Grammar.h"
+
+#include <memory>
+
+namespace llstar {
+
+/// Builds and finalizes the ATN for \p G. The grammar must outlive the ATN.
+std::unique_ptr<Atn> buildAtn(const Grammar &G);
+
+} // namespace llstar
+
+#endif // LLSTAR_ATN_ATNBUILDER_H

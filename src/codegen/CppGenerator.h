@@ -1,0 +1,43 @@
+//===- codegen/CppGenerator.h - C++ parser emission -------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a self-contained C++ module for an analyzed grammar — the
+/// "generator" half of a parser generator. Like ANTLR's serialized-ATN
+/// output, the generated code embeds the precomputed tables (ATN,
+/// lookahead DFAs, lexer DFA) and links against the llstar runtime; no
+/// grammar analysis happens in the deployed program.
+///
+/// The module defines, inside the requested namespace:
+///   - `kGrammarTables` (the serialized blob),
+///   - rule- and token-number constants (`RULE_expr`, `TOK_ID`),
+///   - a `<ClassName>` facade with `tokenize()` and `parse()`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_CODEGEN_CPPGENERATOR_H
+#define LLSTAR_CODEGEN_CPPGENERATOR_H
+
+#include "analysis/AnalyzedGrammar.h"
+
+#include <string>
+
+namespace llstar {
+
+/// The two emitted files.
+struct GeneratedParser {
+  std::string Header; ///< contents of <ClassName>.h
+  std::string Source; ///< contents of <ClassName>.cpp
+};
+
+/// Generates the C++ module. \p ClassName must be a valid C++ identifier;
+/// it doubles as the header basename and (lowercased) namespace.
+GeneratedParser generateCppParser(const AnalyzedGrammar &AG,
+                                  const std::string &ClassName);
+
+} // namespace llstar
+
+#endif // LLSTAR_CODEGEN_CPPGENERATOR_H

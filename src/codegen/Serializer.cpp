@@ -1,0 +1,462 @@
+#include "codegen/Serializer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+using namespace llstar;
+
+namespace {
+
+constexpr const char *Magic = "llstar1";
+
+/// Space-separated writer; strings are written length-prefixed
+/// (`<len>:<bytes>`) so arbitrary content round-trips.
+class Writer {
+public:
+  void word(const std::string &W) {
+    Out += W;
+    Out += ' ';
+  }
+  void num(int64_t V) { word(std::to_string(V)); }
+  void str(const std::string &S) {
+    Out += std::to_string(S.size());
+    Out += ':';
+    Out += S;
+    Out += ' ';
+  }
+  void nl() { Out += '\n'; }
+
+  std::string Out;
+};
+
+/// Matching reader. All methods report once and go inert on error.
+class Reader {
+public:
+  Reader(std::string_view Text, DiagnosticEngine &Diags)
+      : Text(Text), Diags(Diags) {}
+
+  bool failed() const { return Failed; }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  int64_t num() {
+    skipWs();
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a number");
+    return std::stoll(std::string(Text.substr(Start, Pos - Start)));
+  }
+
+  std::string str() {
+    int64_t Len = num();
+    if (Failed || Len < 0)
+      return "";
+    if (Pos >= Text.size() || Text[Pos] != ':') {
+      fail("expected ':' in string");
+      return "";
+    }
+    ++Pos;
+    if (Pos + size_t(Len) > Text.size()) {
+      fail("truncated string");
+      return "";
+    }
+    std::string S(Text.substr(Pos, size_t(Len)));
+    Pos += size_t(Len);
+    return S;
+  }
+
+  bool word(const char *Expected) {
+    skipWs();
+    size_t Len = std::strlen(Expected);
+    if (Text.compare(Pos, Len, Expected) != 0) {
+      fail(std::string("expected '") + Expected + "'");
+      return false;
+    }
+    Pos += Len;
+    return true;
+  }
+
+  int64_t fail(const std::string &Message) {
+    if (!Failed)
+      Diags.error("compiled grammar: " + Message + " at offset " +
+                  std::to_string(Pos));
+    Failed = true;
+    return 0;
+  }
+
+private:
+  std::string_view Text;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string llstar::serializeGrammar(const AnalyzedGrammar &AG) {
+  const Grammar &G = AG.grammar();
+  const Atn &M = AG.atn();
+  Writer W;
+
+  W.word(Magic);
+  W.str(G.Name);
+  W.num(G.startRule());
+  W.num(G.Options.Backtrack);
+  W.num(G.Options.Memoize);
+  W.num(G.Options.MaxRecursionDepth);
+  W.num(G.Options.MaxDfaStates);
+  W.nl();
+
+  // Vocabulary, in token-type order so getOrDefine reassigns identically.
+  const Vocabulary &V = G.vocabulary();
+  W.word("vocab");
+  W.num(int64_t(V.size()));
+  for (TokenType T = TokenMinUserType; T <= V.maxTokenType(); ++T) {
+    W.str(V.name(T));
+    W.num(V.isLiteral(T));
+  }
+  W.nl();
+
+  // Rule table: names and runtime-relevant flags only.
+  W.word("rules");
+  W.num(int64_t(G.numRules()));
+  for (const Rule &R : G.rules()) {
+    W.str(R.Name);
+    W.num(R.IsSynPredFragment);
+    W.num(R.IsPrecedenceRule);
+  }
+  W.nl();
+
+  // Predicate and action tables.
+  W.word("preds");
+  W.num(int64_t(M.numPredicates()));
+  for (size_t I = 0; I < M.numPredicates(); ++I) {
+    W.str(M.predicate(int32_t(I)).Name);
+    W.num(M.predicate(int32_t(I)).MinPrecedence);
+  }
+  W.nl();
+  W.word("acts");
+  int64_t NumActions = 0;
+  {
+    // Atn has no numActions(); count by probing is unsafe — walk
+    // transitions instead.
+    int32_t MaxAction = -1;
+    for (size_t S = 0; S < M.numStates(); ++S)
+      for (const AtnTransition &T : M.state(int32_t(S)).Transitions)
+        if (T.Kind == AtnTransitionKind::Action)
+          MaxAction = std::max(MaxAction, T.ActionIndex);
+    NumActions = MaxAction + 1;
+  }
+  W.num(NumActions);
+  for (int32_t I = 0; I < NumActions; ++I) {
+    W.str(M.action(I).Name);
+    W.num(M.action(I).Always);
+  }
+  W.nl();
+
+  // ATN: states, transitions, rule start/stop arrays, decisions.
+  W.word("atn");
+  W.num(int64_t(M.numStates()));
+  W.num(M.eofState());
+  W.nl();
+  for (size_t S = 0; S < M.numStates(); ++S) {
+    const AtnState &State = M.state(int32_t(S));
+    W.num(int64_t(State.Kind));
+    W.num(State.RuleIndex);
+    W.num(State.EndState);
+    W.num(int64_t(State.Transitions.size()));
+    for (const AtnTransition &T : State.Transitions) {
+      W.num(int64_t(T.Kind));
+      W.num(T.Target);
+      W.num(T.Label);
+      W.num(T.RuleIndex);
+      W.num(T.FollowState);
+      W.num(T.Precedence);
+      W.num(T.PredIndex);
+      W.num(T.ActionIndex);
+      W.num(int64_t(T.Labels.intervals().size()));
+      for (const Interval &I : T.Labels.intervals()) {
+        W.num(I.Lo);
+        W.num(I.Hi);
+      }
+    }
+    W.nl();
+  }
+  W.word("rulestates");
+  for (size_t R = 0; R < G.numRules(); ++R) {
+    W.num(M.ruleStart(int32_t(R)));
+    W.num(M.ruleStop(int32_t(R)));
+  }
+  W.nl();
+  W.word("decisions");
+  W.num(int64_t(M.numDecisions()));
+  for (size_t D = 0; D < M.numDecisions(); ++D)
+    W.num(M.decisionState(int32_t(D)));
+  W.nl();
+
+  // Lookahead DFAs.
+  W.word("dfas");
+  W.num(int64_t(AG.numDecisions()));
+  W.nl();
+  for (size_t D = 0; D < AG.numDecisions(); ++D) {
+    const LookaheadDfa &Dfa = AG.dfa(int32_t(D));
+    W.num(int64_t(Dfa.numStates()));
+    W.num(Dfa.usedFallback());
+    W.num(Dfa.overflowed());
+    for (size_t S = 0; S < Dfa.numStates(); ++S) {
+      const DfaState &St = Dfa.state(int32_t(S));
+      W.num(St.PredictedAlt);
+      W.num(int64_t(St.Edges.size()));
+      for (const DfaEdge &E : St.Edges) {
+        W.num(E.Label);
+        W.num(E.Target);
+      }
+      W.num(int64_t(St.PredEdges.size()));
+      for (const DfaPredEdge &E : St.PredEdges) {
+        W.num(int64_t(E.Pred.K));
+        W.num(E.Pred.A);
+        W.num(E.Pred.B);
+        W.num(E.Alt);
+        W.num(E.Target);
+      }
+    }
+    W.nl();
+  }
+
+  // Compiled lexer tables (sparse edge encoding).
+  DiagnosticEngine LexDiags;
+  Lexer L(G.lexerSpec(), LexDiags);
+  W.word("lexer");
+  W.num(int64_t(L.dfa().size()));
+  W.nl();
+  for (const regex::CharDfaState &St : L.dfa().states()) {
+    W.num(St.AcceptTag);
+    int Edges = 0;
+    for (int C = 0; C < 256; ++C)
+      Edges += St.Next[size_t(C)] >= 0;
+    W.num(Edges);
+    for (int C = 0; C < 256; ++C)
+      if (St.Next[size_t(C)] >= 0) {
+        W.num(C);
+        W.num(St.Next[size_t(C)]);
+      }
+    W.nl();
+  }
+  W.word("lexertags");
+  W.num(int64_t(L.actions().size()));
+  for (size_t I = 0; I < L.actions().size(); ++I) {
+    W.num(int64_t(L.actions()[I]));
+    W.num(L.types()[I]);
+  }
+  W.nl();
+  W.word("end");
+  W.nl();
+  return W.Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Deserialization
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<CompiledGrammar>
+llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
+  Reader R(Text, Diags);
+  if (!R.word(Magic))
+    return nullptr;
+
+  auto G = std::make_unique<Grammar>();
+  G->Name = R.str();
+  int32_t StartRule = int32_t(R.num());
+  G->Options.Backtrack = R.num() != 0;
+  G->Options.Memoize = R.num() != 0;
+  G->Options.MaxRecursionDepth = int32_t(R.num());
+  G->Options.MaxDfaStates = int32_t(R.num());
+
+  if (!R.word("vocab"))
+    return nullptr;
+  int64_t NumTokens = R.num();
+  for (int64_t I = 0; I < NumTokens && !R.failed(); ++I) {
+    std::string Name = R.str();
+    bool Literal = R.num() != 0;
+    G->vocabulary().getOrDefine(Name, Literal);
+  }
+
+  if (!R.word("rules"))
+    return nullptr;
+  int64_t NumRules = R.num();
+  for (int64_t I = 0; I < NumRules && !R.failed(); ++I) {
+    std::string Name = R.str();
+    int32_t Index = G->addRule(Name);
+    G->rule(Index).IsSynPredFragment = R.num() != 0;
+    G->rule(Index).IsPrecedenceRule = R.num() != 0;
+  }
+  if (StartRule >= 0 && StartRule < int32_t(G->numRules()))
+    G->setStartRule(StartRule);
+
+  auto M = std::make_unique<Atn>(*G);
+
+  if (!R.word("preds"))
+    return nullptr;
+  int64_t NumPreds = R.num();
+  for (int64_t I = 0; I < NumPreds && !R.failed(); ++I) {
+    AtnPredicate P;
+    P.Name = R.str();
+    P.MinPrecedence = int32_t(R.num());
+    M->addPredicate(std::move(P));
+  }
+  if (!R.word("acts"))
+    return nullptr;
+  int64_t NumActs = R.num();
+  for (int64_t I = 0; I < NumActs && !R.failed(); ++I) {
+    AtnAction A;
+    A.Name = R.str();
+    A.Always = R.num() != 0;
+    M->addAction(std::move(A));
+  }
+
+  if (!R.word("atn"))
+    return nullptr;
+  int64_t NumStates = R.num();
+  M->setEofState(int32_t(R.num()));
+  for (int64_t S = 0; S < NumStates && !R.failed(); ++S) {
+    AtnStateKind Kind = AtnStateKind(R.num());
+    int32_t RuleIndex = int32_t(R.num());
+    int32_t Id = M->addState(Kind, RuleIndex);
+    M->state(Id).EndState = int32_t(R.num());
+    int64_t NumTrans = R.num();
+    for (int64_t T = 0; T < NumTrans && !R.failed(); ++T) {
+      AtnTransition Tr;
+      Tr.Kind = AtnTransitionKind(R.num());
+      Tr.Target = int32_t(R.num());
+      Tr.Label = TokenType(R.num());
+      Tr.RuleIndex = int32_t(R.num());
+      Tr.FollowState = int32_t(R.num());
+      Tr.Precedence = int32_t(R.num());
+      Tr.PredIndex = int32_t(R.num());
+      Tr.ActionIndex = int32_t(R.num());
+      int64_t NumIntervals = R.num();
+      for (int64_t I = 0; I < NumIntervals && !R.failed(); ++I) {
+        int32_t Lo = int32_t(R.num());
+        int32_t Hi = int32_t(R.num());
+        Tr.Labels.add(Lo, Hi);
+      }
+      M->state(Id).Transitions.push_back(std::move(Tr));
+    }
+  }
+  if (!R.word("rulestates"))
+    return nullptr;
+  M->ruleStarts().resize(G->numRules());
+  M->ruleStops().resize(G->numRules());
+  for (size_t I = 0; I < G->numRules() && !R.failed(); ++I) {
+    M->ruleStarts()[I] = int32_t(R.num());
+    M->ruleStops()[I] = int32_t(R.num());
+  }
+  if (!R.word("decisions"))
+    return nullptr;
+  int64_t NumDecisions = R.num();
+  for (int64_t D = 0; D < NumDecisions && !R.failed(); ++D)
+    M->addDecision(int32_t(R.num()));
+  M->finalize();
+
+  if (!R.word("dfas"))
+    return nullptr;
+  int64_t NumDfas = R.num();
+  if (NumDfas != NumDecisions) {
+    R.fail("decision/DFA count mismatch");
+    return nullptr;
+  }
+  std::vector<std::unique_ptr<LookaheadDfa>> Dfas;
+  for (int64_t D = 0; D < NumDfas && !R.failed(); ++D) {
+    auto Dfa = std::make_unique<LookaheadDfa>(int32_t(D));
+    int64_t N = R.num();
+    if (R.num() != 0)
+      Dfa->setUsedFallback();
+    if (R.num() != 0)
+      Dfa->setOverflowed();
+    for (int64_t S = 0; S < N && !R.failed(); ++S) {
+      int32_t Id = Dfa->addState();
+      DfaState &St = Dfa->state(Id);
+      St.PredictedAlt = int32_t(R.num());
+      int64_t NumEdges = R.num();
+      for (int64_t E = 0; E < NumEdges && !R.failed(); ++E) {
+        DfaEdge Edge;
+        Edge.Label = TokenType(R.num());
+        Edge.Target = int32_t(R.num());
+        St.Edges.push_back(Edge);
+      }
+      int64_t NumPredEdges = R.num();
+      for (int64_t E = 0; E < NumPredEdges && !R.failed(); ++E) {
+        DfaPredEdge Edge;
+        Edge.Pred.K = SemanticContext::Kind(R.num());
+        Edge.Pred.A = int32_t(R.num());
+        Edge.Pred.B = int32_t(R.num());
+        Edge.Alt = int32_t(R.num());
+        Edge.Target = int32_t(R.num());
+        St.PredEdges.push_back(Edge);
+      }
+    }
+    Dfa->finish();
+    Dfas.push_back(std::move(Dfa));
+  }
+
+  if (!R.word("lexer"))
+    return nullptr;
+  int64_t NumLexStates = R.num();
+  std::vector<regex::CharDfaState> LexStates;
+  for (int64_t S = 0; S < NumLexStates && !R.failed(); ++S) {
+    regex::CharDfaState St;
+    St.AcceptTag = int32_t(R.num());
+    int64_t NumEdges = R.num();
+    for (int64_t E = 0; E < NumEdges && !R.failed(); ++E) {
+      int64_t C = R.num();
+      int64_t Target = R.num();
+      if (C < 0 || C > 255) {
+        R.fail("lexer edge byte out of range");
+        break;
+      }
+      St.Next[size_t(C)] = int32_t(Target);
+    }
+    LexStates.push_back(St);
+  }
+  if (!R.word("lexertags"))
+    return nullptr;
+  int64_t NumTags = R.num();
+  std::vector<LexerAction> Actions;
+  std::vector<TokenType> Types;
+  for (int64_t I = 0; I < NumTags && !R.failed(); ++I) {
+    Actions.push_back(LexerAction(R.num()));
+    Types.push_back(TokenType(R.num()));
+  }
+  if (!R.word("end") || R.failed())
+    return nullptr;
+
+  auto Result = std::make_unique<CompiledGrammar>();
+  Result->LexerDfa = regex::CharDfa::fromTables(std::move(LexStates));
+  Result->LexerActions = std::move(Actions);
+  Result->LexerTypes = std::move(Types);
+  Result->AG =
+      AnalyzedGrammar::fromParts(std::move(G), std::move(M), std::move(Dfas));
+  return Result;
+}
+
+std::vector<Token> CompiledGrammar::tokenize(std::string_view Input,
+                                             DiagnosticEngine &Diags) const {
+  Lexer L(LexerDfa, LexerActions, LexerTypes);
+  return L.tokenize(Input, Diags);
+}

@@ -1,0 +1,57 @@
+//===- codegen/Serializer.h - Compiled-grammar serialization ----*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes an analyzed grammar — vocabulary, rule table, options, the
+/// compiled lexer DFA, the ATN, and every decision's lookahead DFA — to a
+/// compact line-based text form, and loads it back. This is the ANTLR
+/// "serialized ATN" idea: grammar analysis runs once at generation time;
+/// deployed parsers just load tables.
+///
+/// The deserialized \ref CompiledGrammar drives \ref LLStarParser exactly
+/// like a freshly analyzed grammar (the Grammar object carries names,
+/// vocabulary, and options, but no rule bodies — the ATN is the program).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_CODEGEN_SERIALIZER_H
+#define LLSTAR_CODEGEN_SERIALIZER_H
+
+#include "analysis/AnalyzedGrammar.h"
+#include "lexer/Lexer.h"
+#include "regex/CharDFA.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace llstar {
+
+/// A deserialized grammar package: everything needed to lex and parse.
+struct CompiledGrammar {
+  std::unique_ptr<AnalyzedGrammar> AG;
+  /// The pre-compiled tokenizer (no regex compilation at load time).
+  regex::CharDfa LexerDfa;
+  std::vector<LexerAction> LexerActions; // per DFA accept tag
+  std::vector<TokenType> LexerTypes;     // per DFA accept tag
+
+  /// Tokenizes with the precompiled tables.
+  std::vector<Token> tokenize(std::string_view Input,
+                              DiagnosticEngine &Diags) const;
+};
+
+/// Serializes \p AG plus its compiled lexer \p L into the v1 text format.
+std::string serializeGrammar(const AnalyzedGrammar &AG);
+
+/// Parses the v1 text format; returns null and reports to \p Diags on any
+/// structural error.
+std::unique_ptr<CompiledGrammar> deserializeGrammar(std::string_view Text,
+                                                    DiagnosticEngine &Diags);
+
+} // namespace llstar
+
+#endif // LLSTAR_CODEGEN_SERIALIZER_H

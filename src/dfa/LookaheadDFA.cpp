@@ -1,0 +1,127 @@
+#include "dfa/LookaheadDFA.h"
+
+#include "atn/ATN.h"
+#include "support/StringUtils.h"
+
+#include <functional>
+
+using namespace llstar;
+
+void LookaheadDfa::finish() {
+  HasSynPreds = HasSemPreds = false;
+  for (const DfaState &S : States) {
+    for (const DfaPredEdge &E : S.PredEdges) {
+      if (E.Pred.isSyntactic())
+        HasSynPreds = true;
+      else if (E.Pred.K == SemanticContext::Kind::Pred)
+        HasSemPreds = true;
+    }
+  }
+  bool Cyclic = computeCyclic();
+  if (HasSynPreds)
+    Class = DecisionClass::Backtrack;
+  else if (Cyclic)
+    Class = DecisionClass::Cyclic;
+  else
+    Class = DecisionClass::FixedK;
+  FixedK = Cyclic ? -1 : computeDepth();
+}
+
+bool LookaheadDfa::computeCyclic() const {
+  // DFS from state 0 over terminal edges looking for a back edge.
+  enum Color : char { White, Gray, Black };
+  std::vector<char> Colors(States.size(), White);
+  std::function<bool(int32_t)> Visit = [&](int32_t S) -> bool {
+    Colors[size_t(S)] = Gray;
+    for (const DfaEdge &E : States[size_t(S)].Edges) {
+      if (Colors[size_t(E.Target)] == Gray)
+        return true;
+      if (Colors[size_t(E.Target)] == White && Visit(E.Target))
+        return true;
+    }
+    Colors[size_t(S)] = Black;
+    return false;
+  };
+  return !States.empty() && Visit(0);
+}
+
+int32_t LookaheadDfa::computeDepth() const {
+  // Longest terminal-edge path from the start; the DFA is acyclic here.
+  std::vector<int32_t> Memo(States.size(), -1);
+  std::function<int32_t(int32_t)> Depth = [&](int32_t S) -> int32_t {
+    if (Memo[size_t(S)] >= 0)
+      return Memo[size_t(S)];
+    int32_t Best = 0;
+    for (const DfaEdge &E : States[size_t(S)].Edges)
+      Best = std::max(Best, 1 + Depth(E.Target));
+    Memo[size_t(S)] = Best;
+    return Best;
+  };
+  if (States.empty())
+    return 1;
+  // Even a pure-predicate decision inspects the state of the parse; count
+  // it as depth 1 like ANTLR reports LL(1).
+  return std::max(1, Depth(0));
+}
+
+std::string llstar::describePredicate(const SemanticContext &Pred,
+                                      const Atn &M) {
+  switch (Pred.K) {
+  case SemanticContext::Kind::None:
+    return "<none>";
+  case SemanticContext::Kind::Pred: {
+    const AtnPredicate &P = M.predicate(Pred.A);
+    if (P.isPrecedence())
+      return formatString("{prec<=%d}?", P.MinPrecedence);
+    return "{" + P.Name + "}?";
+  }
+  case SemanticContext::Kind::SynPredRule:
+    return "synpred(" + M.grammar().rule(Pred.A).Name + ")";
+  case SemanticContext::Kind::SynPredAlt:
+    return formatString("backtrack(d=%d,alt=%d)", Pred.A, Pred.B);
+  }
+  return "?";
+}
+
+std::string LookaheadDfa::str(const Atn &M) const {
+  const Vocabulary &V = M.grammar().vocabulary();
+  std::string Out;
+  for (const DfaState &S : States) {
+    if (S.isAccept()) {
+      Out += formatString("s%d => %d\n", S.Id, S.PredictedAlt);
+      continue;
+    }
+    for (const DfaEdge &E : S.Edges)
+      Out += formatString("s%d -%s-> s%d\n", S.Id, V.name(E.Label).c_str(),
+                          E.Target);
+    for (const DfaPredEdge &E : S.PredEdges)
+      Out += formatString("s%d -%s-> s%d\n", S.Id,
+                          describePredicate(E.Pred, M).c_str(), E.Target);
+  }
+  return Out;
+}
+
+std::string LookaheadDfa::dot(const Atn &M) const {
+  const Vocabulary &V = M.grammar().vocabulary();
+  std::string Out = "digraph decision_" + std::to_string(Decision) + " {\n"
+                    "  rankdir=LR;\n";
+  for (const DfaState &S : States) {
+    if (S.isAccept())
+      Out += formatString(
+          "  s%d [shape=doublecircle, label=\"s%d=>%d\"];\n", S.Id, S.Id,
+          S.PredictedAlt);
+    else
+      Out += formatString("  s%d [shape=circle];\n", S.Id);
+  }
+  for (const DfaState &S : States) {
+    for (const DfaEdge &E : S.Edges)
+      Out += formatString("  s%d -> s%d [label=\"%s\"];\n", S.Id, E.Target,
+                          escapeString(V.name(E.Label)).c_str());
+    for (const DfaPredEdge &E : S.PredEdges)
+      Out += formatString(
+          "  s%d -> s%d [label=\"%s\", style=dashed];\n", S.Id, E.Target,
+          escapeString(describePredicate(E.Pred, M)).c_str());
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,143 @@
+//===- dfa/LookaheadDFA.h - Lookahead DFA (paper Def. 4) --------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lookahead DFA produced by the LL(*) analysis for one parsing
+/// decision: a DFA over token types, augmented with predicate transitions
+/// that target accept states, and accept states that yield predicted
+/// production numbers (paper Definition 4 and Figure 5).
+///
+/// At parse time (\ref llstar::LLStarParser::adaptivePredict) the parser
+/// walks terminal edges while they match the remaining input; when no
+/// terminal edge applies, it tries the state's predicate edges in
+/// alternative order; reaching an accept state predicts that state's
+/// alternative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_DFA_LOOKAHEADDFA_H
+#define LLSTAR_DFA_LOOKAHEADDFA_H
+
+#include "dfa/SemanticContext.h"
+#include "lexer/Token.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llstar {
+
+class Atn;
+class Vocabulary;
+
+/// A terminal transition of a lookahead DFA.
+struct DfaEdge {
+  TokenType Label = TokenInvalid;
+  int32_t Target = -1;
+};
+
+/// A predicate transition; always targets an accept state (paper Def. 4).
+struct DfaPredEdge {
+  SemanticContext Pred;
+  int32_t Target = -1;
+  /// Alternative predicted when the predicate holds (== accept state's alt).
+  int32_t Alt = -1;
+};
+
+/// One lookahead-DFA state.
+struct DfaState {
+  int32_t Id = -1;
+  /// Predicted alternative (1-based) when this is an accept state, else -1.
+  int32_t PredictedAlt = -1;
+  std::vector<DfaEdge> Edges;
+  /// Tested in order after terminal edges fail; order follows alternative
+  /// precedence, resolving predicated ambiguities in favor of lower
+  /// alternatives (paper Section 3.1).
+  std::vector<DfaPredEdge> PredEdges;
+
+  bool isAccept() const { return PredictedAlt > 0; }
+
+  /// Returns the target on \p Label, or -1.
+  int32_t edgeOn(TokenType Label) const {
+    for (const DfaEdge &E : Edges)
+      if (E.Label == Label)
+        return E.Target;
+    return -1;
+  }
+};
+
+/// How a decision ended up classified after analysis (Table 1 columns).
+enum class DecisionClass : uint8_t {
+  FixedK,    ///< Acyclic DFA: plain LL(k) for the computed k.
+  Cyclic,    ///< Cyclic DFA: arbitrary regular lookahead, no backtracking.
+  Backtrack, ///< Contains syntactic-predicate edges: may backtrack.
+};
+
+/// The lookahead DFA for one parsing decision.
+class LookaheadDfa {
+public:
+  explicit LookaheadDfa(int32_t Decision) : Decision(Decision) {}
+
+  int32_t decision() const { return Decision; }
+
+  int32_t addState() {
+    DfaState S;
+    S.Id = int32_t(States.size());
+    States.push_back(std::move(S));
+    return int32_t(States.size()) - 1;
+  }
+
+  DfaState &state(int32_t Id) { return States[size_t(Id)]; }
+  const DfaState &state(int32_t Id) const { return States[size_t(Id)]; }
+  const DfaState &start() const { return States[0]; }
+  size_t numStates() const { return States.size(); }
+
+  /// Classification and the fixed lookahead depth; computed by \ref finish.
+  DecisionClass decisionClass() const { return Class; }
+  /// Max lookahead depth for FixedK decisions (>= 1), or -1 when cyclic.
+  int32_t fixedK() const { return FixedK; }
+  bool hasSynPredEdges() const { return HasSynPreds; }
+  bool hasSemPredEdges() const { return HasSemPreds; }
+
+  /// True if analysis gave up on full LL(*) construction and produced the
+  /// LL(1)-with-predicates fallback (paper Sections 5.3-5.4).
+  bool usedFallback() const { return UsedFallback; }
+  void setUsedFallback() { UsedFallback = true; }
+
+  /// True if closure hit the recursion-depth limit m somewhere.
+  bool overflowed() const { return Overflowed; }
+  void setOverflowed() { Overflowed = true; }
+
+  /// Computes classification, cyclicity, and fixed k. Call once after all
+  /// states and edges exist.
+  void finish();
+
+  /// Text rendering, one edge per line; stable across runs, used by tests.
+  std::string str(const Atn &M) const;
+  /// Graphviz rendering.
+  std::string dot(const Atn &M) const;
+
+private:
+  bool computeCyclic() const;
+  int32_t computeDepth() const;
+
+  int32_t Decision;
+  std::vector<DfaState> States;
+  DecisionClass Class = DecisionClass::FixedK;
+  int32_t FixedK = 1;
+  bool HasSynPreds = false;
+  bool HasSemPreds = false;
+  bool UsedFallback = false;
+  bool Overflowed = false;
+};
+
+/// Renders \p Pred for humans ("{isType}?", "synpred(__synpred1_t)",
+/// "backtrack(d=3,alt=2)").
+std::string describePredicate(const SemanticContext &Pred, const Atn &M);
+
+} // namespace llstar
+
+#endif // LLSTAR_DFA_LOOKAHEADDFA_H

@@ -1,0 +1,82 @@
+//===- dfa/SemanticContext.h - Predicate context for DFA edges --*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The predicate attached to an ATN configuration or a lookahead-DFA
+/// predicate edge (paper Definition 4). Three flavors exist:
+///
+///  - \c Pred: a semantic predicate `{p}?` (including the precedence
+///    predicates synthesized by the left-recursion rewrite), identified by
+///    its index in the ATN predicate table;
+///  - \c SynPredRule: a user-written syntactic predicate `(alpha)=>`,
+///    evaluated by speculatively parsing a hidden fragment rule (the
+///    synpred(A'_i) reduction of paper Section 4.1);
+///  - \c SynPredAlt: an auto-inserted PEG-mode syntactic predicate on
+///    alternative B of decision A, evaluated by speculatively parsing that
+///    alternative in place (paper Section 2, option backtrack=true).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_DFA_SEMANTICCONTEXT_H
+#define LLSTAR_DFA_SEMANTICCONTEXT_H
+
+#include <cstdint>
+#include <functional>
+
+namespace llstar {
+
+/// A (possibly absent) predicate gating a prediction path.
+struct SemanticContext {
+  enum class Kind : uint8_t {
+    None,        ///< No predicate.
+    Pred,        ///< Semantic predicate; A = ATN predicate index.
+    SynPredRule, ///< Syntactic predicate; A = fragment rule index.
+    SynPredAlt,  ///< Auto-backtrack; A = decision, B = alternative.
+  };
+
+  Kind K = Kind::None;
+  int32_t A = -1;
+  int32_t B = -1;
+
+  static SemanticContext none() { return {}; }
+  static SemanticContext pred(int32_t PredIndex) {
+    return {Kind::Pred, PredIndex, -1};
+  }
+  static SemanticContext synPredRule(int32_t FragmentRule) {
+    return {Kind::SynPredRule, FragmentRule, -1};
+  }
+  static SemanticContext synPredAlt(int32_t Decision, int32_t Alt) {
+    return {Kind::SynPredAlt, Decision, Alt};
+  }
+
+  bool isNone() const { return K == Kind::None; }
+  bool isSyntactic() const {
+    return K == Kind::SynPredRule || K == Kind::SynPredAlt;
+  }
+
+  friend bool operator==(const SemanticContext &X, const SemanticContext &Y) {
+    return X.K == Y.K && X.A == Y.A && X.B == Y.B;
+  }
+  friend bool operator!=(const SemanticContext &X, const SemanticContext &Y) {
+    return !(X == Y);
+  }
+  friend bool operator<(const SemanticContext &X, const SemanticContext &Y) {
+    if (X.K != Y.K)
+      return X.K < Y.K;
+    if (X.A != Y.A)
+      return X.A < Y.A;
+    return X.B < Y.B;
+  }
+
+  size_t hash() const {
+    return (size_t(K) * 0x9e3779b9u) ^ (size_t(uint32_t(A)) << 1) ^
+           (size_t(uint32_t(B)) << 17);
+  }
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_DFA_SEMANTICCONTEXT_H

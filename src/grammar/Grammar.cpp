@@ -1,0 +1,306 @@
+#include "grammar/Grammar.h"
+
+#include "regex/RegexAST.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace llstar;
+
+Element Element::block(std::vector<Alternative> Alts, BlockRepeat Repeat,
+                       SourceLocation Loc) {
+  Element E;
+  E.Kind = ElementKind::Block;
+  E.Alts = std::move(Alts);
+  E.Repeat = Repeat;
+  E.Loc = Loc;
+  return E;
+}
+
+int32_t Grammar::addRule(const std::string &RuleName, SourceLocation Loc) {
+  assert(RuleByName.find(RuleName) == RuleByName.end() &&
+         "rule already defined");
+  Rule R;
+  R.Name = RuleName;
+  R.Index = int32_t(Rules.size());
+  R.Loc = Loc;
+  Rules.push_back(std::move(R));
+  RuleByName.emplace(RuleName, int32_t(Rules.size()) - 1);
+  NullableValid = false;
+  return int32_t(Rules.size()) - 1;
+}
+
+int32_t Grammar::findRule(const std::string &RuleName) const {
+  auto It = RuleByName.find(RuleName);
+  return It == RuleByName.end() ? -1 : It->second;
+}
+
+TokenType Grammar::defineLiteral(const std::string &Text) {
+  std::string Quoted = "'" + Text + "'";
+  TokenType Existing = Vocab.lookup(Quoted);
+  if (Existing != TokenInvalid)
+    return Existing;
+  TokenType Type = Vocab.getOrDefine(Quoted, /*Literal=*/true);
+  // Literals get priority 0 so keywords beat identifier rules on ties.
+  Lexer.addRule(Type, regex::RegexNode::string(Text), LexerAction::Emit,
+                /*Priority=*/0);
+  return Type;
+}
+
+//===----------------------------------------------------------------------===//
+// Nullability
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Is \p E nullable given per-rule nullability \p RuleNullable?
+bool elementNullable(const Element &E, const std::vector<char> &RuleNullable);
+
+bool altNullable(const Alternative &A, const std::vector<char> &RuleNullable) {
+  for (const Element &E : A.Elements)
+    if (!elementNullable(E, RuleNullable))
+      return false;
+  return true;
+}
+
+bool elementNullable(const Element &E, const std::vector<char> &RuleNullable) {
+  switch (E.Kind) {
+  case ElementKind::TokenRef:
+  case ElementKind::TokenSet:
+    return false;
+  case ElementKind::SemPred:
+  case ElementKind::SynPred:
+  case ElementKind::Action:
+    return true;
+  case ElementKind::RuleRef:
+    return RuleNullable[size_t(E.RuleIndex)];
+  case ElementKind::Block:
+    if (E.Repeat == BlockRepeat::Optional || E.Repeat == BlockRepeat::Star)
+      return true;
+    for (const Alternative &A : E.Alts)
+      if (altNullable(A, RuleNullable))
+        return true;
+    return false;
+  }
+  return false;
+}
+
+} // namespace
+
+void Grammar::computeNullable() const {
+  NullableCache.assign(Rules.size(), 0);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Rule &R : Rules) {
+      if (NullableCache[size_t(R.Index)])
+        continue;
+      for (const Alternative &A : R.Alts) {
+        if (altNullable(A, NullableCache)) {
+          NullableCache[size_t(R.Index)] = 1;
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+  NullableValid = true;
+}
+
+bool Grammar::ruleIsNullable(int32_t RuleIndex) const {
+  if (!NullableValid)
+    computeNullable();
+  return NullableCache[size_t(RuleIndex)] != 0;
+}
+
+bool Grammar::alternativeIsNullable(const Alternative &A) const {
+  if (!NullableValid)
+    computeNullable();
+  return altNullable(A, NullableCache);
+}
+
+//===----------------------------------------------------------------------===//
+// Validation: left-recursion detection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects the rules that can appear as the left corner of \p A: the rules
+/// reachable at the start of the alternative before any token must match.
+void leftCorners(const Grammar &G, const Alternative &A,
+                 std::vector<int32_t> &Out) {
+  for (const Element &E : A.Elements) {
+    switch (E.Kind) {
+    case ElementKind::TokenRef:
+    case ElementKind::TokenSet:
+      return; // a token blocks further left corners
+    case ElementKind::SemPred:
+    case ElementKind::SynPred:
+    case ElementKind::Action:
+      continue; // invisible
+    case ElementKind::RuleRef:
+      Out.push_back(E.RuleIndex);
+      if (!G.ruleIsNullable(E.RuleIndex))
+        return;
+      continue;
+    case ElementKind::Block: {
+      for (const Alternative &Sub : E.Alts)
+        leftCorners(G, Sub, Out);
+      bool Nullable = E.Repeat == BlockRepeat::Optional ||
+                      E.Repeat == BlockRepeat::Star;
+      if (!Nullable) {
+        for (const Alternative &Sub : E.Alts)
+          if (G.alternativeIsNullable(Sub))
+            Nullable = true;
+      }
+      if (!Nullable)
+        return;
+      continue;
+    }
+    }
+  }
+}
+
+} // namespace
+
+void Grammar::validate(DiagnosticEngine &Diags) const {
+  // Build the left-corner graph and look for cycles (left recursion).
+  std::vector<std::vector<int32_t>> Graph(Rules.size());
+  for (const Rule &R : Rules) {
+    std::vector<int32_t> Corners;
+    for (const Alternative &A : R.Alts)
+      leftCorners(*this, A, Corners);
+    Graph[size_t(R.Index)] = std::move(Corners);
+  }
+
+  // DFS cycle detection with an explicit color array.
+  enum Color : char { White, Gray, Black };
+  std::vector<char> Colors(Rules.size(), White);
+  std::function<bool(int32_t)> Visit = [&](int32_t R) -> bool {
+    Colors[size_t(R)] = Gray;
+    for (int32_t Next : Graph[size_t(R)]) {
+      if (Colors[size_t(Next)] == Gray) {
+        Diags.error(Rules[size_t(Next)].Loc,
+                    "rule '" + Rules[size_t(Next)].Name +
+                        "' is left-recursive; LL(*) requires non-left-"
+                        "recursive grammars (rewrite with "
+                        "llstar::rewriteLeftRecursion or manually)");
+        return true;
+      }
+      if (Colors[size_t(Next)] == White && Visit(Next))
+        return true;
+    }
+    Colors[size_t(R)] = Black;
+    return false;
+  };
+  for (const Rule &R : Rules)
+    if (Colors[size_t(R.Index)] == White && Visit(R.Index))
+      return; // one error is enough; avoid cascades
+
+  for (const Rule &R : Rules)
+    if (R.Alts.empty() && !R.IsSynPredFragment)
+      Diags.error(R.Loc, "rule '" + R.Name + "' has no alternatives");
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void printAlt(const Grammar &G, const Alternative &A, std::string &Out);
+
+void printElement(const Grammar &G, const Element &E, std::string &Out) {
+  switch (E.Kind) {
+  case ElementKind::TokenRef:
+    Out += G.vocabulary().name(E.TokType);
+    break;
+  case ElementKind::TokenSet: {
+    if (E.Negated && E.TokSet.empty()) {
+      Out += ".";
+      break;
+    }
+    if (E.Negated)
+      Out += "~";
+    Out += "(";
+    bool First = true;
+    E.TokSet.forEach([&](int32_t T) {
+      if (!First)
+        Out += "|";
+      First = false;
+      Out += G.vocabulary().name(TokenType(T));
+    });
+    Out += ")";
+    break;
+  }
+  case ElementKind::RuleRef:
+    Out += G.rule(E.RuleIndex).Name;
+    if (E.Precedence > 0)
+      Out += "[" + std::to_string(E.Precedence) + "]";
+    break;
+  case ElementKind::SemPred:
+    if (E.MinPrecedence >= 0)
+      Out += "{prec<=" + std::to_string(E.MinPrecedence) + "}?";
+    else
+      Out += "{" + E.Name + "}?";
+    break;
+  case ElementKind::SynPred:
+    Out += "(" + G.rule(E.SynPredRule).Name + ")=>";
+    break;
+  case ElementKind::Action:
+    Out += E.AlwaysAction ? "{{" + E.Name + "}}" : "{" + E.Name + "}";
+    break;
+  case ElementKind::Block: {
+    Out += "(";
+    for (size_t I = 0; I < E.Alts.size(); ++I) {
+      if (I)
+        Out += " | ";
+      printAlt(G, E.Alts[I], Out);
+    }
+    Out += ")";
+    switch (E.Repeat) {
+    case BlockRepeat::None:
+      break;
+    case BlockRepeat::Optional:
+      Out += "?";
+      break;
+    case BlockRepeat::Star:
+      Out += "*";
+      break;
+    case BlockRepeat::Plus:
+      Out += "+";
+      break;
+    }
+    break;
+  }
+  }
+}
+
+void printAlt(const Grammar &G, const Alternative &A, std::string &Out) {
+  if (A.Elements.empty()) {
+    Out += "/*empty*/";
+    return;
+  }
+  for (size_t I = 0; I < A.Elements.size(); ++I) {
+    if (I)
+      Out += " ";
+    printElement(G, A.Elements[I], Out);
+  }
+}
+
+} // namespace
+
+std::string Grammar::str() const {
+  std::string Out;
+  for (const Rule &R : Rules) {
+    Out += R.Name;
+    Out += " : ";
+    for (size_t I = 0; I < R.Alts.size(); ++I) {
+      if (I)
+        Out += " | ";
+      printAlt(*this, R.Alts[I], Out);
+    }
+    Out += " ;\n";
+  }
+  return Out;
+}

@@ -1,0 +1,253 @@
+//===- grammar/Grammar.h - Predicated grammar object model ------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The predicated-grammar object model of the paper's Section 3: rules with
+/// ordered alternatives built from token references, rule references, EBNF
+/// blocks (`(...)`, `?`, `*`, `+`), semantic predicates `{p}?`, syntactic
+/// predicates `(alpha)=>`, and actions `{a}` / always-actions `{{a}}`.
+///
+/// Grammars are usually produced by \ref GrammarParser from ANTLR-like text
+/// but can also be built programmatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_GRAMMAR_GRAMMAR_H
+#define LLSTAR_GRAMMAR_GRAMMAR_H
+
+#include "lexer/LexerSpec.h"
+#include "lexer/Token.h"
+#include "lexer/Vocabulary.h"
+#include "support/Diagnostics.h"
+#include "support/IntervalSet.h"
+#include "support/SourceLocation.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace llstar {
+
+struct Alternative;
+
+/// Discriminator for \ref Element.
+enum class ElementKind : uint8_t {
+  TokenRef, ///< Matches one token of type TokType (possibly TokenEof).
+  TokenSet, ///< Matches one token from a set: `~X`, `~(A|B)`, or `.`.
+  RuleRef,  ///< Invokes rule RuleIndex.
+  Block,    ///< A subrule: alternatives, with an optional EBNF repeat.
+  SemPred,  ///< `{Name}?` — gate on a registered boolean predicate.
+  SynPred,  ///< `(alpha)=>` — gate on a speculative parse of a fragment rule.
+  Action,   ///< `{Name}` / `{{Name}}` — run a registered mutator.
+};
+
+/// EBNF suffix applied to a Block element.
+enum class BlockRepeat : uint8_t {
+  None,     ///< `( ... )`
+  Optional, ///< `( ... )?`
+  Star,     ///< `( ... )*`
+  Plus,     ///< `( ... )+`
+};
+
+/// One grammar symbol occurrence on a production right-hand side.
+struct Element {
+  ElementKind Kind = ElementKind::TokenRef;
+  SourceLocation Loc;
+
+  /// TokenRef: the token type.
+  TokenType TokType = TokenInvalid;
+
+  /// TokenSet: listed token types; with Negated, the element matches any
+  /// token *not* in the set (never EOF). The wildcard `.` is the negated
+  /// empty set. Complements resolve against the final vocabulary at ATN
+  /// construction time.
+  IntervalSet TokSet;
+  bool Negated = false;
+
+  /// RuleRef: index of the referenced rule within the grammar.
+  int32_t RuleIndex = -1;
+  /// RuleRef: precedence argument for left-recursion-rewritten rules
+  /// (0 = unconstrained).
+  int32_t Precedence = 0;
+
+  /// Block: the nested alternatives and repeat suffix.
+  std::vector<Alternative> Alts;
+  BlockRepeat Repeat = BlockRepeat::None;
+
+  /// SemPred/Action: name bound against the runtime's semantic environment.
+  /// SemPred with MinPrecedence >= 0 is a precedence predicate `{P <= p}?`
+  /// synthesized by the left-recursion rewrite (Name is then empty).
+  std::string Name;
+  /// Action: `{{...}}` actions also run while speculating (Section 4.3).
+  bool AlwaysAction = false;
+  /// SemPred: precedence bound, or -1 for ordinary predicates.
+  int32_t MinPrecedence = -1;
+
+  /// SynPred: index of the hidden fragment rule to speculate on.
+  int32_t SynPredRule = -1;
+
+  static Element tokenRef(TokenType Type, SourceLocation Loc = {}) {
+    Element E;
+    E.Kind = ElementKind::TokenRef;
+    E.TokType = Type;
+    E.Loc = Loc;
+    return E;
+  }
+  static Element ruleRef(int32_t RuleIndex, SourceLocation Loc = {}) {
+    Element E;
+    E.Kind = ElementKind::RuleRef;
+    E.RuleIndex = RuleIndex;
+    E.Loc = Loc;
+    return E;
+  }
+  static Element tokenSet(IntervalSet Set, bool Negated,
+                          SourceLocation Loc = {}) {
+    Element E;
+    E.Kind = ElementKind::TokenSet;
+    E.TokSet = std::move(Set);
+    E.Negated = Negated;
+    E.Loc = Loc;
+    return E;
+  }
+  /// The wildcard `.`: any single token except EOF.
+  static Element wildcard(SourceLocation Loc = {}) {
+    return tokenSet(IntervalSet(), /*Negated=*/true, Loc);
+  }
+  static Element block(std::vector<Alternative> Alts,
+                       BlockRepeat Repeat = BlockRepeat::None,
+                       SourceLocation Loc = {});
+  static Element semPred(std::string Name, SourceLocation Loc = {}) {
+    Element E;
+    E.Kind = ElementKind::SemPred;
+    E.Name = std::move(Name);
+    E.Loc = Loc;
+    return E;
+  }
+  static Element precPred(int32_t MinPrecedence, SourceLocation Loc = {}) {
+    Element E;
+    E.Kind = ElementKind::SemPred;
+    E.MinPrecedence = MinPrecedence;
+    E.Loc = Loc;
+    return E;
+  }
+  static Element action(std::string Name, bool Always = false,
+                        SourceLocation Loc = {}) {
+    Element E;
+    E.Kind = ElementKind::Action;
+    E.Name = std::move(Name);
+    E.AlwaysAction = Always;
+    E.Loc = Loc;
+    return E;
+  }
+  static Element synPred(int32_t FragmentRule, SourceLocation Loc = {}) {
+    Element E;
+    E.Kind = ElementKind::SynPred;
+    E.SynPredRule = FragmentRule;
+    E.Loc = Loc;
+    return E;
+  }
+};
+
+/// One production alternative: a sequence of elements.
+struct Alternative {
+  std::vector<Element> Elements;
+  SourceLocation Loc;
+
+  Alternative() = default;
+  explicit Alternative(std::vector<Element> Elements, SourceLocation Loc = {})
+      : Elements(std::move(Elements)), Loc(Loc) {}
+};
+
+/// One grammar rule (nonterminal) with its ordered alternatives.
+struct Rule {
+  std::string Name;
+  int32_t Index = -1;
+  std::vector<Alternative> Alts;
+  SourceLocation Loc;
+  /// Hidden fragment created for a `(alpha)=>` syntactic predicate.
+  bool IsSynPredFragment = false;
+  /// Rewritten by the left-recursion eliminator; rule takes a precedence
+  /// argument at runtime.
+  bool IsPrecedenceRule = false;
+};
+
+/// Grammar-level options (the `options { ... }` block).
+struct GrammarOptions {
+  /// PEG mode: auto-insert syntactic predicates into every decision that
+  /// analysis cannot make deterministic (paper Section 2).
+  bool Backtrack = false;
+  /// Memoize speculative sub-parses (packrat memoization, Section 6.2).
+  bool Memoize = true;
+  /// The internal recursion-depth constant m (Sections 2, 5.3).
+  int32_t MaxRecursionDepth = 1;
+  /// Land-mine guard: abort DFA construction past this many states (§6.1).
+  int32_t MaxDfaStates = 2000;
+};
+
+/// A whole predicated grammar: rules + token vocabulary + lexer definition.
+class Grammar {
+public:
+  std::string Name;
+  GrammarOptions Options;
+
+  /// Adds an empty rule; returns its index.
+  int32_t addRule(const std::string &RuleName, SourceLocation Loc = {});
+
+  /// Returns the rule index for \p RuleName or -1.
+  int32_t findRule(const std::string &RuleName) const;
+
+  Rule &rule(int32_t Index) { return Rules[size_t(Index)]; }
+  const Rule &rule(int32_t Index) const { return Rules[size_t(Index)]; }
+  size_t numRules() const { return Rules.size(); }
+  const std::vector<Rule> &rules() const { return Rules; }
+
+  Vocabulary &vocabulary() { return Vocab; }
+  const Vocabulary &vocabulary() const { return Vocab; }
+
+  LexerSpec &lexerSpec() { return Lexer; }
+  const LexerSpec &lexerSpec() const { return Lexer; }
+
+  /// Index of the start rule (the first parser rule by default).
+  int32_t startRule() const { return StartRule; }
+  void setStartRule(int32_t Index) { StartRule = Index; }
+
+  /// Convenience: defines (or finds) the token type for quoted literal
+  /// \p Text and ensures a keyword lexer rule exists for it.
+  TokenType defineLiteral(const std::string &Text);
+
+  /// Post-parse validation: undefined rules were already rejected by the
+  /// parser; this checks for direct/indirect left recursion (illegal for
+  /// LL(*), Section 1.1) and for unreachable synpred fragments misuse.
+  /// Reports problems to \p Diags.
+  void validate(DiagnosticEngine &Diags) const;
+
+  /// True if \p A can derive the empty string (predicates/actions are
+  /// invisible; blocks with `?`/`*` are nullable).
+  bool alternativeIsNullable(const Alternative &A) const;
+  bool ruleIsNullable(int32_t RuleIndex) const;
+
+  /// Human-readable dump of all rules, for tests and debugging.
+  std::string str() const;
+
+private:
+  void computeNullable() const;
+
+  std::vector<Rule> Rules;
+  std::unordered_map<std::string, int32_t> RuleByName;
+  Vocabulary Vocab;
+  LexerSpec Lexer;
+  int32_t StartRule = 0;
+
+  // Lazy nullability cache (computed on first query, invalidated never:
+  // queries are expected only after the grammar is fully built).
+  mutable std::vector<char> NullableCache;
+  mutable bool NullableValid = false;
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_GRAMMAR_GRAMMAR_H

@@ -1,0 +1,304 @@
+#include "grammar/GrammarLexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace llstar;
+
+namespace {
+
+class MetaLexer {
+public:
+  MetaLexer(std::string_view Text, DiagnosticEngine &Diags)
+      : Text(Text), Diags(Diags) {}
+
+  std::vector<MetaToken> run() {
+    std::vector<MetaToken> Result;
+    while (true) {
+      skipTrivia();
+      MetaToken T = next();
+      bool IsEof = T.Kind == MetaKind::Eof;
+      Result.push_back(std::move(T));
+      if (IsEof)
+        break;
+    }
+    return Result;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+  }
+  char take() {
+    char C = Text[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 0;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  SourceLocation loc() const { return SourceLocation(Line, Column); }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        take();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          take();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLocation Start = loc();
+        take();
+        take();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+          take();
+        if (atEnd()) {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        take();
+        take();
+        continue;
+      }
+      return;
+    }
+  }
+
+  MetaToken make(MetaKind Kind, SourceLocation Loc, std::string TokText = "") {
+    MetaToken T;
+    T.Kind = Kind;
+    T.Loc = Loc;
+    T.Text = std::move(TokText);
+    return T;
+  }
+
+  MetaToken next() {
+    SourceLocation Loc = loc();
+    if (atEnd())
+      return make(MetaKind::Eof, Loc);
+
+    char C = take();
+    switch (C) {
+    case ':':
+      return make(MetaKind::Colon, Loc);
+    case ';':
+      return make(MetaKind::Semi, Loc);
+    case '|':
+      return make(MetaKind::Pipe, Loc);
+    case '(':
+      return make(MetaKind::LParen, Loc);
+    case ')':
+      return make(MetaKind::RParen, Loc);
+    case '?':
+      return make(MetaKind::Question, Loc);
+    case '*':
+      return make(MetaKind::Star, Loc);
+    case '+':
+      return make(MetaKind::Plus, Loc);
+    case '~':
+      return make(MetaKind::Tilde, Loc);
+    case '.':
+      if (peek() == '.') {
+        take();
+        return make(MetaKind::Range, Loc);
+      }
+      return make(MetaKind::Dot, Loc);
+    case '-':
+      if (peek() == '>') {
+        take();
+        return make(MetaKind::Arrow, Loc);
+      }
+      Diags.error(Loc, "stray '-' (did you mean '->'?)");
+      return next();
+    case '=':
+      if (peek() == '>') {
+        take();
+        return make(MetaKind::DArrow, Loc);
+      }
+      Diags.error(Loc, "stray '=' (did you mean '=>'?)");
+      return next();
+    case '\'':
+      return lexString(Loc);
+    case '[':
+      return lexCharSet(Loc);
+    case '{':
+      return lexAction(Loc);
+    default:
+      break;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Name(1, C);
+      while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+        Name += take();
+      return make(MetaKind::Ident, Loc, std::move(Name));
+    }
+
+    Diags.error(Loc, "unexpected character '" + escapeChar(C) + "'");
+    return next();
+  }
+
+  MetaToken lexString(SourceLocation Loc) {
+    std::string Value;
+    while (true) {
+      if (atEnd() || peek() == '\n') {
+        Diags.error(Loc, "unterminated string literal");
+        break;
+      }
+      char C = take();
+      if (C == '\'')
+        break;
+      if (C == '\\') {
+        if (atEnd()) {
+          Diags.error(Loc, "unterminated string literal");
+          break;
+        }
+        char E = take();
+        switch (E) {
+        case 'n':
+          Value += '\n';
+          break;
+        case 't':
+          Value += '\t';
+          break;
+        case 'r':
+          Value += '\r';
+          break;
+        default:
+          Value += E; // \\, \', \" and friends stand for themselves
+          break;
+        }
+        continue;
+      }
+      Value += C;
+    }
+    if (Value.empty())
+      Diags.error(Loc, "empty string literal");
+    return make(MetaKind::StrLit, Loc, std::move(Value));
+  }
+
+  MetaToken lexCharSet(SourceLocation Loc) {
+    // Capture the raw inner text; escapes stay intact so the regex substrate
+    // can interpret them uniformly.
+    std::string Raw;
+    while (true) {
+      if (atEnd() || peek() == '\n') {
+        Diags.error(Loc, "unterminated character set");
+        break;
+      }
+      char C = take();
+      if (C == ']')
+        break;
+      Raw += C;
+      if (C == '\\' && !atEnd())
+        Raw += take();
+    }
+    return make(MetaKind::CharSet, Loc, std::move(Raw));
+  }
+
+  MetaToken lexAction(SourceLocation Loc) {
+    bool Double = false;
+    if (peek() == '{') {
+      take();
+      Double = true;
+    }
+    std::string Body;
+    int Depth = 1;
+    while (true) {
+      if (atEnd()) {
+        Diags.error(Loc, "unterminated action");
+        break;
+      }
+      char C = take();
+      if (C == '{') {
+        ++Depth;
+      } else if (C == '}') {
+        --Depth;
+        if (Depth == 0) {
+          if (Double) {
+            if (peek() == '}')
+              take();
+            else
+              Diags.error(Loc, "'{{' action not closed by '}}'");
+          }
+          break;
+        }
+      }
+      Body += C;
+    }
+    // Trim surrounding whitespace; action text is a symbolic name bound at
+    // runtime, so layout is irrelevant.
+    size_t B = Body.find_first_not_of(" \t\r\n");
+    size_t E = Body.find_last_not_of(" \t\r\n");
+    std::string Trimmed =
+        B == std::string::npos ? std::string() : Body.substr(B, E - B + 1);
+    MetaToken T = make(MetaKind::Action, Loc, std::move(Trimmed));
+    T.DoubleBrace = Double;
+    return T;
+  }
+
+  std::string_view Text;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1, Column = 0;
+};
+
+} // namespace
+
+std::vector<MetaToken> llstar::lexGrammarText(std::string_view Text,
+                                              DiagnosticEngine &Diags) {
+  return MetaLexer(Text, Diags).run();
+}
+
+const char *llstar::metaKindName(MetaKind Kind) {
+  switch (Kind) {
+  case MetaKind::Ident:
+    return "identifier";
+  case MetaKind::StrLit:
+    return "string literal";
+  case MetaKind::CharSet:
+    return "character set";
+  case MetaKind::Action:
+    return "action";
+  case MetaKind::Colon:
+    return "':'";
+  case MetaKind::Semi:
+    return "';'";
+  case MetaKind::Pipe:
+    return "'|'";
+  case MetaKind::LParen:
+    return "'('";
+  case MetaKind::RParen:
+    return "')'";
+  case MetaKind::Question:
+    return "'?'";
+  case MetaKind::Star:
+    return "'*'";
+  case MetaKind::Plus:
+    return "'+'";
+  case MetaKind::Tilde:
+    return "'~'";
+  case MetaKind::Dot:
+    return "'.'";
+  case MetaKind::Range:
+    return "'..'";
+  case MetaKind::Arrow:
+    return "'->'";
+  case MetaKind::DArrow:
+    return "'=>'";
+  case MetaKind::Eof:
+    return "end of file";
+  }
+  return "?";
+}

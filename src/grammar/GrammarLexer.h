@@ -1,0 +1,67 @@
+//===- grammar/GrammarLexer.h - Meta-language tokenizer ---------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written tokenizer for the ANTLR-like grammar meta-language read by
+/// \ref GrammarParser. (The DFA lexer in src/lexer tokenizes the *target*
+/// language; this one tokenizes grammar files themselves.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_GRAMMAR_GRAMMARLEXER_H
+#define LLSTAR_GRAMMAR_GRAMMARLEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llstar {
+
+/// Token kinds of the grammar meta-language.
+enum class MetaKind : uint8_t {
+  Ident,    ///< rule / token / keyword identifier
+  StrLit,   ///< 'text' (Text holds the unescaped value)
+  CharSet,  ///< [a-z...] (Text holds the raw inner text, escapes intact)
+  Action,   ///< { ... } (Text holds the trimmed inner text)
+  Colon,    ///< :
+  Semi,     ///< ;
+  Pipe,     ///< |
+  LParen,   ///< (
+  RParen,   ///< )
+  Question, ///< ?
+  Star,     ///< *
+  Plus,     ///< +
+  Tilde,    ///< ~
+  Dot,      ///< .
+  Range,    ///< ..
+  Arrow,    ///< ->
+  DArrow,   ///< =>
+  Eof,
+};
+
+/// One meta-language token.
+struct MetaToken {
+  MetaKind Kind = MetaKind::Eof;
+  std::string Text;
+  SourceLocation Loc;
+  /// Action only: the action was written `{{ ... }}` (always-action).
+  bool DoubleBrace = false;
+};
+
+/// Tokenizes grammar-file text. Returns the token vector ending in Eof;
+/// problems go to \p Diags (lexing continues past errors).
+std::vector<MetaToken> lexGrammarText(std::string_view Text,
+                                      DiagnosticEngine &Diags);
+
+/// Printable name of a meta-token kind, for error messages.
+const char *metaKindName(MetaKind Kind);
+
+} // namespace llstar
+
+#endif // LLSTAR_GRAMMAR_GRAMMARLEXER_H

@@ -1,0 +1,58 @@
+//===- grammar/GrammarParser.h - Meta-language parser -----------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the ANTLR-like grammar meta-language into a \ref Grammar.
+///
+/// Supported input (yacc-like syntax with EBNF, paper Section 2):
+/// \code
+///   grammar T;
+///   options { backtrack=true; memoize=true; m=1; }
+///   tokens { EXTERNAL_TOKEN; }
+///
+///   s    : ID | ID '=' expr | 'unsigned'* 'int' ID | 'unsigned'* ID ID ;
+///   expr : INT | '-' expr ;
+///   t    : ('-'* ID)=> '-'* ID | expr ;        // syntactic predicate
+///   decl : {isTypeName}? ID ID ';' ;           // semantic predicate
+///   blk  : '{' {{pushScope}} stat* '}' ;       // always-action
+///
+///   ID   : [a-zA-Z_] [a-zA-Z0-9_]* ;
+///   INT  : [0-9]+ ;
+///   WS   : [ \t\r\n]+ -> skip ;
+///   fragment HEX : [0-9a-fA-F] ;
+/// \endcode
+///
+/// Parser rules start lowercase, lexer rules uppercase. Quoted literals in
+/// parser rules implicitly define keyword tokens that win ties against
+/// longer-running lexer rules. Semantic predicates and actions are symbolic
+/// names bound to callbacks at parse time (see runtime/SemanticEnv.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_GRAMMAR_GRAMMARPARSER_H
+#define LLSTAR_GRAMMAR_GRAMMARPARSER_H
+
+#include "grammar/Grammar.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string_view>
+
+namespace llstar {
+
+/// Parses grammar text. Returns null if any error was reported to \p Diags.
+///
+/// With \p Validate (the default) the grammar is also checked for left
+/// recursion and empty rules. \ref AnalyzedGrammar::analyze passes false
+/// because it first rewrites immediately left-recursive rules
+/// (\ref rewriteLeftRecursion) and validates afterwards.
+std::unique_ptr<Grammar> parseGrammarText(std::string_view Text,
+                                          DiagnosticEngine &Diags,
+                                          bool Validate = true);
+
+} // namespace llstar
+
+#endif // LLSTAR_GRAMMAR_GRAMMARPARSER_H

@@ -1,0 +1,173 @@
+#include "leftrec/LeftRecursionRewriter.h"
+
+#include <cassert>
+
+using namespace llstar;
+
+namespace {
+
+/// How one original alternative participates in the rewrite.
+enum class AltShape {
+  Primary, ///< no edge self-reference: loop head as-is
+  Prefix,  ///< ends with a self-reference: loop head, operand constrained
+  Binary,  ///< starts and ends with self-references: loop body
+  Suffix,  ///< starts with a self-reference only: loop body
+};
+
+bool isSelfRef(const Element &E, int32_t Rule) {
+  return E.Kind == ElementKind::RuleRef && E.RuleIndex == Rule;
+}
+
+/// Strips a leading `{assoc=right}` marker; returns true if present.
+bool takeRightAssocMarker(Alternative &A) {
+  if (A.Elements.empty())
+    return false;
+  const Element &E = A.Elements.front();
+  if (E.Kind != ElementKind::Action || E.Name != "assoc=right")
+    return false;
+  A.Elements.erase(A.Elements.begin());
+  return true;
+}
+
+/// Replaces self-references embedded anywhere in \p E (inside blocks, or
+/// at non-operand positions) with unconstrained (precedence 0) calls.
+void clearEmbeddedPrecedence(Element &E, int32_t Rule) {
+  if (isSelfRef(E, Rule))
+    E.Precedence = 0;
+  for (Alternative &A : E.Alts)
+    for (Element &Sub : A.Elements)
+      clearEmbeddedPrecedence(Sub, Rule);
+}
+
+class Rewriter {
+public:
+  Rewriter(Grammar &G, DiagnosticEngine &Diags) : G(G), Diags(Diags) {}
+
+  int32_t run() {
+    int32_t Rewritten = 0;
+    for (size_t R = 0; R < G.numRules(); ++R)
+      if (rewriteRule(int32_t(R)))
+        ++Rewritten;
+    return Rewritten;
+  }
+
+private:
+  bool rewriteRule(int32_t RuleIndex) {
+    Rule &R = G.rule(RuleIndex);
+
+    bool AnyLeftRec = false;
+    for (const Alternative &A : R.Alts)
+      if (!A.Elements.empty() && isSelfRef(A.Elements.front(), RuleIndex))
+        AnyLeftRec = true;
+    if (!AnyLeftRec)
+      return false;
+
+    int32_t N = int32_t(R.Alts.size());
+    std::vector<Alternative> Head; // primary + prefix alternatives
+    std::vector<Alternative> Loop; // binary + suffix alternatives
+
+    for (int32_t I = 0; I < N; ++I) {
+      Alternative A = R.Alts[size_t(I)]; // copy; we will edit
+      bool RightAssoc = takeRightAssocMarker(A);
+      int32_t Level = N - I; // alternative order encodes precedence
+
+      bool StartsSelf =
+          !A.Elements.empty() && isSelfRef(A.Elements.front(), RuleIndex);
+      bool EndsSelf = A.Elements.size() >= 2 &&
+                      isSelfRef(A.Elements.back(), RuleIndex);
+      AltShape Shape = StartsSelf
+                           ? (EndsSelf ? AltShape::Binary : AltShape::Suffix)
+                           : (EndsSelf ? AltShape::Prefix : AltShape::Primary);
+
+      if (StartsSelf && A.Elements.size() == 1) {
+        Diags.error(A.Loc, "rule '" + R.Name +
+                               "' has a bare self-reference alternative");
+        return false;
+      }
+      if (RightAssoc && Shape != AltShape::Binary)
+        Diags.warning(A.Loc, "{assoc=right} only applies to binary "
+                             "alternatives; ignored");
+
+      switch (Shape) {
+      case AltShape::Primary: {
+        for (Element &E : A.Elements)
+          clearEmbeddedPrecedence(E, RuleIndex);
+        Head.push_back(std::move(A));
+        break;
+      }
+      case AltShape::Prefix: {
+        // op... e  ->  op... e[Level]  (the operand binds at least as
+        // tightly as this operator).
+        for (size_t J = 0; J + 1 < A.Elements.size(); ++J)
+          clearEmbeddedPrecedence(A.Elements[J], RuleIndex);
+        A.Elements.back().Precedence = Level;
+        Head.push_back(std::move(A));
+        break;
+      }
+      case AltShape::Binary: {
+        // e op... e  ->  {p<=Level-1}? op... e[Level]   (left assoc)
+        //                {p<=Level-1}? op... e[Level-1] (right assoc)
+        Alternative B;
+        B.Loc = A.Loc;
+        B.Elements.push_back(Element::precPred(Level - 1, A.Loc));
+        for (size_t J = 1; J + 1 < A.Elements.size(); ++J) {
+          clearEmbeddedPrecedence(A.Elements[J], RuleIndex);
+          B.Elements.push_back(std::move(A.Elements[J]));
+        }
+        Element Operand = std::move(A.Elements.back());
+        Operand.Precedence = RightAssoc ? Level - 1 : Level;
+        B.Elements.push_back(std::move(Operand));
+        Loop.push_back(std::move(B));
+        break;
+      }
+      case AltShape::Suffix: {
+        // e op...  ->  {p<=Level-1}? op...
+        Alternative S;
+        S.Loc = A.Loc;
+        S.Elements.push_back(Element::precPred(Level - 1, A.Loc));
+        for (size_t J = 1; J < A.Elements.size(); ++J) {
+          clearEmbeddedPrecedence(A.Elements[J], RuleIndex);
+          S.Elements.push_back(std::move(A.Elements[J]));
+        }
+        Loop.push_back(std::move(S));
+        break;
+      }
+      }
+    }
+
+    if (Head.empty()) {
+      Diags.error(R.Loc, "rule '" + R.Name +
+                             "' has no non-left-recursive alternative");
+      return false;
+    }
+    assert(!Loop.empty() && "left-recursive rule must contribute loop alts");
+
+    // New body: ( head-alts ) ( loop-alts )*
+    Alternative Body;
+    Body.Loc = R.Loc;
+    if (Head.size() == 1 && Head[0].Elements.size() >= 1) {
+      // Single head alternative: splice it directly.
+      for (Element &E : Head[0].Elements)
+        Body.Elements.push_back(std::move(E));
+    } else {
+      Body.Elements.push_back(
+          Element::block(std::move(Head), BlockRepeat::None, R.Loc));
+    }
+    Body.Elements.push_back(
+        Element::block(std::move(Loop), BlockRepeat::Star, R.Loc));
+
+    R.Alts.clear();
+    R.Alts.push_back(std::move(Body));
+    R.IsPrecedenceRule = true;
+    return true;
+  }
+
+  Grammar &G;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace
+
+int32_t llstar::rewriteLeftRecursion(Grammar &G, DiagnosticEngine &Diags) {
+  return Rewriter(G, Diags).run();
+}

@@ -1,0 +1,52 @@
+//===- leftrec/LeftRecursionRewriter.h - Precedence rewrite -----*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 1.1 extension: rules with immediate left recursion
+/// (self-referential rules) are rewritten into an equivalent predicated
+/// loop that compares operator precedences (following Hansen's compact
+/// recursive-descent expression parsing). The paper's example
+///
+/// \code
+///   e : e '*' e | e '+' e | INT ;
+/// \endcode
+///
+/// becomes (conceptually)
+///
+/// \code
+///   e[int p] : INT ( {p<=2}? '*' e[3] | {p<=1}? '+' e[2] )* ;
+/// \endcode
+///
+/// Alternative order encodes precedence, highest first. Binary and suffix
+/// alternatives move into the loop gated by precedence predicates; primary
+/// and prefix alternatives form the loop head. Binary operators are
+/// left-associative by default; prefix an alternative with the action
+/// marker `{assoc=right}` to make it right-associative.
+///
+/// The rewrite runs automatically in \ref AnalyzedGrammar::analyze before
+/// validation, so grammar authors can write left-recursive expression
+/// rules directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_LEFTREC_LEFTRECURSIONREWRITER_H
+#define LLSTAR_LEFTREC_LEFTRECURSIONREWRITER_H
+
+#include "grammar/Grammar.h"
+#include "support/Diagnostics.h"
+
+namespace llstar {
+
+/// Rewrites every immediately left-recursive rule of \p G in place.
+/// Returns the number of rules rewritten. Unsupported shapes (a bare
+/// `a : a ;` self-loop, hidden left recursion behind a nullable prefix)
+/// produce errors on \p Diags; indirect left recursion is left for
+/// \ref Grammar::validate to reject.
+int32_t rewriteLeftRecursion(Grammar &G, DiagnosticEngine &Diags);
+
+} // namespace llstar
+
+#endif // LLSTAR_LEFTREC_LEFTRECURSIONREWRITER_H

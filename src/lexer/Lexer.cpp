@@ -1,0 +1,75 @@
+#include "lexer/Lexer.h"
+
+#include "support/StringUtils.h"
+
+using namespace llstar;
+
+Lexer::Lexer(const LexerSpec &Spec, DiagnosticEngine &Diags) {
+  regex::Nfa N;
+  for (size_t I = 0; I < Spec.Rules.size(); ++I) {
+    const LexerRule &Rule = Spec.Rules[I];
+    if (!Rule.Pattern) {
+      Diags.error("lexer rule for token type " + std::to_string(Rule.Type) +
+                  " has no pattern");
+      continue;
+    }
+    if (Rule.Pattern->matchesEmpty())
+      Diags.error("lexer rule for token type " + std::to_string(Rule.Type) +
+                  " can match the empty string");
+    N.addPattern(*Rule.Pattern, int32_t(I), Rule.Priority);
+    Actions.push_back(Rule.Action);
+    Types.push_back(Rule.Type);
+  }
+  Dfa = regex::CharDfa::fromNfa(N).minimized();
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view Input,
+                                   DiagnosticEngine &Diags,
+                                   std::vector<Token> *HiddenOut) const {
+  std::vector<Token> Result;
+  size_t Pos = 0;
+  uint32_t Line = 1, Column = 0;
+
+  auto Advance = [&](size_t Len) {
+    for (size_t I = 0; I < Len; ++I) {
+      if (Input[Pos + I] == '\n') {
+        ++Line;
+        Column = 0;
+      } else {
+        ++Column;
+      }
+    }
+    Pos += Len;
+  };
+
+  while (Pos < Input.size()) {
+    int32_t Tag = -1;
+    int64_t Len = Dfa.matchLongestPrefix(Input.substr(Pos), Tag);
+    if (Len <= 0) {
+      Diags.error(SourceLocation(Line, Column),
+                  "unrecognized character '" + escapeChar(Input[Pos]) + "'");
+      Advance(1);
+      continue;
+    }
+    LexerAction Action = Actions[size_t(Tag)];
+    if (Action == LexerAction::Emit) {
+      Token T(Types[size_t(Tag)], std::string(Input.substr(Pos, size_t(Len))),
+              SourceLocation(Line, Column));
+      Result.push_back(std::move(T));
+    } else if (Action == LexerAction::Hidden && HiddenOut) {
+      Token T(Types[size_t(Tag)], std::string(Input.substr(Pos, size_t(Len))),
+              SourceLocation(Line, Column));
+      T.Channel = TokenChannel::Hidden;
+      HiddenOut->push_back(std::move(T));
+    }
+    // Hidden and Skip tokens are both invisible to the parsers; hidden
+    // ones are preserved in HiddenOut for trivia-aware tooling.
+    Advance(size_t(Len));
+  }
+
+  Token Eof(TokenEof, "<EOF>", SourceLocation(Line, Column));
+  Result.push_back(std::move(Eof));
+  for (size_t I = 0; I < Result.size(); ++I)
+    Result[I].Index = int64_t(I);
+  return Result;
+}

@@ -1,0 +1,54 @@
+//===- lexer/LexerSpec.h - Declarative tokenizer definition -----*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A declarative lexer definition: one regex per token type, plus channel
+/// commands. The grammar front end fills a LexerSpec from the lexer rules of
+/// a grammar file; \ref Lexer compiles it to a DFA tokenizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_LEXER_LEXERSPEC_H
+#define LLSTAR_LEXER_LEXERSPEC_H
+
+#include "lexer/Token.h"
+#include "regex/RegexAST.h"
+
+#include <vector>
+
+namespace llstar {
+
+/// What the lexer does with a matched token.
+enum class LexerAction : uint8_t {
+  Emit,   ///< Emit on the default channel.
+  Hidden, ///< Emit on the hidden channel.
+  Skip,   ///< Discard entirely.
+};
+
+/// One token-producing rule.
+struct LexerRule {
+  TokenType Type = TokenInvalid;
+  regex::RegexNode::Ptr Pattern;
+  LexerAction Action = LexerAction::Emit;
+  /// Tie-break priority on equal match length; lower wins. The grammar
+  /// front end gives implicit literals ('if', '+') lower numbers than
+  /// named rules so keywords beat identifiers.
+  int32_t Priority = 0;
+};
+
+/// The full tokenizer definition for one grammar.
+struct LexerSpec {
+  std::vector<LexerRule> Rules;
+
+  void addRule(TokenType Type, regex::RegexNode::Ptr Pattern,
+               LexerAction Action = LexerAction::Emit, int32_t Priority = 0) {
+    Rules.push_back({Type, std::move(Pattern), Action, Priority});
+  }
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_LEXER_LEXERSPEC_H

@@ -1,0 +1,57 @@
+//===- lexer/Token.h - Tokens and token type constants ----------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The token record produced by the lexer and consumed by parsers, plus the
+/// distinguished token-type constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_LEXER_TOKEN_H
+#define LLSTAR_LEXER_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+
+namespace llstar {
+
+/// Token types are small integers assigned by the grammar's vocabulary.
+using TokenType = int32_t;
+
+/// End of input. Every token stream ends with exactly one EOF token.
+constexpr TokenType TokenEof = -1;
+/// Never assigned to a real token; the "no type" sentinel.
+constexpr TokenType TokenInvalid = 0;
+/// First token type available for user-defined tokens.
+constexpr TokenType TokenMinUserType = 1;
+
+/// Which stream a token is visible on.
+enum class TokenChannel : uint8_t {
+  Default, ///< Visible to the parser.
+  Hidden,  ///< Kept in the stream but skipped by parsers (whitespace etc.).
+};
+
+/// One lexed token.
+struct Token {
+  TokenType Type = TokenInvalid;
+  std::string Text;
+  SourceLocation Loc;
+  /// Index within the (channel-filtered) token stream; set by TokenStream.
+  int64_t Index = -1;
+  TokenChannel Channel = TokenChannel::Default;
+
+  Token() = default;
+  Token(TokenType Type, std::string Text, SourceLocation Loc)
+      : Type(Type), Text(std::move(Text)), Loc(Loc) {}
+
+  bool isEof() const { return Type == TokenEof; }
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_LEXER_TOKEN_H

@@ -1,0 +1,77 @@
+//===- lexer/TokenStream.h - Buffered token stream --------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A buffered token stream with arbitrary lookahead and mark/rewind, the
+/// input interface of LL(*) parsers. Lookahead DFAs scan ahead without
+/// consuming; syntactic predicates mark, speculate, and rewind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_LEXER_TOKENSTREAM_H
+#define LLSTAR_LEXER_TOKENSTREAM_H
+
+#include "lexer/Token.h"
+
+#include <cassert>
+#include <vector>
+
+namespace llstar {
+
+/// A random-access view over a fully lexed token vector.
+///
+/// The last token must be EOF; LA/LT calls past the end keep returning it.
+class TokenStream {
+public:
+  explicit TokenStream(std::vector<Token> Tokens)
+      : Tokens(std::move(Tokens)) {
+    assert(!this->Tokens.empty() && this->Tokens.back().isEof() &&
+           "token stream must end with EOF");
+  }
+
+  /// Current position (index of the next token to consume).
+  int64_t index() const { return Pos; }
+
+  /// Repositions the stream; used to rewind after speculation.
+  void seek(int64_t Index) {
+    assert(Index >= 0 && size_t(Index) < Tokens.size() && "seek out of range");
+    Pos = Index;
+  }
+
+  /// Token \p I ahead of the current position; LT(1) is the next token.
+  const Token &LT(int64_t I) const { return at(Pos + I - 1); }
+
+  /// Type of the token \p I ahead.
+  TokenType LA(int64_t I) const { return LT(I).Type; }
+
+  /// Token at absolute index \p Index (clamped to EOF).
+  const Token &at(int64_t Index) const {
+    if (Index < 0)
+      Index = 0;
+    if (size_t(Index) >= Tokens.size())
+      Index = int64_t(Tokens.size()) - 1;
+    return Tokens[size_t(Index)];
+  }
+
+  /// Consumes one token (never moves past EOF).
+  void consume() {
+    if (size_t(Pos) + 1 < Tokens.size())
+      ++Pos;
+  }
+
+  /// Total number of tokens including EOF.
+  int64_t size() const { return int64_t(Tokens.size()); }
+
+  const std::vector<Token> &tokens() const { return Tokens; }
+
+private:
+  std::vector<Token> Tokens;
+  int64_t Pos = 0;
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_LEXER_TOKENSTREAM_H

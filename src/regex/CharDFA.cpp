@@ -1,0 +1,212 @@
+#include "regex/CharDFA.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+
+using namespace llstar;
+using namespace llstar::regex;
+
+namespace {
+
+/// Hash for a sorted NFA state set.
+struct SetHash {
+  size_t operator()(const std::vector<uint32_t> &Set) const {
+    size_t H = 0xcbf29ce484222325ull;
+    for (uint32_t S : Set) {
+      H ^= S;
+      H *= 0x100000001b3ull;
+    }
+    return H;
+  }
+};
+
+} // namespace
+
+CharDfa CharDfa::fromNfa(const Nfa &N) {
+  const std::vector<NfaState> &NStates = N.states();
+
+  auto Closure = [&](std::vector<uint32_t> &Set) {
+    std::vector<uint32_t> Work(Set);
+    std::vector<bool> Seen(NStates.size(), false);
+    for (uint32_t S : Set)
+      Seen[S] = true;
+    while (!Work.empty()) {
+      uint32_t S = Work.back();
+      Work.pop_back();
+      for (uint32_t T : NStates[S].EpsilonTargets) {
+        if (Seen[T])
+          continue;
+        Seen[T] = true;
+        Set.push_back(T);
+        Work.push_back(T);
+      }
+    }
+    std::sort(Set.begin(), Set.end());
+  };
+
+  auto AcceptOf = [&](const std::vector<uint32_t> &Set) -> int32_t {
+    int32_t BestTag = -1, BestPriority = 0;
+    for (uint32_t S : Set) {
+      const NfaState &State = NStates[S];
+      if (State.AcceptTag < 0)
+        continue;
+      if (BestTag < 0 || State.AcceptPriority < BestPriority ||
+          (State.AcceptPriority == BestPriority && State.AcceptTag < BestTag)) {
+        BestTag = State.AcceptTag;
+        BestPriority = State.AcceptPriority;
+      }
+    }
+    return BestTag;
+  };
+
+  CharDfa Result;
+  std::unordered_map<std::vector<uint32_t>, int32_t, SetHash> Known;
+  std::vector<std::vector<uint32_t>> Work;
+
+  std::vector<uint32_t> StartSet{N.startState()};
+  Closure(StartSet);
+  Known.emplace(StartSet, 0);
+  Result.States.emplace_back();
+  Result.States[0].AcceptTag = AcceptOf(StartSet);
+  Work.push_back(std::move(StartSet));
+
+  while (!Work.empty()) {
+    std::vector<uint32_t> Current = std::move(Work.back());
+    Work.pop_back();
+    int32_t CurrentId = Known.at(Current);
+
+    // Compute, per input byte, the successor NFA state set. Walking the
+    // interval edges once per byte would be O(256 * edges); instead expand
+    // each interval edge into the per-byte target buckets.
+    std::array<std::vector<uint32_t>, 256> Targets;
+    for (uint32_t S : Current) {
+      for (const NfaState::Edge &E : NStates[S].Edges) {
+        for (const Interval &I : E.Label.intervals()) {
+          int32_t Lo = std::max<int32_t>(I.Lo, 0);
+          int32_t Hi = std::min<int32_t>(I.Hi, 255);
+          for (int32_t V = Lo; V <= Hi; ++V)
+            Targets[size_t(V)].push_back(E.Target);
+        }
+      }
+    }
+
+    for (int V = 0; V < 256; ++V) {
+      std::vector<uint32_t> &T = Targets[size_t(V)];
+      if (T.empty())
+        continue;
+      std::sort(T.begin(), T.end());
+      T.erase(std::unique(T.begin(), T.end()), T.end());
+      Closure(T);
+      auto [It, Inserted] = Known.emplace(T, int32_t(Result.States.size()));
+      if (Inserted) {
+        Result.States.emplace_back();
+        Result.States.back().AcceptTag = AcceptOf(T);
+        Work.push_back(T);
+      }
+      Result.States[size_t(CurrentId)].Next[size_t(V)] = It->second;
+    }
+  }
+  return Result;
+}
+
+CharDfa CharDfa::minimized() const {
+  // Hopcroft-style refinement on the partition {states by accept tag}.
+  size_t N = States.size();
+  std::vector<int32_t> Block(N);
+  std::map<int32_t, int32_t> TagBlock;
+  int32_t NumBlocks = 0;
+  for (size_t S = 0; S < N; ++S) {
+    auto [It, Inserted] = TagBlock.emplace(States[S].AcceptTag, NumBlocks);
+    if (Inserted)
+      ++NumBlocks;
+    Block[S] = It->second;
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Signature of a state: its block + blocks of all 256 successors.
+    std::unordered_map<std::string, int32_t> SigBlock;
+    std::vector<int32_t> NewBlock(N);
+    int32_t NewNumBlocks = 0;
+    for (size_t S = 0; S < N; ++S) {
+      std::string Sig;
+      Sig.reserve((256 + 1) * sizeof(int32_t));
+      auto Append = [&Sig](int32_t V) {
+        Sig.append(reinterpret_cast<const char *>(&V), sizeof(V));
+      };
+      Append(Block[S]);
+      for (int V = 0; V < 256; ++V) {
+        int32_t T = States[S].Next[size_t(V)];
+        Append(T < 0 ? -1 : Block[size_t(T)]);
+      }
+      auto [It, Inserted] = SigBlock.emplace(Sig, NewNumBlocks);
+      if (Inserted)
+        ++NewNumBlocks;
+      NewBlock[S] = It->second;
+    }
+    if (NewNumBlocks != NumBlocks)
+      Changed = true;
+    Block = std::move(NewBlock);
+    NumBlocks = NewNumBlocks;
+  }
+
+  // Rebuild with block of the start state as state 0.
+  std::vector<int32_t> BlockToState(size_t(NumBlocks), -1);
+  CharDfa Result;
+  // Make sure the start block maps to new state 0 by visiting start first.
+  std::vector<size_t> Order(N);
+  for (size_t S = 0; S < N; ++S)
+    Order[S] = S;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return (Block[A] == Block[0]) > (Block[B] == Block[0]);
+  });
+  for (size_t S : Order) {
+    int32_t B = Block[S];
+    if (BlockToState[size_t(B)] >= 0)
+      continue;
+    BlockToState[size_t(B)] = int32_t(Result.States.size());
+    Result.States.emplace_back();
+  }
+  for (size_t S = 0; S < N; ++S) {
+    CharDfaState &Out = Result.States[size_t(BlockToState[size_t(Block[S])])];
+    Out.AcceptTag = States[S].AcceptTag;
+    for (int V = 0; V < 256; ++V) {
+      int32_t T = States[S].Next[size_t(V)];
+      Out.Next[size_t(V)] = T < 0 ? -1 : BlockToState[size_t(Block[size_t(T)])];
+    }
+  }
+  return Result;
+}
+
+int32_t CharDfa::matchWhole(std::string_view Input) const {
+  int32_t S = 0;
+  for (char C : Input) {
+    S = States[size_t(S)].Next[static_cast<unsigned char>(C)];
+    if (S < 0)
+      return -1;
+  }
+  return States[size_t(S)].AcceptTag;
+}
+
+int64_t CharDfa::matchLongestPrefix(std::string_view Input,
+                                    int32_t &Tag) const {
+  int32_t S = 0;
+  int64_t BestLen = -1;
+  if (States[0].AcceptTag >= 0) {
+    BestLen = 0;
+    Tag = States[0].AcceptTag;
+  }
+  for (size_t I = 0; I < Input.size(); ++I) {
+    S = States[size_t(S)].Next[static_cast<unsigned char>(Input[I])];
+    if (S < 0)
+      break;
+    if (States[size_t(S)].AcceptTag >= 0) {
+      BestLen = int64_t(I) + 1;
+      Tag = States[size_t(S)].AcceptTag;
+    }
+  }
+  return BestLen;
+}

@@ -1,0 +1,75 @@
+//===- regex/CharDFA.h - Deterministic char automaton -----------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic finite automaton over bytes, produced from an \ref Nfa by
+/// the classic subset construction (the same algorithm the paper's grammar
+/// analysis modifies for ATNs; here it appears in its textbook form as the
+/// lexer substrate). Optionally minimized by Hopcroft-style partition
+/// refinement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_REGEX_CHARDFA_H
+#define LLSTAR_REGEX_CHARDFA_H
+
+#include "regex/NFA.h"
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace llstar {
+namespace regex {
+
+/// A DFA state: dense 256-way transition table plus an accept tag.
+struct CharDfaState {
+  /// Transition per input byte; -1 means no transition.
+  std::array<int32_t, 256> Next;
+  /// Pattern tag accepted here, or -1.
+  int32_t AcceptTag = -1;
+
+  CharDfaState() { Next.fill(-1); }
+};
+
+/// A deterministic automaton over bytes with tagged accept states.
+class CharDfa {
+public:
+  /// Builds the DFA for \p N via subset construction. Overlapping accepts
+  /// resolve to the smallest priority (then smallest tag).
+  static CharDfa fromNfa(const Nfa &N);
+
+  /// Returns an equivalent DFA with the minimum number of states.
+  CharDfa minimized() const;
+
+  /// Wraps precomputed state tables (deserialized automata).
+  static CharDfa fromTables(std::vector<CharDfaState> States) {
+    CharDfa D;
+    D.States = std::move(States);
+    return D;
+  }
+
+  size_t size() const { return States.size(); }
+  const std::vector<CharDfaState> &states() const { return States; }
+  uint32_t startState() const { return 0; }
+
+  /// Does the whole of \p Input match? Returns the tag or -1.
+  int32_t matchWhole(std::string_view Input) const;
+
+  /// Maximal-munch match at the front of \p Input: returns the length of the
+  /// longest prefix ending in an accept state and sets \p Tag, or returns -1
+  /// and leaves \p Tag untouched if not even the empty prefix accepts.
+  int64_t matchLongestPrefix(std::string_view Input, int32_t &Tag) const;
+
+private:
+  std::vector<CharDfaState> States;
+};
+
+} // namespace regex
+} // namespace llstar
+
+#endif // LLSTAR_REGEX_CHARDFA_H

@@ -1,0 +1,132 @@
+#include "regex/NFA.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace llstar;
+using namespace llstar::regex;
+
+void Nfa::addPattern(const RegexNode &Pattern, int32_t Tag, int32_t Priority) {
+  auto [Entry, Exit] = build(Pattern);
+  States[Start].EpsilonTargets.push_back(Entry);
+  States[Exit].AcceptTag = Tag;
+  States[Exit].AcceptPriority = Priority;
+}
+
+std::pair<uint32_t, uint32_t> Nfa::build(const RegexNode &Node) {
+  switch (Node.kind()) {
+  case RegexKind::Epsilon: {
+    uint32_t S = newState();
+    return {S, S};
+  }
+  case RegexKind::CharSet: {
+    uint32_t Entry = newState();
+    uint32_t Exit = newState();
+    States[Entry].Edges.push_back({Node.set(), Exit});
+    return {Entry, Exit};
+  }
+  case RegexKind::Concat: {
+    uint32_t Entry = 0, Exit = 0;
+    bool First = true;
+    for (const RegexNode::Ptr &Child : Node.children()) {
+      auto [CEntry, CExit] = build(*Child);
+      if (First) {
+        Entry = CEntry;
+        First = false;
+      } else {
+        States[Exit].EpsilonTargets.push_back(CEntry);
+      }
+      Exit = CExit;
+    }
+    assert(!First && "Concat node must have children");
+    return {Entry, Exit};
+  }
+  case RegexKind::Alt: {
+    uint32_t Entry = newState();
+    uint32_t Exit = newState();
+    for (const RegexNode::Ptr &Child : Node.children()) {
+      auto [CEntry, CExit] = build(*Child);
+      States[Entry].EpsilonTargets.push_back(CEntry);
+      States[CExit].EpsilonTargets.push_back(Exit);
+    }
+    return {Entry, Exit};
+  }
+  case RegexKind::Star: {
+    uint32_t Entry = newState();
+    uint32_t Exit = newState();
+    auto [CEntry, CExit] = build(*Node.children()[0]);
+    States[Entry].EpsilonTargets.push_back(CEntry);
+    States[Entry].EpsilonTargets.push_back(Exit);
+    States[CExit].EpsilonTargets.push_back(CEntry);
+    States[CExit].EpsilonTargets.push_back(Exit);
+    return {Entry, Exit};
+  }
+  case RegexKind::Plus: {
+    uint32_t Exit = newState();
+    auto [CEntry, CExit] = build(*Node.children()[0]);
+    States[CExit].EpsilonTargets.push_back(CEntry);
+    States[CExit].EpsilonTargets.push_back(Exit);
+    return {CEntry, Exit};
+  }
+  case RegexKind::Optional: {
+    uint32_t Entry = newState();
+    uint32_t Exit = newState();
+    auto [CEntry, CExit] = build(*Node.children()[0]);
+    States[Entry].EpsilonTargets.push_back(CEntry);
+    States[Entry].EpsilonTargets.push_back(Exit);
+    States[CExit].EpsilonTargets.push_back(Exit);
+    return {Entry, Exit};
+  }
+  }
+  assert(false && "unknown regex node kind");
+  return {0, 0};
+}
+
+void Nfa::closure(std::vector<uint32_t> &Set) const {
+  std::vector<uint32_t> Work(Set);
+  std::vector<bool> Seen(States.size(), false);
+  for (uint32_t S : Set)
+    Seen[S] = true;
+  while (!Work.empty()) {
+    uint32_t S = Work.back();
+    Work.pop_back();
+    for (uint32_t T : States[S].EpsilonTargets) {
+      if (Seen[T])
+        continue;
+      Seen[T] = true;
+      Set.push_back(T);
+      Work.push_back(T);
+    }
+  }
+  std::sort(Set.begin(), Set.end());
+}
+
+int32_t Nfa::matchWhole(std::string_view Input) const {
+  std::vector<uint32_t> Current{Start};
+  closure(Current);
+  for (char C : Input) {
+    int32_t V = static_cast<unsigned char>(C);
+    std::vector<uint32_t> Next;
+    for (uint32_t S : Current)
+      for (const NfaState::Edge &E : States[S].Edges)
+        if (E.Label.contains(V))
+          Next.push_back(E.Target);
+    std::sort(Next.begin(), Next.end());
+    Next.erase(std::unique(Next.begin(), Next.end()), Next.end());
+    if (Next.empty())
+      return -1;
+    closure(Next);
+    Current = std::move(Next);
+  }
+  int32_t BestTag = -1, BestPriority = 0;
+  for (uint32_t S : Current) {
+    const NfaState &State = States[S];
+    if (State.AcceptTag < 0)
+      continue;
+    if (BestTag < 0 || State.AcceptPriority < BestPriority) {
+      BestTag = State.AcceptTag;
+      BestPriority = State.AcceptPriority;
+    }
+  }
+  return BestTag;
+}

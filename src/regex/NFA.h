@@ -1,0 +1,79 @@
+//===- regex/NFA.h - Thompson NFA for lexical analysis ----------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A nondeterministic finite automaton over byte characters, built from
+/// \ref RegexNode trees by the Thompson construction.
+///
+/// Several tagged patterns can share one NFA (one per token type); the
+/// subset construction in CharDFA.h then resolves overlaps by priority,
+/// which is how the lexer generator implements "first rule wins" on ties.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_REGEX_NFA_H
+#define LLSTAR_REGEX_NFA_H
+
+#include "regex/RegexAST.h"
+#include "support/IntervalSet.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace llstar {
+namespace regex {
+
+/// An NFA state: epsilon successors plus labeled (interval set) edges.
+struct NfaState {
+  struct Edge {
+    IntervalSet Label;
+    uint32_t Target;
+  };
+
+  std::vector<uint32_t> EpsilonTargets;
+  std::vector<Edge> Edges;
+
+  /// Pattern tag accepted at this state, or -1.
+  int32_t AcceptTag = -1;
+  /// Lower wins when several tags accept the same string.
+  int32_t AcceptPriority = 0;
+};
+
+/// A multi-pattern Thompson NFA.
+class Nfa {
+public:
+  /// Adds a pattern; strings matching it are tagged \p Tag. On overlap the
+  /// pattern with the smaller \p Priority wins.
+  void addPattern(const RegexNode &Pattern, int32_t Tag, int32_t Priority);
+
+  uint32_t startState() const { return Start; }
+  const std::vector<NfaState> &states() const { return States; }
+  size_t size() const { return States.size(); }
+
+  /// Reference matcher: does the whole of \p Input match some pattern?
+  /// Returns the winning tag or -1. Used as a test oracle for the DFA.
+  int32_t matchWhole(std::string_view Input) const;
+
+private:
+  uint32_t newState() {
+    States.emplace_back();
+    return uint32_t(States.size() - 1);
+  }
+
+  /// Builds the fragment for \p Node; returns (entry, exit).
+  std::pair<uint32_t, uint32_t> build(const RegexNode &Node);
+
+  /// Epsilon-closure of \p Set, in place (sorted unique).
+  void closure(std::vector<uint32_t> &Set) const;
+
+  std::vector<NfaState> States{1}; // state 0 is the shared start
+  uint32_t Start = 0;
+};
+
+} // namespace regex
+} // namespace llstar
+
+#endif // LLSTAR_REGEX_NFA_H

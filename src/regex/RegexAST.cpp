@@ -1,0 +1,91 @@
+#include "regex/RegexAST.h"
+
+#include "support/StringUtils.h"
+
+using namespace llstar;
+using namespace llstar::regex;
+
+RegexNode::Ptr RegexNode::string(const std::string &S) {
+  if (S.empty())
+    return epsilon();
+  std::vector<Ptr> Parts;
+  Parts.reserve(S.size());
+  for (char C : S)
+    Parts.push_back(literal(C));
+  return concat(std::move(Parts));
+}
+
+RegexNode::Ptr RegexNode::concat(std::vector<Ptr> Children) {
+  if (Children.empty())
+    return epsilon();
+  if (Children.size() == 1)
+    return Children.front();
+  auto N = std::make_shared<RegexNode>(RegexKind::Concat);
+  N->Children = std::move(Children);
+  return N;
+}
+
+RegexNode::Ptr RegexNode::alt(std::vector<Ptr> Children) {
+  if (Children.empty())
+    return epsilon();
+  if (Children.size() == 1)
+    return Children.front();
+  auto N = std::make_shared<RegexNode>(RegexKind::Alt);
+  N->Children = std::move(Children);
+  return N;
+}
+
+bool RegexNode::matchesEmpty() const {
+  switch (Kind) {
+  case RegexKind::Epsilon:
+  case RegexKind::Star:
+  case RegexKind::Optional:
+    return true;
+  case RegexKind::CharSet:
+    return false;
+  case RegexKind::Plus:
+    return Children[0]->matchesEmpty();
+  case RegexKind::Concat:
+    for (const Ptr &C : Children)
+      if (!C->matchesEmpty())
+        return false;
+    return true;
+  case RegexKind::Alt:
+    for (const Ptr &C : Children)
+      if (C->matchesEmpty())
+        return true;
+    return false;
+  }
+  return false;
+}
+
+std::string RegexNode::str() const {
+  switch (Kind) {
+  case RegexKind::Epsilon:
+    return "ε";
+  case RegexKind::CharSet:
+    return Set.str(/*AsChar=*/true);
+  case RegexKind::Concat: {
+    std::string Result;
+    for (const Ptr &C : Children)
+      Result += C->str();
+    return Result;
+  }
+  case RegexKind::Alt: {
+    std::string Result = "(";
+    for (size_t I = 0; I < Children.size(); ++I) {
+      if (I)
+        Result += "|";
+      Result += Children[I]->str();
+    }
+    return Result + ")";
+  }
+  case RegexKind::Star:
+    return "(" + Children[0]->str() + ")*";
+  case RegexKind::Plus:
+    return "(" + Children[0]->str() + ")+";
+  case RegexKind::Optional:
+    return "(" + Children[0]->str() + ")?";
+  }
+  return "?";
+}

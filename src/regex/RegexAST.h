@@ -1,0 +1,93 @@
+//===- regex/RegexAST.h - Regular-expression syntax trees -------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Syntax trees for the regular expressions that define lexer tokens.
+///
+/// The grammar front end builds these directly from lexer-rule bodies; the
+/// standalone \ref llstar::regex::parseRegex in RegexParser.h builds them
+/// from a conventional regex string. Either way they compile through the
+/// Thompson construction in NFA.h and the subset construction in CharDFA.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_REGEX_REGEXAST_H
+#define LLSTAR_REGEX_REGEXAST_H
+
+#include "support/IntervalSet.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llstar {
+namespace regex {
+
+/// Discriminator for \ref RegexNode.
+enum class RegexKind {
+  Epsilon,  ///< Matches the empty string.
+  CharSet,  ///< Matches one character from an interval set.
+  Concat,   ///< Matches children in sequence.
+  Alt,      ///< Matches any one child.
+  Star,     ///< Zero or more of the child.
+  Plus,     ///< One or more of the child.
+  Optional, ///< Zero or one of the child.
+};
+
+/// One node of a regular-expression tree. Immutable after construction.
+class RegexNode {
+public:
+  using Ptr = std::shared_ptr<RegexNode>;
+
+  static Ptr epsilon() {
+    return std::make_shared<RegexNode>(RegexKind::Epsilon);
+  }
+  static Ptr charSet(IntervalSet Set) {
+    auto N = std::make_shared<RegexNode>(RegexKind::CharSet);
+    N->Set = std::move(Set);
+    return N;
+  }
+  static Ptr literal(char C) {
+    return charSet(IntervalSet::of(static_cast<unsigned char>(C)));
+  }
+  /// A sequence of the characters of \p S (epsilon when empty).
+  static Ptr string(const std::string &S);
+  static Ptr concat(std::vector<Ptr> Children);
+  static Ptr alt(std::vector<Ptr> Children);
+  static Ptr star(Ptr Child) { return unary(RegexKind::Star, std::move(Child)); }
+  static Ptr plus(Ptr Child) { return unary(RegexKind::Plus, std::move(Child)); }
+  static Ptr optional(Ptr Child) {
+    return unary(RegexKind::Optional, std::move(Child));
+  }
+
+  explicit RegexNode(RegexKind Kind) : Kind(Kind) {}
+
+  RegexKind kind() const { return Kind; }
+  const IntervalSet &set() const { return Set; }
+  const std::vector<Ptr> &children() const { return Children; }
+
+  /// Can this expression match the empty string?
+  bool matchesEmpty() const;
+
+  /// Renders a canonical textual form, for debugging and tests.
+  std::string str() const;
+
+private:
+  static Ptr unary(RegexKind Kind, Ptr Child) {
+    auto N = std::make_shared<RegexNode>(Kind);
+    N->Children.push_back(std::move(Child));
+    return N;
+  }
+
+  RegexKind Kind;
+  IntervalSet Set;             // CharSet only
+  std::vector<Ptr> Children;   // Concat/Alt/unary
+};
+
+} // namespace regex
+} // namespace llstar
+
+#endif // LLSTAR_REGEX_REGEXAST_H

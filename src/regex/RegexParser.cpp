@@ -1,0 +1,227 @@
+#include "regex/RegexParser.h"
+
+#include "support/StringUtils.h"
+
+using namespace llstar;
+using namespace llstar::regex;
+
+namespace {
+
+/// Recursive-descent parser over a regex pattern string.
+class Parser {
+public:
+  Parser(std::string_view Pattern, DiagnosticEngine &Diags)
+      : Pattern(Pattern), Diags(Diags) {}
+
+  RegexNode::Ptr parse() {
+    RegexNode::Ptr Result = parseAlt();
+    if (!Result)
+      return nullptr;
+    if (Pos != Pattern.size()) {
+      error("unexpected character '" + escapeChar(Pattern[Pos]) + "'");
+      return nullptr;
+    }
+    return Result;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Pattern.size(); }
+  char peek() const { return Pattern[Pos]; }
+  char take() { return Pattern[Pos++]; }
+
+  void error(const std::string &Message) {
+    Diags.error(SourceLocation(1, uint32_t(Pos)),
+                "regex: " + Message + " in /" + std::string(Pattern) + "/");
+  }
+
+  RegexNode::Ptr parseAlt() {
+    std::vector<RegexNode::Ptr> Alts;
+    RegexNode::Ptr First = parseConcat();
+    if (!First)
+      return nullptr;
+    Alts.push_back(std::move(First));
+    while (!atEnd() && peek() == '|') {
+      take();
+      RegexNode::Ptr Next = parseConcat();
+      if (!Next)
+        return nullptr;
+      Alts.push_back(std::move(Next));
+    }
+    return RegexNode::alt(std::move(Alts));
+  }
+
+  RegexNode::Ptr parseConcat() {
+    std::vector<RegexNode::Ptr> Parts;
+    while (!atEnd() && peek() != '|' && peek() != ')') {
+      RegexNode::Ptr Part = parsePostfix();
+      if (!Part)
+        return nullptr;
+      Parts.push_back(std::move(Part));
+    }
+    return RegexNode::concat(std::move(Parts));
+  }
+
+  RegexNode::Ptr parsePostfix() {
+    RegexNode::Ptr Atom = parseAtom();
+    if (!Atom)
+      return nullptr;
+    while (!atEnd()) {
+      char C = peek();
+      if (C == '*')
+        Atom = RegexNode::star(std::move(Atom));
+      else if (C == '+')
+        Atom = RegexNode::plus(std::move(Atom));
+      else if (C == '?')
+        Atom = RegexNode::optional(std::move(Atom));
+      else
+        break;
+      take();
+    }
+    return Atom;
+  }
+
+  RegexNode::Ptr parseAtom() {
+    if (atEnd()) {
+      error("unexpected end of pattern");
+      return nullptr;
+    }
+    char C = take();
+    switch (C) {
+    case '(': {
+      RegexNode::Ptr Inner = parseAlt();
+      if (!Inner)
+        return nullptr;
+      if (atEnd() || take() != ')') {
+        error("missing ')'");
+        return nullptr;
+      }
+      return Inner;
+    }
+    case '[':
+      return parseClass();
+    case '.':
+      return RegexNode::charSet(IntervalSet::range(0, 255));
+    case '\\': {
+      int32_t V = parseEscape();
+      if (V < 0)
+        return nullptr;
+      return RegexNode::charSet(IntervalSet::of(V));
+    }
+    case '*':
+    case '+':
+    case '?':
+      error("quantifier with nothing to repeat");
+      return nullptr;
+    default:
+      return RegexNode::literal(C);
+    }
+  }
+
+  /// Parses the remainder of a [...] class (the '[' is already consumed).
+  RegexNode::Ptr parseClass() {
+    bool Negated = false;
+    if (!atEnd() && peek() == '^') {
+      Negated = true;
+      take();
+    }
+    IntervalSet Set;
+    bool First = true;
+    while (true) {
+      if (atEnd()) {
+        error("missing ']'");
+        return nullptr;
+      }
+      char C = peek();
+      if (C == ']' && !First) {
+        take();
+        break;
+      }
+      First = false;
+      int32_t Lo = parseClassChar();
+      if (Lo < 0)
+        return nullptr;
+      if (!atEnd() && peek() == '-' && Pos + 1 < Pattern.size() &&
+          Pattern[Pos + 1] != ']') {
+        take(); // '-'
+        int32_t Hi = parseClassChar();
+        if (Hi < 0)
+          return nullptr;
+        if (Hi < Lo) {
+          error("reversed range in character class");
+          return nullptr;
+        }
+        Set.add(Lo, Hi);
+      } else {
+        Set.add(Lo);
+      }
+    }
+    if (Negated)
+      Set = Set.complement(0, 255);
+    return RegexNode::charSet(std::move(Set));
+  }
+
+  int32_t parseClassChar() {
+    char C = take();
+    if (C == '\\')
+      return parseEscape();
+    return static_cast<unsigned char>(C);
+  }
+
+  /// Parses the char after a backslash; returns -1 on error.
+  int32_t parseEscape() {
+    if (atEnd()) {
+      error("dangling '\\'");
+      return -1;
+    }
+    char C = take();
+    switch (C) {
+    case 'n':
+      return '\n';
+    case 't':
+      return '\t';
+    case 'r':
+      return '\r';
+    case 'f':
+      return '\f';
+    case 'v':
+      return '\v';
+    case '0':
+      return '\0';
+    case 'x': {
+      if (Pos + 1 >= Pattern.size()) {
+        error("truncated \\x escape");
+        return -1;
+      }
+      auto Hex = [this](char H) -> int {
+        if (H >= '0' && H <= '9')
+          return H - '0';
+        if (H >= 'a' && H <= 'f')
+          return H - 'a' + 10;
+        if (H >= 'A' && H <= 'F')
+          return H - 'A' + 10;
+        error("bad hex digit in \\x escape");
+        return -1;
+      };
+      int Hi = Hex(take());
+      int Lo = Hex(take());
+      if (Hi < 0 || Lo < 0)
+        return -1;
+      return Hi * 16 + Lo;
+    }
+    default:
+      // Any other escaped char stands for itself (covers \\, \., \[, \-, ...).
+      return static_cast<unsigned char>(C);
+    }
+  }
+
+  std::string_view Pattern;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+RegexNode::Ptr regex::parseRegex(std::string_view Pattern,
+                                 DiagnosticEngine &Diags) {
+  return Parser(Pattern, Diags).parse();
+}

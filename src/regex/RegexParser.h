@@ -1,0 +1,33 @@
+//===- regex/RegexParser.h - Parse regex strings ----------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses a conventional regular-expression string into a \ref RegexNode
+/// tree. Supported syntax: alternation `|`, grouping `(...)`, postfix
+/// `* + ?`, character classes `[a-z0-9_]` and negated classes `[^...]`,
+/// the wildcard `.` (any char), and escapes `\n \t \r \\ \. \[ ...`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_REGEX_REGEXPARSER_H
+#define LLSTAR_REGEX_REGEXPARSER_H
+
+#include "regex/RegexAST.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace llstar {
+namespace regex {
+
+/// Parses \p Pattern; reports syntax problems to \p Diags and returns null
+/// on error.
+RegexNode::Ptr parseRegex(std::string_view Pattern, DiagnosticEngine &Diags);
+
+} // namespace regex
+} // namespace llstar
+
+#endif // LLSTAR_REGEX_REGEXPARSER_H

@@ -1,0 +1,333 @@
+#include "runtime/LLStarParser.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace llstar;
+
+LLStarParser::LLStarParser(const AnalyzedGrammar &AG, TokenStream &Stream,
+                           SemanticEnv *Env, DiagnosticEngine &Diags)
+    : LLStarParser(AG, Stream, Env, Diags, [&AG] {
+        ParserOptions O;
+        O.Memoize = AG.grammar().Options.Memoize;
+        return O;
+      }()) {}
+
+LLStarParser::LLStarParser(const AnalyzedGrammar &AG, TokenStream &Stream,
+                           SemanticEnv *Env, DiagnosticEngine &Diags,
+                           ParserOptions Opts)
+    : AG(AG), M(AG.atn()), Stream(Stream), Env(Env), Diags(Diags),
+      Opts(Opts) {
+  Stats.ensure(AG.numDecisions());
+}
+
+std::unique_ptr<ParseTree> LLStarParser::parse(const std::string &RuleName) {
+  int32_t Rule = RuleName.empty() ? AG.grammar().startRule()
+                                  : AG.grammar().findRule(RuleName);
+  if (Rule < 0) {
+    Diags.error("unknown start rule '" + RuleName + "'");
+    LastParseOk = false;
+    return nullptr;
+  }
+  Memo.clear();
+  auto Root = ParseTree::ruleNode(Rule);
+  unsigned ErrorsBefore = Diags.errorCount();
+  bool Ok = runStates(M.ruleStart(Rule), M.ruleStop(Rule),
+                      Opts.BuildTree ? Root.get() : nullptr);
+  LastParseOk = Ok && Diags.errorCount() == ErrorsBefore;
+  return Root;
+}
+
+//===----------------------------------------------------------------------===//
+// Core interpretation
+//===----------------------------------------------------------------------===//
+
+bool LLStarParser::runRule(int32_t RuleIndex, int32_t Precedence,
+                           ParseTree *Parent) {
+  const Rule &R = AG.grammar().rule(RuleIndex);
+
+  // Memoize speculative whole-rule parses (packrat memoization; only while
+  // speculating, per paper Section 6.2).
+  uint64_t Key = 0;
+  bool UseMemo = speculating() && Opts.Memoize;
+  if (UseMemo) {
+    Key = memoKey(RuleIndex, Precedence, Stream.index());
+    auto It = Memo.find(Key);
+    if (It != Memo.end()) {
+      ++Stats.MemoHits;
+      if (It->second < 0)
+        return false;
+      Stream.seek(It->second);
+      if (SpecMaxIndex < It->second)
+        SpecMaxIndex = It->second;
+      return true;
+    }
+    ++Stats.MemoMisses;
+  }
+
+  ParseTree *Node = nullptr;
+  if (Parent && !speculating())
+    Node = Parent->addChild(ParseTree::ruleNode(RuleIndex));
+
+  if (R.IsPrecedenceRule)
+    PrecStack.push_back(Precedence);
+  bool Ok = runStates(M.ruleStart(RuleIndex), M.ruleStop(RuleIndex), Node);
+  if (R.IsPrecedenceRule)
+    PrecStack.pop_back();
+
+  if (UseMemo)
+    Memo[Key] = Ok ? Stream.index() : -1;
+  return Ok;
+}
+
+bool LLStarParser::runStates(int32_t From, int32_t Until, ParseTree *Parent) {
+  int32_t P = From;
+  // Guards against loop decisions that iterate without consuming input
+  // (an epsilon-matching loop body).
+  std::unordered_map<int32_t, int64_t> LoopWatermark;
+
+  while (P != Until) {
+    const AtnState &S = M.state(P);
+
+    if (S.isDecision()) {
+      int32_t Alt = adaptivePredict(S.Decision);
+      if (Alt < 0)
+        return false;
+      bool IsLoop = S.Kind == AtnStateKind::StarLoopEntry ||
+                    S.Kind == AtnStateKind::PlusLoopBack;
+      if (IsLoop) {
+        int32_t ExitAlt = int32_t(S.Transitions.size());
+        if (Alt != ExitAlt) {
+          auto [It, Inserted] = LoopWatermark.emplace(P, Stream.index());
+          if (!Inserted) {
+            if (It->second == Stream.index())
+              Alt = ExitAlt; // no progress since last iteration: exit
+            else
+              It->second = Stream.index();
+          }
+        }
+      }
+      P = S.Transitions[size_t(Alt) - 1].Target;
+      continue;
+    }
+
+    assert(S.Transitions.size() == 1 &&
+           "non-decision states have exactly one transition");
+    const AtnTransition &T = S.Transitions[0];
+    switch (T.Kind) {
+    case AtnTransitionKind::Epsilon:
+    case AtnTransitionKind::SynPred:
+      // Syntactic predicates were consulted during prediction; once an
+      // alternative is chosen the gate is a no-op.
+      P = T.Target;
+      break;
+    case AtnTransitionKind::Set:
+    case AtnTransitionKind::Atom: {
+      bool Matches = T.Kind == AtnTransitionKind::Atom
+                         ? Stream.LA(1) == T.Label
+                         : (Stream.LA(1) != TokenEof &&
+                            T.Labels.contains(Stream.LA(1)));
+      if (!Matches) {
+        if (speculating())
+          return false;
+        reportMismatch(T.Kind == AtnTransitionKind::Atom ? T.Label
+                                                         : TokenInvalid);
+        // Single-token-deletion recovery: if the next token matches, treat
+        // the current one as spurious.
+        bool NextMatches = T.Kind == AtnTransitionKind::Atom
+                               ? Stream.LA(2) == T.Label
+                               : (Stream.LA(2) != TokenEof &&
+                                  T.Labels.contains(Stream.LA(2)));
+        if (Opts.Recover && NextMatches) {
+          Stream.consume(); // drop the offending token
+        } else {
+          return false;
+        }
+      }
+      if (Parent && !speculating())
+        Parent->addChild(ParseTree::tokenNode(Stream.LT(1)));
+      if (speculating() && SpecMaxIndex < Stream.index() + 1)
+        SpecMaxIndex = Stream.index() + 1;
+      Stream.consume();
+      ++Stats.TokensConsumed;
+      P = T.Target;
+      break;
+    }
+    case AtnTransitionKind::Rule:
+      if (!runRule(T.RuleIndex, T.Precedence, Parent))
+        return false;
+      P = T.FollowState;
+      break;
+    case AtnTransitionKind::SemPred:
+      if (!evalNamedPredicate(T.PredIndex)) {
+        if (!speculating()) {
+          const AtnPredicate &Pred = M.predicate(T.PredIndex);
+          Diags.error(Stream.LT(1).Loc,
+                      "rule " + AG.grammar().rule(S.RuleIndex).Name +
+                          " failed predicate {" + Pred.Name + "}?");
+        }
+        return false;
+      }
+      P = T.Target;
+      break;
+    case AtnTransitionKind::Action:
+      runAction(T.ActionIndex);
+      P = T.Target;
+      break;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Prediction
+//===----------------------------------------------------------------------===//
+
+int32_t LLStarParser::adaptivePredict(int32_t Decision) {
+  const LookaheadDfa &Dfa = AG.dfa(Decision);
+  int32_t S = 0;
+  int64_t Depth = 0;
+  int64_t StartIndex = Stream.index();
+  bool Backtracked = false;
+
+  auto Record = [&](int64_t UsedK) {
+    if (!Opts.CollectStats)
+      return;
+    Stats.Decisions[size_t(Decision)].record(std::max<int64_t>(UsedK, 1),
+                                             Backtracked);
+  };
+
+  while (true) {
+    const DfaState &St = Dfa.state(S);
+    if (St.isAccept()) {
+      Record(Depth);
+      return St.PredictedAlt;
+    }
+    TokenType T = Stream.LA(Depth + 1);
+    int32_t Next = St.edgeOn(T);
+    if (Next == S && T == TokenEof)
+      Next = -1; // EOF self-loops cannot make progress
+    if (Next >= 0) {
+      ++Depth;
+      S = Next;
+      continue;
+    }
+    // No terminal edge applies: try the predicate edges in alternative
+    // order (ordered choice; lower alternatives take precedence).
+    for (const DfaPredEdge &E : St.PredEdges) {
+      int64_t SpecBefore = SpecMaxIndex;
+      SpecMaxIndex = StartIndex + Depth;
+      bool IsSyn = E.Pred.isSyntactic();
+      bool Holds = evalSemanticContext(E.Pred);
+      int64_t Reach = SpecMaxIndex - StartIndex;
+      SpecMaxIndex = std::max(SpecBefore, SpecMaxIndex);
+      if (IsSyn) {
+        Backtracked = true;
+        Depth = std::max(Depth, Reach);
+      }
+      if (Holds) {
+        Record(Depth);
+        return E.Alt;
+      }
+    }
+    Record(Depth);
+    if (!speculating())
+      reportNoViableAlt(Decision, Depth);
+    return -1;
+  }
+}
+
+bool LLStarParser::evalSemanticContext(const SemanticContext &Pred) {
+  switch (Pred.K) {
+  case SemanticContext::Kind::None:
+    return true;
+  case SemanticContext::Kind::Pred:
+    return evalNamedPredicate(Pred.A);
+  case SemanticContext::Kind::SynPredRule:
+    return evalSynPredRule(Pred.A);
+  case SemanticContext::Kind::SynPredAlt:
+    return evalSynPredAlt(Pred.A, Pred.B);
+  }
+  return true;
+}
+
+bool LLStarParser::evalNamedPredicate(int32_t PredIndex) {
+  const AtnPredicate &P = M.predicate(PredIndex);
+  if (P.isPrecedence()) {
+    int32_t Current = PrecStack.empty() ? 0 : PrecStack.back();
+    return Current <= P.MinPrecedence;
+  }
+  if (Env)
+    if (const SemanticEnv::Predicate *Fn = Env->findPredicate(P.Name))
+      return (*Fn)();
+  if (ReportedUnbound.insert(P.Name).second)
+    Diags.warning("predicate '" + P.Name +
+                  "' is not bound in the semantic environment; assuming true");
+  return true;
+}
+
+bool LLStarParser::evalSynPredRule(int32_t FragmentRule) {
+  ++Stats.SynPredEvals;
+  int64_t Mark = Stream.index();
+  ++SpecDepth;
+  bool Ok = runRule(FragmentRule, 0, nullptr);
+  --SpecDepth;
+  Stream.seek(Mark);
+  return Ok;
+}
+
+bool LLStarParser::evalSynPredAlt(int32_t Decision, int32_t Alt) {
+  ++Stats.SynPredEvals;
+  const AtnState &S = M.state(M.decisionState(Decision));
+  assert(Alt >= 1 && size_t(Alt) <= S.Transitions.size() &&
+         "alternative out of range");
+  assert(S.EndState >= 0 && "decision has no end state");
+  int64_t Mark = Stream.index();
+  ++SpecDepth;
+  bool Ok = runStates(S.Transitions[size_t(Alt) - 1].Target, S.EndState,
+                      nullptr);
+  --SpecDepth;
+  Stream.seek(Mark);
+  return Ok;
+}
+
+void LLStarParser::runAction(int32_t ActionIndex) {
+  const AtnAction &A = M.action(ActionIndex);
+  if (speculating() && !A.Always)
+    return; // mutators are deactivated during speculation (Section 4.3)
+  if (Env)
+    if (const SemanticEnv::Action *Fn = Env->findAction(A.Name)) {
+      (*Fn)();
+      return;
+    }
+  if (ReportedUnbound.insert(A.Name).second)
+    Diags.warning("action '" + A.Name +
+                  "' is not bound in the semantic environment; skipping");
+}
+
+//===----------------------------------------------------------------------===//
+// Errors
+//===----------------------------------------------------------------------===//
+
+void LLStarParser::reportMismatch(TokenType Expected) {
+  ++Stats.SyntaxErrors;
+  const Token &T = Stream.LT(1);
+  // TokenInvalid marks a token-set mismatch; name the token, not the set.
+  Diags.error(T.Loc, "mismatched input '" + T.Text + "' expecting " +
+                         (Expected == TokenInvalid
+                              ? std::string("a different token")
+                              : AG.grammar().vocabulary().name(Expected)));
+}
+
+void LLStarParser::reportNoViableAlt(int32_t Decision, int64_t DepthReached) {
+  ++Stats.SyntaxErrors;
+  // Report at the token that killed the DFA walk, not at the decision start
+  // (paper Section 4.4).
+  const Token &T = Stream.LT(DepthReached + 1);
+  const AtnState &S = M.state(M.decisionState(Decision));
+  std::string RuleName =
+      S.RuleIndex >= 0 ? AG.grammar().rule(S.RuleIndex).Name : "<none>";
+  Diags.error(T.Loc, "no viable alternative at input '" + T.Text +
+                         "' (rule " + RuleName + ")");
+}

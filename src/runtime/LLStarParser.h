@@ -1,0 +1,135 @@
+//===- runtime/LLStarParser.h - The LL(*) parser ----------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LL(*) parser of paper Section 4: a recursive-descent interpreter
+/// over the ATN whose decisions are driven by the statically constructed
+/// lookahead DFAs.
+///
+/// Per decision event the parser walks the DFA over the remaining input
+/// without consuming; terminal edges are preferred, predicate edges are
+/// tried in alternative order when no terminal edge applies. Syntactic
+/// predicates launch speculative sub-parses with mark/rewind; mutators are
+/// deactivated while speculating unless declared `{{...}}` (Section 4.3);
+/// speculative sub-parses are memoized packrat-style, bounding the cost of
+/// nested backtracking (Section 6.2). Prediction errors are reported at the
+/// deepest token the DFA reached (Section 4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_RUNTIME_LLSTARPARSER_H
+#define LLSTAR_RUNTIME_LLSTARPARSER_H
+
+#include "analysis/AnalyzedGrammar.h"
+#include "lexer/TokenStream.h"
+#include "runtime/ParseTree.h"
+#include "runtime/ParserStats.h"
+#include "runtime/SemanticEnv.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace llstar {
+
+/// Runtime knobs for one parser instance.
+struct ParserOptions {
+  /// Memoize speculative sub-parses. Defaults to the grammar's `memoize`
+  /// option; flip to measure the packrat ablation of Section 6.2.
+  bool Memoize = true;
+  /// Build a concrete parse tree during non-speculative parsing.
+  bool BuildTree = true;
+  /// Collect per-decision statistics (Tables 3-4).
+  bool CollectStats = true;
+  /// Attempt single-token-deletion recovery on mismatched tokens.
+  bool Recover = true;
+};
+
+/// An interpreting LL(*) parser for one analyzed grammar.
+class LLStarParser {
+public:
+  /// \p Env may be null when the grammar has no predicates or actions.
+  LLStarParser(const AnalyzedGrammar &AG, TokenStream &Stream,
+               SemanticEnv *Env, DiagnosticEngine &Diags);
+  LLStarParser(const AnalyzedGrammar &AG, TokenStream &Stream,
+               SemanticEnv *Env, DiagnosticEngine &Diags, ParserOptions Opts);
+
+  /// Parses starting at \p RuleName (or the grammar's first rule when
+  /// empty). Returns the (possibly partial) parse tree; syntax errors are
+  /// reported to the diagnostics engine — check \c Diags.hasErrors() or
+  /// \ref ok().
+  std::unique_ptr<ParseTree> parse(const std::string &RuleName = "");
+
+  /// True if the last parse() completed without syntax errors.
+  bool ok() const { return LastParseOk; }
+
+  const ParserStats &stats() const { return Stats; }
+  ParserStats &stats() { return Stats; }
+
+private:
+  // Core interpretation -----------------------------------------------------
+
+  /// Parses one rule invocation. \p Precedence is the argument for
+  /// precedence-rewritten rules (0 = unconstrained). Returns success.
+  bool runRule(int32_t RuleIndex, int32_t Precedence, ParseTree *Parent);
+
+  /// Walks ATN states from \p From until reaching \p Until.
+  bool runStates(int32_t From, int32_t Until, ParseTree *Parent);
+
+  /// One prediction event at \p Decision; returns the 1-based alternative
+  /// or -1 on a no-viable-alternative error.
+  int32_t adaptivePredict(int32_t Decision);
+
+  // Predicates and speculation ----------------------------------------------
+
+  bool evalSemanticContext(const SemanticContext &Pred);
+  bool evalNamedPredicate(int32_t PredIndex);
+  bool evalSynPredRule(int32_t FragmentRule);
+  bool evalSynPredAlt(int32_t Decision, int32_t Alt);
+  void runAction(int32_t ActionIndex);
+
+  bool speculating() const { return SpecDepth > 0; }
+
+  // Error handling ----------------------------------------------------------
+
+  void reportMismatch(TokenType Expected);
+  void reportNoViableAlt(int32_t Decision, int64_t DepthReached);
+
+  // Memoization (speculative rule parses only) -------------------------------
+
+  /// Packed memo key for (rule, precedence, start index).
+  static uint64_t memoKey(int32_t Rule, int32_t Precedence, int64_t Start) {
+    return (uint64_t(uint32_t(Rule)) << 40) ^
+           (uint64_t(uint32_t(Precedence)) << 56) ^ uint64_t(Start);
+  }
+
+  const AnalyzedGrammar &AG;
+  const Atn &M;
+  TokenStream &Stream;
+  SemanticEnv *Env;
+  DiagnosticEngine &Diags;
+  ParserOptions Opts;
+  ParserStats Stats;
+
+  int32_t SpecDepth = 0;
+  /// Highest stream index touched during the current speculation cascade;
+  /// feeds the "backtracking lookahead depth" statistic.
+  int64_t SpecMaxIndex = 0;
+  /// Precedence arguments of active precedence-rule invocations.
+  std::vector<int32_t> PrecStack;
+  /// memoKey -> stop index (or -1 for remembered failure).
+  std::unordered_map<uint64_t, int64_t> Memo;
+  /// Predicate/action names already reported as unbound (warn once).
+  std::unordered_set<std::string> ReportedUnbound;
+  bool LastParseOk = false;
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_RUNTIME_LLSTARPARSER_H

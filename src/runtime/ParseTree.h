@@ -1,0 +1,105 @@
+//===- runtime/ParseTree.h - Concrete parse trees ---------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete syntax trees built by the LL(*) and packrat parsers during
+/// non-speculative parsing. Nodes are either rule applications or token
+/// leaves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_RUNTIME_PARSETREE_H
+#define LLSTAR_RUNTIME_PARSETREE_H
+
+#include "grammar/Grammar.h"
+#include "lexer/Token.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llstar {
+
+/// One parse-tree node.
+class ParseTree {
+public:
+  static std::unique_ptr<ParseTree> ruleNode(int32_t RuleIndex) {
+    auto N = std::make_unique<ParseTree>();
+    N->RuleIdx = RuleIndex;
+    return N;
+  }
+  static std::unique_ptr<ParseTree> tokenNode(Token Tok) {
+    auto N = std::make_unique<ParseTree>();
+    N->IsToken = true;
+    N->Tok = std::move(Tok);
+    return N;
+  }
+
+  bool isToken() const { return IsToken; }
+  int32_t ruleIndex() const { return RuleIdx; }
+  const Token &token() const { return Tok; }
+
+  ParseTree *addChild(std::unique_ptr<ParseTree> Child) {
+    Children.push_back(std::move(Child));
+    return Children.back().get();
+  }
+  /// Drops children from index \p N on; speculative parsers roll back with
+  /// this after a failed attempt.
+  void truncateChildren(size_t N) {
+    if (N < Children.size())
+      Children.resize(N);
+  }
+  /// Moves all children out (splicing helper for scratch nodes).
+  std::vector<std::unique_ptr<ParseTree>> takeChildren() {
+    return std::move(Children);
+  }
+  const std::vector<std::unique_ptr<ParseTree>> &children() const {
+    return Children;
+  }
+  ParseTree *child(size_t I) const { return Children[I].get(); }
+  size_t numChildren() const { return Children.size(); }
+
+  /// Total number of nodes in this subtree.
+  size_t size() const {
+    size_t N = 1;
+    for (const auto &C : Children)
+      N += C->size();
+    return N;
+  }
+
+  /// Number of token leaves in this subtree.
+  size_t numTokens() const {
+    if (IsToken)
+      return 1;
+    size_t N = 0;
+    for (const auto &C : Children)
+      N += C->numTokens();
+    return N;
+  }
+
+  /// LISP-style rendering: `(rule child1 child2)`, token leaves as text.
+  std::string str(const Grammar &G) const {
+    if (IsToken)
+      return Tok.Text;
+    std::string Out = "(" + G.rule(RuleIdx).Name;
+    for (const auto &C : Children) {
+      Out += " ";
+      Out += C->str(G);
+    }
+    Out += ")";
+    return Out;
+  }
+
+private:
+  bool IsToken = false;
+  int32_t RuleIdx = -1;
+  Token Tok;
+  std::vector<std::unique_ptr<ParseTree>> Children;
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_RUNTIME_PARSETREE_H

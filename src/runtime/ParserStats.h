@@ -1,0 +1,117 @@
+//===- runtime/ParserStats.h - Runtime decision statistics ------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-decision runtime profiling counters — the measurements behind the
+/// paper's Tables 3 and 4: decision events, lookahead depth per event,
+/// backtracking events and speculation depth, memoization traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_RUNTIME_PARSERSTATS_H
+#define LLSTAR_RUNTIME_PARSERSTATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace llstar {
+
+/// Counters for one parsing decision.
+struct DecisionStats {
+  int64_t Events = 0;        ///< prediction events at this decision
+  int64_t TotalK = 0;        ///< sum of lookahead depths over events
+  int64_t MaxK = 0;          ///< deepest lookahead of any event
+  int64_t BacktrackEvents = 0; ///< events that evaluated a syntactic pred
+  int64_t BacktrackTotalK = 0; ///< sum of speculation depths (those events)
+
+  void record(int64_t K, bool Backtracked) {
+    ++Events;
+    TotalK += K;
+    MaxK = std::max(MaxK, K);
+    if (Backtracked) {
+      ++BacktrackEvents;
+      BacktrackTotalK += K;
+    }
+  }
+};
+
+/// Counters for one whole parse (or many; they accumulate).
+struct ParserStats {
+  std::vector<DecisionStats> Decisions;
+  int64_t SynPredEvals = 0;
+  int64_t MemoHits = 0;
+  int64_t MemoMisses = 0;
+  int64_t TokensConsumed = 0;
+  int64_t SyntaxErrors = 0;
+
+  void ensure(size_t NumDecisions) {
+    if (Decisions.size() < NumDecisions)
+      Decisions.resize(NumDecisions);
+  }
+
+  /// Number of distinct decisions exercised at least once (Table 3's "n").
+  int64_t decisionsCovered() const {
+    int64_t N = 0;
+    for (const DecisionStats &D : Decisions)
+      N += D.Events > 0;
+    return N;
+  }
+  int64_t totalEvents() const {
+    int64_t N = 0;
+    for (const DecisionStats &D : Decisions)
+      N += D.Events;
+    return N;
+  }
+  /// Average lookahead depth over all decision events (Table 3 "avg k").
+  double avgLookahead() const {
+    int64_t Events = totalEvents();
+    int64_t K = 0;
+    for (const DecisionStats &D : Decisions)
+      K += D.TotalK;
+    return Events ? double(K) / double(Events) : 0;
+  }
+  /// Average speculation depth over backtracking events (Table 3 "back k").
+  double avgBacktrackLookahead() const {
+    int64_t Events = 0, K = 0;
+    for (const DecisionStats &D : Decisions) {
+      Events += D.BacktrackEvents;
+      K += D.BacktrackTotalK;
+    }
+    return Events ? double(K) / double(Events) : 0;
+  }
+  /// Deepest lookahead of any event (Table 3 "max k").
+  int64_t maxLookahead() const {
+    int64_t K = 0;
+    for (const DecisionStats &D : Decisions)
+      K = std::max(K, D.MaxK);
+    return K;
+  }
+  int64_t backtrackEvents() const {
+    int64_t N = 0;
+    for (const DecisionStats &D : Decisions)
+      N += D.BacktrackEvents;
+    return N;
+  }
+  /// Fraction of decision events that backtracked (Table 4 "Backtrack").
+  double backtrackEventFraction() const {
+    int64_t Events = totalEvents();
+    return Events ? double(backtrackEvents()) / double(Events) : 0;
+  }
+  /// Number of decisions that backtracked at least once (Table 4 "Did").
+  int64_t decisionsThatBacktracked() const {
+    int64_t N = 0;
+    for (const DecisionStats &D : Decisions)
+      N += D.BacktrackEvents > 0;
+    return N;
+  }
+
+  void reset() { *this = ParserStats(); }
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_RUNTIME_PARSERSTATS_H

@@ -1,0 +1,57 @@
+//===- runtime/SemanticEnv.h - Predicate/action bindings --------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binds the symbolic predicate and action names appearing in a grammar
+/// (`{isTypeName}?`, `{pushScope}`, `{{enterBlock}}`) to host-language
+/// callbacks. This substitutes for the paper's host-language code
+/// generation: semantics are identical — predicates gate productions on
+/// user state, mutators update it — but binding happens at parse time
+/// instead of compile time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_RUNTIME_SEMANTICENV_H
+#define LLSTAR_RUNTIME_SEMANTICENV_H
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+namespace llstar {
+
+/// The semantic environment of one parse: named predicates and actions.
+class SemanticEnv {
+public:
+  using Predicate = std::function<bool()>;
+  using Action = std::function<void()>;
+
+  void definePredicate(const std::string &Name, Predicate P) {
+    Predicates[Name] = std::move(P);
+  }
+  void defineAction(const std::string &Name, Action A) {
+    Actions[Name] = std::move(A);
+  }
+
+  /// Returns the predicate bound to \p Name, or null.
+  const Predicate *findPredicate(const std::string &Name) const {
+    auto It = Predicates.find(Name);
+    return It == Predicates.end() ? nullptr : &It->second;
+  }
+  /// Returns the action bound to \p Name, or null.
+  const Action *findAction(const std::string &Name) const {
+    auto It = Actions.find(Name);
+    return It == Actions.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::unordered_map<std::string, Predicate> Predicates;
+  std::unordered_map<std::string, Action> Actions;
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_RUNTIME_SEMANTICENV_H

@@ -1,0 +1,57 @@
+//===- runtime/TreeUtils.h - Parse-tree walking utilities -------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience utilities over \ref ParseTree: depth-first walking with
+/// enter/exit callbacks, node collection by rule, token-text extraction,
+/// and indented/dot renderings for debugging and tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_RUNTIME_TREEUTILS_H
+#define LLSTAR_RUNTIME_TREEUTILS_H
+
+#include "runtime/ParseTree.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace llstar {
+
+/// Callbacks for \ref walkTree. Either may be null.
+struct TreeListener {
+  /// Called before a node's children; return false to skip the subtree.
+  std::function<bool(const ParseTree &)> Enter;
+  /// Called after a node's children.
+  std::function<void(const ParseTree &)> Exit;
+};
+
+/// Depth-first traversal with enter/exit events (the listener pattern of
+/// ANTLR-generated walkers).
+void walkTree(const ParseTree &Root, const TreeListener &Listener);
+
+/// All descendants (including \p Root) that are applications of rule
+/// \p RuleIndex, in document order.
+std::vector<const ParseTree *> collectRuleNodes(const ParseTree &Root,
+                                                int32_t RuleIndex);
+
+/// Concatenated text of all token leaves under \p Root, separated by
+/// single spaces.
+std::string treeText(const ParseTree &Root);
+
+/// Depth of the deepest leaf (a single node has depth 1).
+size_t treeDepth(const ParseTree &Root);
+
+/// Indented multi-line rendering; one node per line.
+std::string treeToIndentedString(const ParseTree &Root, const Grammar &G);
+
+/// Graphviz rendering of the tree.
+std::string treeToDot(const ParseTree &Root, const Grammar &G);
+
+} // namespace llstar
+
+#endif // LLSTAR_RUNTIME_TREEUTILS_H

@@ -1,0 +1,42 @@
+#include "support/Diagnostics.h"
+
+using namespace llstar;
+
+static const char *severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string Result = severityName(Severity);
+  Result += ": ";
+  if (Loc.isValid()) {
+    Result += Loc.str();
+    Result += ": ";
+  }
+  Result += Message;
+  return Result;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Result;
+  for (const Diagnostic &D : Diags) {
+    Result += D.str();
+    Result += '\n';
+  }
+  return Result;
+}
+
+bool DiagnosticEngine::contains(const std::string &Needle) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}

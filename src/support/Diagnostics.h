@@ -1,0 +1,94 @@
+//===- support/Diagnostics.h - Diagnostic collection ------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Every phase of the toolkit (grammar parsing,
+/// LL(*) analysis, and the parser runtime) reports problems here instead of
+/// writing to stderr, so library clients and tests can inspect them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_SUPPORT_DIAGNOSTICS_H
+#define LLSTAR_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace llstar {
+
+/// Severity of a reported diagnostic.
+enum class DiagSeverity {
+  Note,
+  Warning,
+  Error,
+};
+
+/// One reported problem: a severity, an optional location, and a message.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders as "<severity>: <loc>: <message>" in the usual tool style.
+  std::string str() const;
+};
+
+/// Collects diagnostics produced by a phase.
+///
+/// The engine never throws and never exits; callers check \ref hasErrors
+/// after running a fallible phase.
+class DiagnosticEngine {
+public:
+  void report(DiagSeverity Severity, SourceLocation Loc, std::string Message) {
+    if (Severity == DiagSeverity::Error)
+      ++NumErrors;
+    else if (Severity == DiagSeverity::Warning)
+      ++NumWarnings;
+    Diags.push_back({Severity, Loc, std::move(Message)});
+  }
+
+  void error(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void error(std::string Message) { error(SourceLocation(), std::move(Message)); }
+  void warning(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void warning(std::string Message) {
+    warning(SourceLocation(), std::move(Message));
+  }
+  void note(SourceLocation Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  unsigned warningCount() const { return NumWarnings; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+
+  void clear() {
+    Diags.clear();
+    NumErrors = NumWarnings = 0;
+  }
+
+  /// All diagnostics rendered one per line; handy for test failure output.
+  std::string str() const;
+
+  /// Returns true if any diagnostic message contains \p Needle.
+  bool contains(const std::string &Needle) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,148 @@
+#include "support/IntervalSet.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace llstar;
+
+bool IntervalSet::contains(int32_t V) const {
+  // Binary search for the first interval with Hi >= V.
+  auto It = std::lower_bound(
+      Intervals.begin(), Intervals.end(), V,
+      [](const Interval &I, int32_t Value) { return I.Hi < Value; });
+  return It != Intervals.end() && It->contains(V);
+}
+
+void IntervalSet::add(int32_t Lo, int32_t Hi) {
+  if (Hi < Lo)
+    return;
+
+  // Find the insertion window: all intervals overlapping or adjacent to
+  // [Lo, Hi] get merged into one.
+  auto First = std::lower_bound(Intervals.begin(), Intervals.end(), Lo,
+                                [](const Interval &I, int32_t Value) {
+                                  // Adjacent (I.Hi + 1 == Lo) still merges;
+                                  // beware overflow at INT32_MAX.
+                                  return I.Hi < Value && I.Hi + 1LL < Value;
+                                });
+  auto Last = First;
+  int32_t NewLo = Lo, NewHi = Hi;
+  while (Last != Intervals.end() && int64_t(Last->Lo) <= int64_t(Hi) + 1) {
+    NewLo = std::min(NewLo, Last->Lo);
+    NewHi = std::max(NewHi, Last->Hi);
+    ++Last;
+  }
+  if (First == Last) {
+    Intervals.insert(First, Interval(NewLo, NewHi));
+    return;
+  }
+  *First = Interval(NewLo, NewHi);
+  Intervals.erase(First + 1, Last);
+}
+
+void IntervalSet::addSet(const IntervalSet &Other) {
+  for (const Interval &I : Other.Intervals)
+    add(I.Lo, I.Hi);
+}
+
+void IntervalSet::remove(int32_t V) {
+  auto It = std::lower_bound(
+      Intervals.begin(), Intervals.end(), V,
+      [](const Interval &I, int32_t Value) { return I.Hi < Value; });
+  if (It == Intervals.end() || !It->contains(V))
+    return;
+  if (It->Lo == V && It->Hi == V) {
+    Intervals.erase(It);
+    return;
+  }
+  if (It->Lo == V) {
+    It->Lo = V + 1;
+    return;
+  }
+  if (It->Hi == V) {
+    It->Hi = V - 1;
+    return;
+  }
+  Interval Right(V + 1, It->Hi);
+  It->Hi = V - 1;
+  Intervals.insert(It + 1, Right);
+}
+
+IntervalSet IntervalSet::unionWith(const IntervalSet &Other) const {
+  IntervalSet Result = *this;
+  Result.addSet(Other);
+  return Result;
+}
+
+IntervalSet IntervalSet::intersectWith(const IntervalSet &Other) const {
+  IntervalSet Result;
+  size_t I = 0, J = 0;
+  while (I < Intervals.size() && J < Other.Intervals.size()) {
+    const Interval &A = Intervals[I];
+    const Interval &B = Other.Intervals[J];
+    int32_t Lo = std::max(A.Lo, B.Lo);
+    int32_t Hi = std::min(A.Hi, B.Hi);
+    if (Lo <= Hi)
+      Result.Intervals.push_back(Interval(Lo, Hi));
+    if (A.Hi < B.Hi)
+      ++I;
+    else
+      ++J;
+  }
+  return Result;
+}
+
+IntervalSet IntervalSet::subtract(const IntervalSet &Other) const {
+  IntervalSet Result;
+  size_t J = 0;
+  for (Interval A : Intervals) {
+    // Skip Other intervals entirely before A.
+    while (J < Other.Intervals.size() && Other.Intervals[J].Hi < A.Lo)
+      ++J;
+    size_t K = J;
+    int32_t Lo = A.Lo;
+    while (K < Other.Intervals.size() && Other.Intervals[K].Lo <= A.Hi) {
+      const Interval &B = Other.Intervals[K];
+      if (B.Lo > Lo)
+        Result.Intervals.push_back(Interval(Lo, B.Lo - 1));
+      Lo = std::max(Lo, B.Hi < INT32_MAX ? B.Hi + 1 : INT32_MAX);
+      if (B.Hi >= A.Hi) {
+        Lo = A.Hi + 1; // fully consumed
+        break;
+      }
+      ++K;
+    }
+    if (Lo <= A.Hi)
+      Result.Intervals.push_back(Interval(Lo, A.Hi));
+  }
+  return Result;
+}
+
+IntervalSet IntervalSet::complement(int32_t UniverseLo,
+                                    int32_t UniverseHi) const {
+  return range(UniverseLo, UniverseHi).subtract(*this);
+}
+
+std::string IntervalSet::str(bool AsChar) const {
+  std::string Result = "{";
+  bool First = true;
+  for (const Interval &I : Intervals) {
+    if (!First)
+      Result += ", ";
+    First = false;
+    auto One = [&](int32_t V) {
+      if (AsChar)
+        Result += "'" + escapeChar(char(V)) + "'";
+      else
+        Result += std::to_string(V);
+    };
+    One(I.Lo);
+    if (I.Hi != I.Lo) {
+      Result += "..";
+      One(I.Hi);
+    }
+  }
+  Result += "}";
+  return Result;
+}

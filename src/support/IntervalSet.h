@@ -1,0 +1,134 @@
+//===- support/IntervalSet.h - Sorted integer interval sets -----*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set of integers stored as sorted, disjoint, closed intervals.
+///
+/// Used for character classes in the regex/lexer substrate and for token-type
+/// lookahead sets in the LL(*) analysis (where sets like "any identifier
+/// character" or "FOLLOW(expr)" are dense ranges).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_SUPPORT_INTERVALSET_H
+#define LLSTAR_SUPPORT_INTERVALSET_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace llstar {
+
+/// A closed interval [Lo, Hi] of int32 values.
+struct Interval {
+  int32_t Lo = 0;
+  int32_t Hi = -1; // empty when Hi < Lo
+
+  constexpr Interval() = default;
+  constexpr Interval(int32_t Lo, int32_t Hi) : Lo(Lo), Hi(Hi) {}
+
+  constexpr bool empty() const { return Hi < Lo; }
+  constexpr int64_t size() const {
+    return empty() ? 0 : int64_t(Hi) - int64_t(Lo) + 1;
+  }
+  constexpr bool contains(int32_t V) const { return Lo <= V && V <= Hi; }
+
+  friend constexpr bool operator==(Interval A, Interval B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+};
+
+/// A set of int32 values kept as sorted disjoint closed intervals.
+///
+/// All mutating operations preserve the invariant that intervals are sorted,
+/// non-empty, non-overlapping, and non-adjacent (adjacent runs are merged).
+class IntervalSet {
+public:
+  IntervalSet() = default;
+
+  /// Singleton {V}.
+  static IntervalSet of(int32_t V) { return range(V, V); }
+
+  /// Closed range [Lo, Hi]; empty set when Hi < Lo.
+  static IntervalSet range(int32_t Lo, int32_t Hi) {
+    IntervalSet S;
+    if (Lo <= Hi)
+      S.Intervals.push_back(Interval(Lo, Hi));
+    return S;
+  }
+
+  bool empty() const { return Intervals.empty(); }
+
+  /// Total number of members.
+  int64_t size() const {
+    int64_t N = 0;
+    for (const Interval &I : Intervals)
+      N += I.size();
+    return N;
+  }
+
+  bool contains(int32_t V) const;
+
+  /// Adds the closed range [Lo, Hi], merging as needed.
+  void add(int32_t Lo, int32_t Hi);
+  void add(int32_t V) { add(V, V); }
+  void addSet(const IntervalSet &Other);
+
+  /// Removes a single value, splitting an interval if needed.
+  void remove(int32_t V);
+
+  void clear() { Intervals.clear(); }
+
+  /// Set union.
+  IntervalSet unionWith(const IntervalSet &Other) const;
+  /// Set intersection.
+  IntervalSet intersectWith(const IntervalSet &Other) const;
+  /// Elements of this set not in \p Other.
+  IntervalSet subtract(const IntervalSet &Other) const;
+  /// Complement relative to [UniverseLo, UniverseHi].
+  IntervalSet complement(int32_t UniverseLo, int32_t UniverseHi) const;
+
+  bool intersects(const IntervalSet &Other) const {
+    return !intersectWith(Other).empty();
+  }
+
+  /// Smallest member; asserts on empty set.
+  int32_t min() const {
+    assert(!empty() && "min() of empty IntervalSet");
+    return Intervals.front().Lo;
+  }
+  /// Largest member; asserts on empty set.
+  int32_t max() const {
+    assert(!empty() && "max() of empty IntervalSet");
+    return Intervals.back().Hi;
+  }
+
+  const std::vector<Interval> &intervals() const { return Intervals; }
+
+  /// Calls \p Fn for every member in ascending order.
+  void forEach(const std::function<void(int32_t)> &Fn) const {
+    for (const Interval &I : Intervals)
+      for (int64_t V = I.Lo; V <= I.Hi; ++V)
+        Fn(int32_t(V));
+  }
+
+  /// Renders like "{1..3, 7, 9..12}". With \p AsChar, printable members are
+  /// shown as quoted characters.
+  std::string str(bool AsChar = false) const;
+
+  friend bool operator==(const IntervalSet &A, const IntervalSet &B) {
+    return A.Intervals == B.Intervals;
+  }
+
+private:
+  std::vector<Interval> Intervals;
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_SUPPORT_INTERVALSET_H

@@ -1,0 +1,9 @@
+#include "support/SourceLocation.h"
+
+using namespace llstar;
+
+std::string SourceLocation::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}

@@ -1,0 +1,51 @@
+//===- support/SourceLocation.h - Source positions --------------*- C++ -*-===//
+//
+// Part of the llstar project: a reproduction of "LL(*): The Foundation of the
+// ANTLR Parser Generator" (Parr & Fisher, PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column source positions shared by the grammar
+/// meta-language front end, the lexer runtime, and diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_SUPPORT_SOURCELOCATION_H
+#define LLSTAR_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace llstar {
+
+/// A 1-based line and 0-based column position in some input text.
+///
+/// An invalid (unknown) location is represented by line 0.
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLocation() = default;
+  constexpr SourceLocation(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  constexpr bool isValid() const { return Line != 0; }
+
+  friend constexpr bool operator==(SourceLocation A, SourceLocation B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+  friend constexpr bool operator!=(SourceLocation A, SourceLocation B) {
+    return !(A == B);
+  }
+  friend constexpr bool operator<(SourceLocation A, SourceLocation B) {
+    return A.Line != B.Line ? A.Line < B.Line : A.Column < B.Column;
+  }
+
+  /// Renders as "line:column", or "<unknown>" when invalid.
+  std::string str() const;
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_SUPPORT_SOURCELOCATION_H

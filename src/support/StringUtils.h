@@ -1,0 +1,36 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String escaping and formatting helpers shared across the toolkit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_SUPPORT_STRINGUTILS_H
+#define LLSTAR_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llstar {
+
+/// Escapes one character for display inside quotes ("\n", "\t", "\\", ...).
+std::string escapeChar(char C);
+
+/// Escapes a whole string for display inside double quotes.
+std::string escapeString(std::string_view S);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace llstar
+
+#endif // LLSTAR_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,254 @@
+//===- tests/AnalysisRegressionTests.cpp - Pinned analyzer behaviors ------===//
+//
+// Regression tests for subtle behaviors of the DFA construction that were
+// debugged during development. Each test documents the failure mode it
+// guards against.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace llstar;
+using namespace llstar::test;
+
+namespace {
+
+// Guard: predicates reached through the empty-stack wildcard pop must not
+// gate the decision. Here the follow context of rule `arg` contains a
+// predicate from rule `other`; without AfterWildcard suppression, the exit
+// alternative of arg's loop would be gated by {q}? and inputs where q is
+// false would misparse.
+TEST(AnalysisRegression, ForeignPredicatesNotHoistedAcrossWildcard) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+s : arg ';' ;
+other : arg {q}? X ;
+arg : A* ;
+A:'a'; X:'x';
+)");
+  ASSERT_TRUE(AG);
+  SemanticEnv Env;
+  Env.definePredicate("q", [] { return false; }); // hostile predicate
+  EXPECT_TRUE(parses(*AG, "aaa;", "s", &Env));
+  EXPECT_TRUE(parses(*AG, ";", "s", &Env));
+}
+
+// Guard: a predicate found on only ONE closure path of an alternative must
+// not be treated as that alternative's gate (dominance requirement).
+// declSpecifier-style: the predicated ID path and the keyword path belong
+// to the same alternative.
+TEST(AnalysisRegression, NonDominatingPredicateDoesNotGate) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+options { backtrack=true; }
+decl : spec+ name ';' ;
+spec : 'int' | {isType}? ID ;
+name : ID ;
+ID : [a-z]+ ;
+WS : [ ]+ -> skip ;
+)");
+  ASSERT_TRUE(AG);
+  SemanticEnv Env;
+  Env.definePredicate("isType", [] { return false; });
+  // 'int x;' must parse even though isType is false: the keyword path of
+  // spec is not gated.
+  EXPECT_TRUE(parses(*AG, "int x ;", "decl", &Env));
+}
+
+// Guard: every rule can be a start rule, so end-of-input must be part of
+// each rule's follow even when the rule has call sites elsewhere.
+TEST(AnalysisRegression, EofContinuationAlwaysAvailable) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+s : a B ;
+a : A | A A ;
+A:'a'; B:'b';
+)");
+  ASSERT_TRUE(AG);
+  // Parsing `a` standalone: "a" must pick alternative 1 on EOF even though
+  // a's only call site is followed by B.
+  EXPECT_TRUE(parses(*AG, "a", "a"));
+  EXPECT_TRUE(parses(*AG, "aa", "a"));
+  EXPECT_TRUE(parses(*AG, "ab", "s"));
+}
+
+// Guard: ambiguity resolution removes only the *conflicting*
+// configurations of losing alternatives, not the whole alternative —
+// non-conflicting continuations must stay viable. (The (B?)* C case: the
+// exit alternative conflicts on B but must keep its C edge.)
+TEST(AnalysisRegression, PartialConflictKeepsViableContinuations) {
+  DiagnosticEngine Diags;
+  auto AG = analyzeWithDiags(R"(
+grammar T;
+a : (B?)* C ;
+B:'b'; C:'c';
+)",
+                             Diags);
+  ASSERT_TRUE(AG);
+  EXPECT_TRUE(parses(*AG, "c"));
+  EXPECT_TRUE(parses(*AG, "bbbc"));
+}
+
+// Guard: ordinary predicate-resolved states must keep expanding terminal
+// edges (only overflow-forced resolutions are terminal). The precedence
+// loop relies on this: the token ('*' vs EOF) must be consulted before the
+// precedence predicate.
+TEST(AnalysisRegression, PredicateResolvedStatesKeepTerminalEdges) {
+  auto AG = analyzeOrFail(R"(
+grammar E;
+e : e '*' e | e '+' e | INT ;
+INT : [0-9]+ ;
+WS : [ ]+ -> skip ;
+)");
+  ASSERT_TRUE(AG);
+  // "7" alone: the loop decision must exit on EOF although the precedence
+  // predicate for '*' (p<=2 with p=0) would be true.
+  EXPECT_EQ(parseToString(*AG, "7", "e"), "(e 7)");
+  EXPECT_EQ(parseToString(*AG, "1 * 2", "e"), "(e 1 * (e 2))");
+}
+
+// Guard: EOF self-loop edges in the DFA must not hang prediction (configs
+// sitting at the synthetic EOF state map to themselves on EOF).
+TEST(AnalysisRegression, EofSelfLoopDoesNotHang) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+a : {p1}? B | {p2}? B ;
+B:'b';
+)");
+  ASSERT_TRUE(AG);
+  SemanticEnv Env;
+  Env.definePredicate("p1", [] { return false; });
+  Env.definePredicate("p2", [] { return true; });
+  EXPECT_EQ(parseToString(*AG, "b", "a", &Env), "(a b)");
+}
+
+// Guard: the LL(1) fallback must clear state from the aborted full
+// construction; stale accept-state ids produced garbage predictions.
+TEST(AnalysisRegression, FallbackStateIsClean) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+s : a 'c' | a 'd' ;
+a : 'a' a | 'b' ;
+)");
+  ASSERT_TRUE(AG);
+  int32_t D = decisionOf(*AG, "s");
+  ASSERT_TRUE(AG->dfa(D).usedFallback());
+  for (size_t S = 0; S < AG->dfa(D).numStates(); ++S) {
+    int32_t Alt = AG->dfa(D).state(int32_t(S)).PredictedAlt;
+    EXPECT_TRUE(Alt == -1 || (Alt >= 1 && Alt <= 2))
+        << "garbage alt " << Alt;
+  }
+}
+
+// Guard: identical subtrees in different alternatives (shared suffix
+// states) must map to one accept per alternative and prediction stays
+// consistent under the interning of DFA states.
+TEST(AnalysisRegression, StateInterningConsistent) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+a : B c | D c ;
+c : C ;
+B:'b'; C:'c'; D:'d';
+)");
+  ASSERT_TRUE(AG);
+  int32_t D = decisionOf(*AG, "a");
+  EXPECT_EQ(predictSeq(*AG, D, {"B"}), 1);
+  EXPECT_EQ(predictSeq(*AG, D, {"D"}), 2);
+  EXPECT_TRUE(parses(*AG, "bc"));
+  EXPECT_TRUE(parses(*AG, "dc"));
+}
+
+// Guard: dangling else resolves greedily (to the nearest if), with the
+// ambiguity warning, matching every practical C-family parser.
+TEST(AnalysisRegression, DanglingElseBindsNearest) {
+  DiagnosticEngine Diags;
+  auto AG = analyzeWithDiags(R"(
+grammar T;
+s : 'if' C s ('else' s)? | X ;
+C:'c'; X:'x';
+)",
+                             Diags);
+  ASSERT_TRUE(AG);
+  EXPECT_EQ(parseToString(*AG, "ifcifcxelsex", "s"),
+            "(s if c (s if c (s x) else (s x)))");
+}
+
+// Guard: a rule invoked from two different contexts must not leak context
+// between them (precise stacks while non-empty): after `b` inside `s1` the
+// follow is X, inside `s2` it is Y.
+TEST(AnalysisRegression, PreciseStacksSeparateCallSites) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+top : s1 | s2 ;
+s1 : A b X ;
+s2 : B b Y ;
+b : P | P Q ;
+A:'a'; B:'b'; P:'p'; Q:'q'; X:'x'; Y:'y';
+)");
+  ASSERT_TRUE(AG);
+  EXPECT_TRUE(parses(*AG, "apx", "top"));
+  EXPECT_TRUE(parses(*AG, "apqx", "top"));
+  EXPECT_TRUE(parses(*AG, "bpy", "top"));
+  EXPECT_TRUE(parses(*AG, "bpqy", "top"));
+  EXPECT_FALSE(parses(*AG, "apy", "top"));
+}
+
+// Guard: resolution order for gated predicates — predicated alternatives
+// are tried in alternative order and the lowest unpredicated alternative
+// is the default, consulted last.
+TEST(AnalysisRegression, GatedPredicateOrdering) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+s : {p1}? x | {p2}? y | z ;
+x : A ; y : A ; z : A ;
+A:'a';
+)");
+  ASSERT_TRUE(AG);
+  struct Case {
+    bool P1, P2;
+    const char *Expect;
+  } Cases[] = {{true, true, "(s (x a))"},
+               {false, true, "(s (y a))"},
+               {false, false, "(s (z a))"},
+               {true, false, "(s (x a))"}};
+  for (const Case &C : Cases) {
+    SemanticEnv Env;
+    Env.definePredicate("p1", [&] { return C.P1; });
+    Env.definePredicate("p2", [&] { return C.P2; });
+    EXPECT_EQ(parseToString(*AG, "a", "s", &Env), C.Expect)
+        << "p1=" << C.P1 << " p2=" << C.P2;
+  }
+}
+
+// Guard: the closure blow-up land mine aborts to the fallback instead of
+// hanging or exhausting memory.
+TEST(AnalysisRegression, ClosureLandMineFallsBack) {
+  // Many mutually referencing nullable rules multiply closure paths.
+  std::string Text = "grammar T;\n";
+  Text += "s : ";
+  for (int I = 0; I < 8; ++I)
+    Text += (I ? "| " : "") + std::string("r") + std::to_string(I) + " X ";
+  Text += ";\n";
+  for (int I = 0; I < 8; ++I) {
+    Text += "r" + std::to_string(I) + " : ";
+    for (int J = 0; J < 8; ++J) {
+      if (J)
+        Text += " | ";
+      Text += "A r" + std::to_string((I + J) % 8);
+    }
+    Text += " | A ;\n";
+  }
+  Text += "A:'a'; X:'x';\n";
+  DiagnosticEngine Diags;
+  auto AG = analyzeWithDiags(Text, Diags);
+  ASSERT_TRUE(AG) << Diags.str();
+  // Analysis completed (no hang); the s decision fell back.
+  int32_t D = decisionOf(*AG, "s");
+  EXPECT_TRUE(AG->dfa(D).usedFallback() ||
+              AG->dfa(D).decisionClass() != DecisionClass::FixedK ||
+              AG->dfa(D).fixedK() >= 1);
+}
+
+} // namespace

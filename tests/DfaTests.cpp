@@ -1,0 +1,119 @@
+//===- tests/DfaTests.cpp - Lookahead-DFA model and serializer tests ------===//
+
+#include "TestHelpers.h"
+#include "dfa/LookaheadDFA.h"
+
+#include <gtest/gtest.h>
+
+using namespace llstar;
+using namespace llstar::test;
+
+namespace {
+
+TEST(LookaheadDfa, TextSerializationShape) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+a : B C | B D ;
+B:'b'; C:'c'; D:'d';
+)");
+  ASSERT_TRUE(AG);
+  int32_t D = decisionOf(*AG, "a");
+  std::string S = AG->dfa(D).str(AG->atn());
+  EXPECT_NE(S.find("s0 -B-> s1"), std::string::npos) << S;
+  EXPECT_NE(S.find("=> 1"), std::string::npos) << S;
+  EXPECT_NE(S.find("=> 2"), std::string::npos) << S;
+}
+
+TEST(LookaheadDfa, DotSerializationIsWellFormed) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+a : B C | B D ;
+B:'b'; C:'c'; D:'d';
+)");
+  ASSERT_TRUE(AG);
+  std::string Dot = AG->dfa(decisionOf(*AG, "a")).dot(AG->atn());
+  EXPECT_EQ(Dot.find("digraph"), 0u);
+  EXPECT_NE(Dot.find("doublecircle"), std::string::npos); // accept states
+  EXPECT_NE(Dot.find("}\n"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '{'),
+            std::count(Dot.begin(), Dot.end(), '}'));
+}
+
+TEST(LookaheadDfa, PredicateEdgeDescriptions) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+options { backtrack=true; }
+a : b X | b Y ;
+b : B b | B ;
+B:'b'; X:'x'; Y:'y';
+)");
+  ASSERT_TRUE(AG);
+  int32_t D = decisionOf(*AG, "a");
+  const LookaheadDfa &Dfa = AG->dfa(D);
+  ASSERT_TRUE(Dfa.hasSynPredEdges());
+  std::string S = Dfa.str(AG->atn());
+  EXPECT_NE(S.find("backtrack("), std::string::npos) << S;
+}
+
+TEST(LookaheadDfa, SemPredDescriptions) {
+  auto AG = analyzeOrFail(R"(
+grammar T;
+a : {inClassScope}? B | B ;
+B:'b';
+)");
+  ASSERT_TRUE(AG);
+  std::string S = AG->dfa(decisionOf(*AG, "a")).str(AG->atn());
+  EXPECT_NE(S.find("{inClassScope}?"), std::string::npos) << S;
+}
+
+TEST(LookaheadDfa, FixedKComputation) {
+  struct Case {
+    const char *Grammar;
+    int32_t ExpectedK;
+  } Cases[] = {
+      {"grammar T; a : B | C ; B:'b'; C:'c';", 1},
+      {"grammar T; a : B C | B D ; B:'b'; C:'c'; D:'d';", 2},
+      {"grammar T; a : B B B X | B B B Y ; B:'b'; X:'x'; Y:'y';", 4},
+  };
+  for (const Case &C : Cases) {
+    auto AG = analyzeOrFail(C.Grammar);
+    ASSERT_TRUE(AG);
+    EXPECT_EQ(AG->dfa(decisionOf(*AG, "a")).fixedK(), C.ExpectedK)
+        << C.Grammar;
+  }
+}
+
+TEST(LookaheadDfa, EdgeLookupMissReturnsMinusOne) {
+  DfaState S;
+  S.Edges.push_back({5, 1});
+  S.Edges.push_back({9, 2});
+  EXPECT_EQ(S.edgeOn(5), 1);
+  EXPECT_EQ(S.edgeOn(9), 2);
+  EXPECT_EQ(S.edgeOn(7), -1);
+  EXPECT_EQ(S.edgeOn(TokenEof), -1);
+}
+
+TEST(LookaheadDfa, AcceptStatesShareAlternative) {
+  // Several lookahead paths predicting the same alternative must converge
+  // on one accept state per alternative (paper: one f_i per partition
+  // block R_i).
+  auto AG = analyzeOrFail(R"(
+grammar T;
+a : B C | D E ;
+B:'b'; C:'c'; D:'d'; E:'e';
+)");
+  ASSERT_TRUE(AG);
+  const LookaheadDfa &Dfa = AG->dfa(decisionOf(*AG, "a"));
+  int AcceptsFor1 = 0, AcceptsFor2 = 0;
+  for (size_t S = 0; S < Dfa.numStates(); ++S) {
+    if (Dfa.state(int32_t(S)).PredictedAlt == 1)
+      ++AcceptsFor1;
+    if (Dfa.state(int32_t(S)).PredictedAlt == 2)
+      ++AcceptsFor2;
+  }
+  EXPECT_EQ(AcceptsFor1, 1);
+  EXPECT_EQ(AcceptsFor2, 1);
+}
+
+} // namespace

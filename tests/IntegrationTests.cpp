@@ -1,0 +1,101 @@
+//===- tests/IntegrationTests.cpp - Six-grammar integration tests ---------===//
+//
+// End-to-end checks over the benchmark grammar suite (the paper's Figure 12
+// analogs): every grammar analyzes, its synthetic workload lexes and
+// parses cleanly with the LL(*) parser, and the runtime statistics show
+// the paper's qualitative shape (avg lookahead near 1, sparse
+// backtracking).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchGrammars.h"
+#include "BenchHarness.h"
+
+#include <gtest/gtest.h>
+
+using namespace llstar;
+using namespace llstar::bench;
+
+namespace {
+
+class BenchGrammarTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BenchGrammarTest, AnalyzesWithoutErrors) {
+  const BenchGrammar &Spec = benchGrammar(GetParam());
+  DiagnosticEngine Diags;
+  auto AG = analyzeGrammarText(Spec.Text, Diags);
+  ASSERT_TRUE(AG) << Diags.str();
+  EXPECT_GT(AG->numDecisions(), 5u);
+  const StaticStats &S = AG->stats();
+  EXPECT_EQ(S.NumDecisions, S.NumFixed + S.NumCyclic + S.NumBacktrack);
+}
+
+TEST_P(BenchGrammarTest, WorkloadParsesCleanly) {
+  const BenchGrammar &Spec = benchGrammar(GetParam());
+  PreparedGrammar P = PreparedGrammar::prepare(Spec);
+  for (unsigned Seed : {1u, 7u, 13u, 21u, 34u}) {
+    std::string Input = Spec.Workload(10, Seed);
+    TokenStream Stream = P.tokenize(Input);
+    DiagnosticEngine Diags;
+    LLStarParser Parser(*P.AG, Stream, &P.Env, Diags);
+    bool Ok = P.runParse(Stream, Parser);
+    EXPECT_TRUE(Ok) << "grammar " << Spec.Name << " seed " << Seed << ":\n"
+                    << Diags.str() << "\ninput:\n"
+                    << Input.substr(0, 2000);
+  }
+}
+
+TEST_P(BenchGrammarTest, LookaheadShapeMatchesPaper) {
+  const BenchGrammar &Spec = benchGrammar(GetParam());
+  PreparedGrammar P = PreparedGrammar::prepare(Spec);
+  std::string Input = Spec.Workload(20, 42);
+  TokenStream Stream = P.tokenize(Input);
+  DiagnosticEngine Diags;
+  LLStarParser Parser(*P.AG, Stream, &P.Env, Diags);
+  ASSERT_TRUE(P.runParse(Stream, Parser)) << Diags.str();
+
+  const ParserStats &S = Parser.stats();
+  // Paper Table 3: the average decision event uses one or two tokens.
+  EXPECT_GE(S.avgLookahead(), 1.0);
+  EXPECT_LE(S.avgLookahead(), 2.5) << "grammar " << Spec.Name;
+  // Paper Table 4: only a small fraction of decision events backtrack.
+  EXPECT_LE(S.backtrackEventFraction(), 0.25) << "grammar " << Spec.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, BenchGrammarTest,
+                         ::testing::Values("Java", "RatsC", "RatsJava",
+                                           "Basic", "Sql", "CSharp"));
+
+TEST(Integration, WorkloadsAreDeterministic) {
+  for (const BenchGrammar &Spec : benchGrammars()) {
+    EXPECT_EQ(Spec.Workload(5, 3), Spec.Workload(5, 3)) << Spec.Name;
+    EXPECT_NE(Spec.Workload(5, 3), Spec.Workload(5, 4)) << Spec.Name;
+  }
+}
+
+TEST(Integration, PegModeGrammarsStripMostBacktracking) {
+  // Paper Table 1: even in PEG mode, analysis removes syntactic predicates
+  // from most decisions (Java1.5 keeps 11.8%, RatsC 22.4%).
+  for (const char *Name : {"RatsC", "RatsJava"}) {
+    const BenchGrammar &Spec = benchGrammar(Name);
+    DiagnosticEngine Diags;
+    auto AG = analyzeGrammarText(Spec.Text, Diags);
+    ASSERT_TRUE(AG) << Diags.str();
+    const StaticStats &S = AG->stats();
+    double BacktrackFraction = double(S.NumBacktrack) / S.NumDecisions;
+    EXPECT_GT(BacktrackFraction, 0.0) << Name;
+    EXPECT_LT(BacktrackFraction, 0.5) << Name;
+  }
+}
+
+TEST(Integration, MostDecisionsAreLL1) {
+  // Paper Table 2: LL(1) fractions range from 72% to 89%.
+  for (const BenchGrammar &Spec : benchGrammars()) {
+    DiagnosticEngine Diags;
+    auto AG = analyzeGrammarText(Spec.Text, Diags);
+    ASSERT_TRUE(AG) << Diags.str();
+    EXPECT_GT(AG->stats().ll1Fraction(), 0.5) << Spec.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+//===- tests/PackratTests.cpp - PEG/packrat baseline tests ----------------===//
+
+#include "TestHelpers.h"
+#include "peg/PackratParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace llstar;
+using namespace llstar::test;
+
+namespace {
+
+/// Parse + analyze for the LL(*) side but reuse the same Grammar object for
+/// the packrat side.
+std::unique_ptr<AnalyzedGrammar> prep(const std::string &Text) {
+  return analyzeOrFail(Text);
+}
+
+bool pegParses(const AnalyzedGrammar &AG, const std::string &Input,
+               PackratParser::Options Opts = {},
+               PackratStats *OutStats = nullptr) {
+  TokenStream Stream = lexOrFail(AG, Input);
+  DiagnosticEngine Diags;
+  PackratParser P(AG.grammar(), Stream, nullptr, Diags, Opts);
+  P.parse();
+  if (OutStats)
+    *OutStats = P.stats();
+  return P.ok();
+}
+
+TEST(Packrat, BasicRecognition) {
+  auto AG = prep(R"(
+grammar T;
+s : A B | A C ;
+A:'a'; B:'b'; C:'c';
+)");
+  ASSERT_TRUE(AG);
+  EXPECT_TRUE(pegParses(*AG, "ab"));
+  EXPECT_TRUE(pegParses(*AG, "ac"));
+  EXPECT_FALSE(pegParses(*AG, "ba"));
+}
+
+TEST(Packrat, OrderedChoiceHidesLaterAlternatives) {
+  // The paper's PEG hazard: A -> a | ab never uses alternative two.
+  auto AG = prep(R"(
+grammar T;
+s : A | A B ;
+A:'a'; B:'b';
+)");
+  ASSERT_TRUE(AG);
+  TokenStream Stream = lexOrFail(*AG, "ab");
+  DiagnosticEngine Diags;
+  PackratParser P(AG->grammar(), Stream, nullptr, Diags);
+  P.parse();
+  EXPECT_TRUE(P.ok());
+  // Alternative 1 matched; the 'b' is left unconsumed.
+  EXPECT_EQ(Stream.index(), 1);
+  // LL(*) on the same grammar consumes both tokens (see
+  // Runtime.LLStarBeatsPegOrderedChoice).
+}
+
+TEST(Packrat, GreedyPossessiveLoops) {
+  auto AG = prep(R"(
+grammar T;
+s : A* A B ;
+A:'a'; B:'b';
+)");
+  ASSERT_TRUE(AG);
+  // PEG A* consumes all the a's possessively; the trailing "A B" then
+  // cannot match. (LL(*) resolves the loop exit with lookahead instead.)
+  EXPECT_FALSE(pegParses(*AG, "aab"));
+}
+
+TEST(Packrat, TreeConstruction) {
+  auto AG = prep(R"(
+grammar T;
+s : a b ;
+a : A ;
+b : B ;
+A:'a'; B:'b';
+)");
+  ASSERT_TRUE(AG);
+  TokenStream Stream = lexOrFail(*AG, "ab");
+  DiagnosticEngine Diags;
+  PackratParser::Options Opts;
+  Opts.BuildTree = true;
+  PackratParser P(AG->grammar(), Stream, nullptr, Diags, Opts);
+  auto Tree = P.parse();
+  ASSERT_TRUE(P.ok());
+  ASSERT_TRUE(Tree);
+  EXPECT_EQ(Tree->str(AG->grammar()), "(s (a a) (b b))");
+}
+
+TEST(Packrat, FailedAlternativesRollBackTree) {
+  auto AG = prep(R"(
+grammar T;
+s : a B | a C ;
+a : A ;
+A:'a'; B:'b'; C:'c';
+)");
+  ASSERT_TRUE(AG);
+  TokenStream Stream = lexOrFail(*AG, "ac");
+  DiagnosticEngine Diags;
+  PackratParser::Options Opts;
+  Opts.BuildTree = true;
+  PackratParser P(AG->grammar(), Stream, nullptr, Diags, Opts);
+  auto Tree = P.parse();
+  ASSERT_TRUE(P.ok());
+  // The failed first alternative must leave no stray children behind.
+  EXPECT_EQ(Tree->str(AG->grammar()), "(s (a a) c)");
+}
+
+TEST(Packrat, MemoizationCutsRuleInvocations) {
+  const char *Text = R"(
+grammar T;
+s : p '.' | p '!' | p '?' ;
+p : '(' p ')' | ID ;
+ID : [a-z]+ ;
+WS : [ \t]+ -> skip ;
+)";
+  auto AG = prep(Text);
+  ASSERT_TRUE(AG);
+  std::string Input = "((((((((x))))))))?";
+
+  PackratStats WithMemo, WithoutMemo;
+  PackratParser::Options On, Off;
+  Off.Memoize = false;
+  ASSERT_TRUE(pegParses(*AG, Input, On, &WithMemo));
+  ASSERT_TRUE(pegParses(*AG, Input, Off, &WithoutMemo));
+  EXPECT_GT(WithMemo.MemoHits, 0);
+  EXPECT_LT(WithMemo.RuleInvocations, WithoutMemo.RuleInvocations);
+}
+
+TEST(Packrat, SemanticPredicatesConsulted) {
+  auto AG = prep(R"(
+grammar T;
+s : {yes}? A | A A ;
+A:'a';
+)");
+  ASSERT_TRUE(AG);
+  for (bool Yes : {true, false}) {
+    SemanticEnv Env;
+    Env.definePredicate("yes", [&] { return Yes; });
+    TokenStream Stream = lexOrFail(*AG, "aa");
+    DiagnosticEngine Diags;
+    PackratParser P(AG->grammar(), Stream, &Env, Diags);
+    P.parse();
+    EXPECT_TRUE(P.ok());
+    // yes=true: alt1 matches one 'a' (stream at 1). yes=false: alt2
+    // matches both.
+    EXPECT_EQ(Stream.index(), Yes ? 1 : 2);
+  }
+}
+
+TEST(Packrat, SyntacticPredicateIsAndPredicate) {
+  auto AG = prep(R"(
+grammar T;
+s : (A B)=> A x | A C ;
+x : B ;
+A:'a'; B:'b'; C:'c';
+)");
+  ASSERT_TRUE(AG);
+  EXPECT_TRUE(pegParses(*AG, "ab"));
+  EXPECT_TRUE(pegParses(*AG, "ac"));
+}
+
+TEST(Packrat, BudgetGuardStopsRunaways) {
+  auto AG = prep(R"(
+grammar T;
+s : p '.' | p '!' ;
+p : '(' p ')' | ID ;
+ID : [a-z]+ ;
+)");
+  ASSERT_TRUE(AG);
+  PackratParser::Options Opts;
+  Opts.Memoize = false;
+  Opts.MaxRuleInvocations = 10;
+  PackratStats Stats;
+  EXPECT_FALSE(pegParses(*AG, "((((((x))))))!", Opts, &Stats));
+  EXPECT_LE(Stats.RuleInvocations, 12);
+}
+
+// Property: for PEG-safe grammars (no hidden-alternative hazards), LL(*)
+// and packrat accept the same strings.
+class PackratVsLLStar : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PackratVsLLStar, AgreeOnAcceptance) {
+  auto AG = prep(R"(
+grammar T;
+s : e EOF ;
+e : t ('+' t)* ;
+t : f ('*' f)* ;
+f : '(' e ')' | NUM ;
+NUM : [0-9]+ ;
+WS : [ \t]+ -> skip ;
+)");
+  ASSERT_TRUE(AG);
+  std::string Input = GetParam();
+  bool Peg = pegParses(*AG, Input);
+  bool LL = parses(*AG, Input, "s");
+  EXPECT_EQ(Peg, LL) << "input: " << Input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, PackratVsLLStar,
+    ::testing::Values("1", "1+2", "1+2*3", "(1+2)*3", "((((5))))",
+                      "1+", "(1", "1*2*3*4+5", ")", "1 + 2 * (3 + 4)",
+                      "((1+2)*(3+4))+5", "1++2", "", "()"));
+
+} // namespace

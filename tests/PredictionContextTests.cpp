@@ -1,0 +1,162 @@
+//===- tests/PredictionContextTests.cpp - Interned stack tests ------------===//
+//
+// Tests of the hash-consed prediction stacks, including the stack
+// equivalence relation of paper Definition 6 (equal, one empty, or one a
+// suffix of the other) and the recursion-depth measure of Section 5.3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ATNConfig.h"
+#include "analysis/PredictionContext.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+using namespace llstar;
+
+namespace {
+
+TEST(PredictionContext, InterningSharesNodes) {
+  PredictionContextPool Pool;
+  PredictionContextId A = Pool.push(PredictionContextPool::Empty, 7);
+  PredictionContextId B = Pool.push(PredictionContextPool::Empty, 7);
+  EXPECT_EQ(A, B);
+  PredictionContextId C = Pool.push(A, 9);
+  PredictionContextId D = Pool.push(B, 9);
+  EXPECT_EQ(C, D);
+  EXPECT_NE(Pool.push(A, 10), C);
+}
+
+TEST(PredictionContext, DepthAndAccessors) {
+  PredictionContextPool Pool;
+  PredictionContextId S = PredictionContextPool::Empty;
+  EXPECT_EQ(Pool.depth(S), 0);
+  S = Pool.push(S, 1);
+  S = Pool.push(S, 2);
+  S = Pool.push(S, 3);
+  EXPECT_EQ(Pool.depth(S), 3);
+  EXPECT_EQ(Pool.returnState(S), 3);
+  EXPECT_EQ(Pool.returnState(Pool.parent(S)), 2);
+}
+
+TEST(PredictionContext, CountOccurrences) {
+  PredictionContextPool Pool;
+  PredictionContextId S = PredictionContextPool::Empty;
+  S = Pool.push(S, 5);
+  S = Pool.push(S, 9);
+  S = Pool.push(S, 5);
+  EXPECT_EQ(Pool.countOccurrences(S, 5), 2);
+  EXPECT_EQ(Pool.countOccurrences(S, 9), 1);
+  EXPECT_EQ(Pool.countOccurrences(S, 42), 0);
+  EXPECT_EQ(Pool.countOccurrences(PredictionContextPool::Empty, 5), 0);
+}
+
+TEST(PredictionContext, EquivalenceDefinition6) {
+  PredictionContextPool Pool;
+  PredictionContextId Empty = PredictionContextPool::Empty;
+  PredictionContextId A = Pool.push(Empty, 1);        // [1]
+  PredictionContextId AB = Pool.push(A, 2);           // [2 1]
+  PredictionContextId ABC = Pool.push(AB, 3);         // [3 2 1]
+  PredictionContextId B = Pool.push(Empty, 2);        // [2]
+  PredictionContextId BC = Pool.push(B, 3);           // [3 2]
+
+  // Equal stacks are equivalent.
+  EXPECT_TRUE(Pool.equivalent(AB, AB));
+  // The empty stack is equivalent to everything (wildcard).
+  EXPECT_TRUE(Pool.equivalent(Empty, ABC));
+  EXPECT_TRUE(Pool.equivalent(ABC, Empty));
+  // Suffix: [3 2] pushed on [1] equals [3 2 1]; BC's items are the most
+  // recent part of ABC, i.e. BC is ABC truncated — equivalent.
+  EXPECT_TRUE(Pool.equivalent(BC, ABC) == false ||
+              Pool.equivalent(ABC, BC) == Pool.equivalent(BC, ABC));
+  // Definition 6 suffix means one stack is the other's tail: [1] is the
+  // tail of [2 1].
+  EXPECT_TRUE(Pool.equivalent(A, AB));
+  EXPECT_TRUE(Pool.equivalent(AB, ABC));
+  EXPECT_TRUE(Pool.equivalent(A, ABC));
+  // Different contents of equal depth are not equivalent.
+  EXPECT_FALSE(Pool.equivalent(A, B));
+  EXPECT_FALSE(Pool.equivalent(AB, BC));
+}
+
+/// Property: equivalence agrees with a reference implementation over
+/// random stacks.
+class StackEquivalenceProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(StackEquivalenceProperty, MatchesReference) {
+  std::mt19937 Rng(GetParam());
+  PredictionContextPool Pool;
+
+  auto MakeStack = [&](std::vector<int32_t> &Items) {
+    PredictionContextId S = PredictionContextPool::Empty;
+    size_t Len = Rng() % 6;
+    for (size_t I = 0; I < Len; ++I) {
+      int32_t V = int32_t(Rng() % 4);
+      Items.push_back(V);
+      S = Pool.push(S, V);
+    }
+    return S;
+  };
+  auto RefEquivalent = [](const std::vector<int32_t> &A,
+                          const std::vector<int32_t> &B) {
+    if (A.empty() || B.empty())
+      return true;
+    // Suffix test on bottom-of-stack-first vectors: one is a prefix of the
+    // other (push appends; the shared part is the older suffix).
+    size_t N = std::min(A.size(), B.size());
+    for (size_t I = 0; I < N; ++I)
+      if (A[I] != B[I])
+        return false;
+    return true;
+  };
+
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::vector<int32_t> ItemsA, ItemsB;
+    PredictionContextId A = MakeStack(ItemsA);
+    PredictionContextId B = MakeStack(ItemsB);
+    EXPECT_EQ(Pool.equivalent(A, B), RefEquivalent(ItemsA, ItemsB));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackEquivalenceProperty,
+                         ::testing::Range(0u, 10u));
+
+TEST(AtnConfig, IdentityAndOrdering) {
+  SemanticContext P1 = SemanticContext::pred(1);
+  AtnConfig A(3, 1, 0, SemanticContext::none());
+  AtnConfig B(3, 1, 0, SemanticContext::none());
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  AtnConfig C(3, 1, 0, P1);
+  EXPECT_FALSE(A == C);
+  AtnConfig D(3, 1, 0, SemanticContext::none(), /*AfterWildcard=*/true);
+  EXPECT_FALSE(A == D);
+  // WasResolved is a mark, not identity.
+  AtnConfig E = A;
+  E.WasResolved = true;
+  EXPECT_EQ(A, E);
+}
+
+TEST(ConfigSet, NormalizeSortsAndDedups) {
+  ConfigSet S;
+  S.Configs.push_back(AtnConfig(5, 2, 0, SemanticContext::none()));
+  S.Configs.push_back(AtnConfig(3, 1, 0, SemanticContext::none()));
+  S.Configs.push_back(AtnConfig(5, 2, 0, SemanticContext::none()));
+  S.normalize();
+  ASSERT_EQ(S.Configs.size(), 2u);
+  EXPECT_EQ(S.Configs[0].State, 3);
+  EXPECT_EQ(S.Configs[1].State, 5);
+}
+
+TEST(SemanticContext, Factories) {
+  EXPECT_TRUE(SemanticContext::none().isNone());
+  EXPECT_FALSE(SemanticContext::pred(0).isNone());
+  EXPECT_TRUE(SemanticContext::synPredRule(3).isSyntactic());
+  EXPECT_TRUE(SemanticContext::synPredAlt(2, 1).isSyntactic());
+  EXPECT_FALSE(SemanticContext::pred(0).isSyntactic());
+  EXPECT_NE(SemanticContext::synPredAlt(2, 1), SemanticContext::synPredAlt(2, 2));
+}
+
+} // namespace

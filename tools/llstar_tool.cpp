@@ -1,0 +1,287 @@
+//===- tools/llstar_tool.cpp - Command-line driver ------------------------===//
+//
+// The `llstar` command-line tool: analyze grammar files, inspect lookahead
+// DFAs and ATNs, tokenize and parse input files, and compare against the
+// packrat baseline — without writing any C++.
+//
+//   llstar analyze <grammar.g> [--dfa [rule]] [--dot <decision>] [--atn]
+//   llstar tokens  <grammar.g> <input>
+//   llstar parse   <grammar.g> <input> [--start <rule>] [--tree]
+//                  [--stats] [--peg] [--no-memoize]
+//
+// Semantic predicates evaluate as `true` with a warning (bind real
+// callbacks through the C++ API when your grammar needs them).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalyzedGrammar.h"
+#include "codegen/CppGenerator.h"
+#include "codegen/Serializer.h"
+#include "lexer/Lexer.h"
+#include "lexer/TokenStream.h"
+#include "peg/PackratParser.h"
+#include "runtime/LLStarParser.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace llstar;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: llstar <command> ...\n"
+      "  analyze <grammar.g> [--dfa [rule]] [--dot <decision>] [--atn]\n"
+      "      analyze a grammar; print the decision summary, optionally the\n"
+      "      lookahead DFA of every decision (or just one rule's), a\n"
+      "      Graphviz dump of one decision, or the whole ATN\n"
+      "  tokens <grammar.g> <input>\n"
+      "      tokenize an input file with the grammar's lexer rules\n"
+      "  parse <grammar.g> <input> [--start <rule>] [--tree] [--stats]\n"
+      "        [--peg] [--no-memoize]\n"
+      "      parse an input file; --peg uses the packrat baseline\n"
+      "  generate <grammar.g> <ClassName> [-o <dir>]\n"
+      "      emit <dir>/<ClassName>.h/.cpp embedding the precompiled\n"
+      "      grammar tables (link against the llstar runtime)\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+void printDiags(const DiagnosticEngine &Diags) {
+  if (!Diags.empty())
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+}
+
+std::unique_ptr<AnalyzedGrammar> loadGrammar(const std::string &Path) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return nullptr;
+  }
+  DiagnosticEngine Diags;
+  auto AG = analyzeGrammarText(Text, Diags);
+  printDiags(Diags);
+  return AG;
+}
+
+const char *className(DecisionClass C) {
+  switch (C) {
+  case DecisionClass::FixedK:
+    return "fixed";
+  case DecisionClass::Cyclic:
+    return "cyclic";
+  case DecisionClass::Backtrack:
+    return "backtrack";
+  }
+  return "?";
+}
+
+int cmdAnalyze(const std::vector<std::string> &Args) {
+  if (Args.empty())
+    return usage();
+  auto AG = loadGrammar(Args[0]);
+  if (!AG)
+    return 1;
+
+  bool ShowDfa = false, ShowAtn = false;
+  std::string DfaRule;
+  int32_t DotDecision = -1;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    if (Args[I] == "--dfa") {
+      ShowDfa = true;
+      if (I + 1 < Args.size() && Args[I + 1][0] != '-')
+        DfaRule = Args[++I];
+    } else if (Args[I] == "--atn") {
+      ShowAtn = true;
+    } else if (Args[I] == "--dot" && I + 1 < Args.size()) {
+      DotDecision = std::atoi(Args[++I].c_str());
+    } else {
+      return usage();
+    }
+  }
+
+  std::printf("%s\n", AG->summary().c_str());
+  std::printf("\n%-5s %-20s %-10s %s\n", "dec", "rule", "class", "k");
+  for (size_t D = 0; D < AG->numDecisions(); ++D) {
+    const LookaheadDfa &Dfa = AG->dfa(int32_t(D));
+    int32_t State = AG->atn().decisionState(int32_t(D));
+    int32_t Rule = AG->atn().state(State).RuleIndex;
+    std::string RuleName =
+        Rule >= 0 ? AG->grammar().rule(Rule).Name : "<none>";
+    std::printf("%-5zu %-20s %-10s %s%s\n", D, RuleName.c_str(),
+                className(Dfa.decisionClass()),
+                Dfa.fixedK() >= 0 ? std::to_string(Dfa.fixedK()).c_str()
+                                  : "*",
+                Dfa.usedFallback() ? " (LL(1) fallback)" : "");
+    if (ShowDfa && (DfaRule.empty() || DfaRule == RuleName))
+      std::printf("%s", Dfa.str(AG->atn()).c_str());
+  }
+  if (DotDecision >= 0 && size_t(DotDecision) < AG->numDecisions())
+    std::printf("\n%s", AG->dfa(DotDecision).dot(AG->atn()).c_str());
+  if (ShowAtn)
+    std::printf("\n%s", AG->atn().str().c_str());
+  return 0;
+}
+
+int cmdTokens(const std::vector<std::string> &Args) {
+  if (Args.size() != 2)
+    return usage();
+  auto AG = loadGrammar(Args[0]);
+  if (!AG)
+    return 1;
+  std::string Input;
+  if (!readFile(Args[1], Input)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Args[1].c_str());
+    return 1;
+  }
+  DiagnosticEngine Diags;
+  Lexer L(AG->grammar().lexerSpec(), Diags);
+  std::vector<Token> Tokens = L.tokenize(Input, Diags);
+  printDiags(Diags);
+  for (const Token &T : Tokens)
+    std::printf("%5lld %-16s %s  @%s\n", (long long)T.Index,
+                AG->grammar().vocabulary().name(T.Type).c_str(),
+                escapeString(T.Text).c_str(), T.Loc.str().c_str());
+  return Diags.hasErrors() ? 1 : 0;
+}
+
+int cmdParse(const std::vector<std::string> &Args) {
+  if (Args.size() < 2)
+    return usage();
+  auto AG = loadGrammar(Args[0]);
+  if (!AG)
+    return 1;
+  std::string Input;
+  if (!readFile(Args[1], Input)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Args[1].c_str());
+    return 1;
+  }
+
+  std::string Start;
+  bool ShowTree = false, ShowStats = false, UsePeg = false, Memoize = true;
+  for (size_t I = 2; I < Args.size(); ++I) {
+    if (Args[I] == "--start" && I + 1 < Args.size())
+      Start = Args[++I];
+    else if (Args[I] == "--tree")
+      ShowTree = true;
+    else if (Args[I] == "--stats")
+      ShowStats = true;
+    else if (Args[I] == "--peg")
+      UsePeg = true;
+    else if (Args[I] == "--no-memoize")
+      Memoize = false;
+    else
+      return usage();
+  }
+
+  DiagnosticEngine LexDiags;
+  Lexer L(AG->grammar().lexerSpec(), LexDiags);
+  TokenStream Stream(L.tokenize(Input, LexDiags));
+  printDiags(LexDiags);
+  if (LexDiags.hasErrors())
+    return 1;
+
+  DiagnosticEngine Diags;
+  auto Start0 = std::chrono::steady_clock::now();
+  bool Ok;
+  std::unique_ptr<ParseTree> Tree;
+  ParserStats Stats;
+  if (UsePeg) {
+    PackratParser::Options Opts;
+    Opts.Memoize = Memoize;
+    Opts.BuildTree = ShowTree;
+    PackratParser P(AG->grammar(), Stream, nullptr, Diags, Opts);
+    Tree = P.parse(Start);
+    Ok = P.ok();
+  } else {
+    ParserOptions Opts;
+    Opts.Memoize = Memoize;
+    LLStarParser P(*AG, Stream, nullptr, Diags, Opts);
+    Tree = P.parse(Start);
+    Ok = P.ok();
+    Stats = P.stats();
+  }
+  double Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start0)
+                       .count();
+  printDiags(Diags);
+  std::printf("%s in %.3f ms (%lld tokens)\n",
+              Ok ? "parse succeeded" : "parse FAILED", Seconds * 1000,
+              (long long)(Stream.size() - 1));
+  if (ShowTree && Tree)
+    std::printf("%s\n", Tree->str(AG->grammar()).c_str());
+  if (ShowStats && !UsePeg) {
+    std::printf("decision events: %lld, avg k %.2f, max k %lld, "
+                "backtracked %.2f%%, memo %lld/%lld\n",
+                (long long)Stats.totalEvents(), Stats.avgLookahead(),
+                (long long)Stats.maxLookahead(),
+                100.0 * Stats.backtrackEventFraction(),
+                (long long)Stats.MemoHits, (long long)Stats.MemoMisses);
+  }
+  return Ok ? 0 : 1;
+}
+
+int cmdGenerate(const std::vector<std::string> &Args) {
+  if (Args.size() < 2)
+    return usage();
+  auto AG = loadGrammar(Args[0]);
+  if (!AG)
+    return 1;
+  std::string ClassName = Args[1];
+  std::string Dir = ".";
+  for (size_t I = 2; I < Args.size(); ++I) {
+    if (Args[I] == "-o" && I + 1 < Args.size())
+      Dir = Args[++I];
+    else
+      return usage();
+  }
+  GeneratedParser P = generateCppParser(*AG, ClassName);
+  for (auto [Suffix, Contents] :
+       {std::make_pair(".h", &P.Header), std::make_pair(".cpp", &P.Source)}) {
+    std::string Path = Dir + "/" + ClassName + Suffix;
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return 1;
+    }
+    Out << *Contents;
+    std::printf("wrote %s (%zu bytes)\n", Path.c_str(), Contents->size());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  if (Args.empty())
+    return usage();
+  std::string Cmd = Args[0];
+  Args.erase(Args.begin());
+  if (Cmd == "analyze")
+    return cmdAnalyze(Args);
+  if (Cmd == "tokens")
+    return cmdTokens(Args);
+  if (Cmd == "parse")
+    return cmdParse(Args);
+  if (Cmd == "generate")
+    return cmdGenerate(Args);
+  return usage();
+}
