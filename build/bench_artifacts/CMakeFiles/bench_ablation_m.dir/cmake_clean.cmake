@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_m"
+  "../bench/bench_ablation_m.pdb"
+  "CMakeFiles/bench_ablation_m.dir/bench_ablation_m.cpp.o"
+  "CMakeFiles/bench_ablation_m.dir/bench_ablation_m.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

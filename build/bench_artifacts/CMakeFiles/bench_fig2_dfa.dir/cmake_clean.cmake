@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_dfa"
+  "../bench/bench_fig2_dfa.pdb"
+  "CMakeFiles/bench_fig2_dfa.dir/bench_fig2_dfa.cpp.o"
+  "CMakeFiles/bench_fig2_dfa.dir/bench_fig2_dfa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_leftrec"
+  "../bench/bench_leftrec.pdb"
+  "CMakeFiles/bench_leftrec.dir/bench_leftrec.cpp.o"
+  "CMakeFiles/bench_leftrec.dir/bench_leftrec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leftrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

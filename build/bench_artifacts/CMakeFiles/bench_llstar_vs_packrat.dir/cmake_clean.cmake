@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_llstar_vs_packrat"
+  "../bench/bench_llstar_vs_packrat.pdb"
+  "CMakeFiles/bench_llstar_vs_packrat.dir/bench_llstar_vs_packrat.cpp.o"
+  "CMakeFiles/bench_llstar_vs_packrat.dir/bench_llstar_vs_packrat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_llstar_vs_packrat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_llstar_vs_packrat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_memoization"
+  "../bench/bench_memoization.pdb"
+  "CMakeFiles/bench_memoization.dir/bench_memoization.cpp.o"
+  "CMakeFiles/bench_memoization.dir/bench_memoization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memoization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_static"
+  "../bench/bench_table1_static.pdb"
+  "CMakeFiles/bench_table1_static.dir/bench_table1_static.cpp.o"
+  "CMakeFiles/bench_table1_static.dir/bench_table1_static.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_depths.cpp" "bench_artifacts/CMakeFiles/bench_table2_depths.dir/bench_table2_depths.cpp.o" "gcc" "bench_artifacts/CMakeFiles/bench_table2_depths.dir/bench_table2_depths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_artifacts/common/CMakeFiles/llstar_benchcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/peg/CMakeFiles/llstar_peg.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/llstar_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/llstar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/llstar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfa/CMakeFiles/llstar_dfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/atn/CMakeFiles/llstar_atn.dir/DependInfo.cmake"
+  "/root/repo/build/src/leftrec/CMakeFiles/llstar_leftrec.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/llstar_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/llstar_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/llstar_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/llstar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

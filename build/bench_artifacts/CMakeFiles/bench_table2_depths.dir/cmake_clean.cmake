@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_depths"
+  "../bench/bench_table2_depths.pdb"
+  "CMakeFiles/bench_table2_depths.dir/bench_table2_depths.cpp.o"
+  "CMakeFiles/bench_table2_depths.dir/bench_table2_depths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_depths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

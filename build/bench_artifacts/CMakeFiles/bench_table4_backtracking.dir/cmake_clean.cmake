@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_backtracking"
+  "../bench/bench_table4_backtracking.pdb"
+  "CMakeFiles/bench_table4_backtracking.dir/bench_table4_backtracking.cpp.o"
+  "CMakeFiles/bench_table4_backtracking.dir/bench_table4_backtracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_backtracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_benchcommon.dir/BenchHarness.cpp.o"
+  "CMakeFiles/llstar_benchcommon.dir/BenchHarness.cpp.o.d"
+  "CMakeFiles/llstar_benchcommon.dir/GrammarBasicSql.cpp.o"
+  "CMakeFiles/llstar_benchcommon.dir/GrammarBasicSql.cpp.o.d"
+  "CMakeFiles/llstar_benchcommon.dir/GrammarC.cpp.o"
+  "CMakeFiles/llstar_benchcommon.dir/GrammarC.cpp.o.d"
+  "CMakeFiles/llstar_benchcommon.dir/GrammarCSharp.cpp.o"
+  "CMakeFiles/llstar_benchcommon.dir/GrammarCSharp.cpp.o.d"
+  "CMakeFiles/llstar_benchcommon.dir/GrammarJava.cpp.o"
+  "CMakeFiles/llstar_benchcommon.dir/GrammarJava.cpp.o.d"
+  "CMakeFiles/llstar_benchcommon.dir/Workloads.cpp.o"
+  "CMakeFiles/llstar_benchcommon.dir/Workloads.cpp.o.d"
+  "libllstar_benchcommon.a"
+  "libllstar_benchcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdecl.dir/cdecl.cpp.o"
+  "CMakeFiles/cdecl.dir/cdecl.cpp.o.d"
+  "cdecl"
+  "cdecl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdecl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generated_config.dir/ConfigParser.cpp.o"
+  "CMakeFiles/generated_config.dir/ConfigParser.cpp.o.d"
+  "CMakeFiles/generated_config.dir/generated_config.cpp.o"
+  "CMakeFiles/generated_config.dir/generated_config.cpp.o.d"
+  "ConfigParser.cpp"
+  "ConfigParser.h"
+  "generated_config"
+  "generated_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generated_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_analysis.dir/AnalyzedGrammar.cpp.o"
+  "CMakeFiles/llstar_analysis.dir/AnalyzedGrammar.cpp.o.d"
+  "CMakeFiles/llstar_analysis.dir/DecisionAnalyzer.cpp.o"
+  "CMakeFiles/llstar_analysis.dir/DecisionAnalyzer.cpp.o.d"
+  "libllstar_analysis.a"
+  "libllstar_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_atn.dir/ATN.cpp.o"
+  "CMakeFiles/llstar_atn.dir/ATN.cpp.o.d"
+  "CMakeFiles/llstar_atn.dir/ATNBuilder.cpp.o"
+  "CMakeFiles/llstar_atn.dir/ATNBuilder.cpp.o.d"
+  "libllstar_atn.a"
+  "libllstar_atn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_atn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_codegen.dir/CppGenerator.cpp.o"
+  "CMakeFiles/llstar_codegen.dir/CppGenerator.cpp.o.d"
+  "CMakeFiles/llstar_codegen.dir/Serializer.cpp.o"
+  "CMakeFiles/llstar_codegen.dir/Serializer.cpp.o.d"
+  "libllstar_codegen.a"
+  "libllstar_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

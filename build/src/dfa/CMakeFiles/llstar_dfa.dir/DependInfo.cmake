@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfa/LookaheadDFA.cpp" "src/dfa/CMakeFiles/llstar_dfa.dir/LookaheadDFA.cpp.o" "gcc" "src/dfa/CMakeFiles/llstar_dfa.dir/LookaheadDFA.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/llstar_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/llstar_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/atn/CMakeFiles/llstar_atn.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/llstar_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/llstar_regex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_dfa.dir/LookaheadDFA.cpp.o"
+  "CMakeFiles/llstar_dfa.dir/LookaheadDFA.cpp.o.d"
+  "libllstar_dfa.a"
+  "libllstar_dfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_dfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

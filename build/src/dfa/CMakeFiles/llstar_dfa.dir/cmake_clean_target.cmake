@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libllstar_dfa.a"
+)

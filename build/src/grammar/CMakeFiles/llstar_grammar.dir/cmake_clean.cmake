@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_grammar.dir/Grammar.cpp.o"
+  "CMakeFiles/llstar_grammar.dir/Grammar.cpp.o.d"
+  "CMakeFiles/llstar_grammar.dir/GrammarLexer.cpp.o"
+  "CMakeFiles/llstar_grammar.dir/GrammarLexer.cpp.o.d"
+  "CMakeFiles/llstar_grammar.dir/GrammarParser.cpp.o"
+  "CMakeFiles/llstar_grammar.dir/GrammarParser.cpp.o.d"
+  "libllstar_grammar.a"
+  "libllstar_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_leftrec.dir/LeftRecursionRewriter.cpp.o"
+  "CMakeFiles/llstar_leftrec.dir/LeftRecursionRewriter.cpp.o.d"
+  "libllstar_leftrec.a"
+  "libllstar_leftrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_leftrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_lexer.dir/Lexer.cpp.o"
+  "CMakeFiles/llstar_lexer.dir/Lexer.cpp.o.d"
+  "CMakeFiles/llstar_lexer.dir/Vocabulary.cpp.o"
+  "CMakeFiles/llstar_lexer.dir/Vocabulary.cpp.o.d"
+  "libllstar_lexer.a"
+  "libllstar_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_peg.dir/PackratParser.cpp.o"
+  "CMakeFiles/llstar_peg.dir/PackratParser.cpp.o.d"
+  "libllstar_peg.a"
+  "libllstar_peg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_peg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

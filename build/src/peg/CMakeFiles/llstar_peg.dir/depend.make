@@ -1,0 +1,2 @@
+# Empty dependencies file for llstar_peg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regex/CharDFA.cpp" "src/regex/CMakeFiles/llstar_regex.dir/CharDFA.cpp.o" "gcc" "src/regex/CMakeFiles/llstar_regex.dir/CharDFA.cpp.o.d"
+  "/root/repo/src/regex/NFA.cpp" "src/regex/CMakeFiles/llstar_regex.dir/NFA.cpp.o" "gcc" "src/regex/CMakeFiles/llstar_regex.dir/NFA.cpp.o.d"
+  "/root/repo/src/regex/RegexAST.cpp" "src/regex/CMakeFiles/llstar_regex.dir/RegexAST.cpp.o" "gcc" "src/regex/CMakeFiles/llstar_regex.dir/RegexAST.cpp.o.d"
+  "/root/repo/src/regex/RegexParser.cpp" "src/regex/CMakeFiles/llstar_regex.dir/RegexParser.cpp.o" "gcc" "src/regex/CMakeFiles/llstar_regex.dir/RegexParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/llstar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

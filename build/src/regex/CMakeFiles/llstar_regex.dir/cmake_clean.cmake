@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_regex.dir/CharDFA.cpp.o"
+  "CMakeFiles/llstar_regex.dir/CharDFA.cpp.o.d"
+  "CMakeFiles/llstar_regex.dir/NFA.cpp.o"
+  "CMakeFiles/llstar_regex.dir/NFA.cpp.o.d"
+  "CMakeFiles/llstar_regex.dir/RegexAST.cpp.o"
+  "CMakeFiles/llstar_regex.dir/RegexAST.cpp.o.d"
+  "CMakeFiles/llstar_regex.dir/RegexParser.cpp.o"
+  "CMakeFiles/llstar_regex.dir/RegexParser.cpp.o.d"
+  "libllstar_regex.a"
+  "libllstar_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

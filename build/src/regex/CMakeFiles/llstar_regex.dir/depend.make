@@ -1,0 +1,2 @@
+# Empty dependencies file for llstar_regex.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_runtime.dir/LLStarParser.cpp.o"
+  "CMakeFiles/llstar_runtime.dir/LLStarParser.cpp.o.d"
+  "CMakeFiles/llstar_runtime.dir/TreeUtils.cpp.o"
+  "CMakeFiles/llstar_runtime.dir/TreeUtils.cpp.o.d"
+  "libllstar_runtime.a"
+  "libllstar_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

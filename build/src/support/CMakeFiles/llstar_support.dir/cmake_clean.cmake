@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/llstar_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/llstar_support.dir/IntervalSet.cpp.o"
+  "CMakeFiles/llstar_support.dir/IntervalSet.cpp.o.d"
+  "CMakeFiles/llstar_support.dir/SourceLocation.cpp.o"
+  "CMakeFiles/llstar_support.dir/SourceLocation.cpp.o.d"
+  "CMakeFiles/llstar_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/llstar_support.dir/StringUtils.cpp.o.d"
+  "libllstar_support.a"
+  "libllstar_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisRegressionTests.cpp" "tests/CMakeFiles/llstar_tests.dir/AnalysisRegressionTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/AnalysisRegressionTests.cpp.o.d"
+  "/root/repo/tests/AnalysisTests.cpp" "tests/CMakeFiles/llstar_tests.dir/AnalysisTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/AnalysisTests.cpp.o.d"
+  "/root/repo/tests/AtnTests.cpp" "tests/CMakeFiles/llstar_tests.dir/AtnTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/AtnTests.cpp.o.d"
+  "/root/repo/tests/CodegenTests.cpp" "tests/CMakeFiles/llstar_tests.dir/CodegenTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/CodegenTests.cpp.o.d"
+  "/root/repo/tests/DfaTests.cpp" "tests/CMakeFiles/llstar_tests.dir/DfaTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/DfaTests.cpp.o.d"
+  "/root/repo/tests/ErrorHandlingTests.cpp" "tests/CMakeFiles/llstar_tests.dir/ErrorHandlingTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/ErrorHandlingTests.cpp.o.d"
+  "/root/repo/tests/GrammarPackTests.cpp" "tests/CMakeFiles/llstar_tests.dir/GrammarPackTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/GrammarPackTests.cpp.o.d"
+  "/root/repo/tests/GrammarTests.cpp" "tests/CMakeFiles/llstar_tests.dir/GrammarTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/GrammarTests.cpp.o.d"
+  "/root/repo/tests/IntegrationTests.cpp" "tests/CMakeFiles/llstar_tests.dir/IntegrationTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/IntegrationTests.cpp.o.d"
+  "/root/repo/tests/LeftRecTests.cpp" "tests/CMakeFiles/llstar_tests.dir/LeftRecTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/LeftRecTests.cpp.o.d"
+  "/root/repo/tests/LexerTests.cpp" "tests/CMakeFiles/llstar_tests.dir/LexerTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/LexerTests.cpp.o.d"
+  "/root/repo/tests/PackratTests.cpp" "tests/CMakeFiles/llstar_tests.dir/PackratTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/PackratTests.cpp.o.d"
+  "/root/repo/tests/PredictionContextTests.cpp" "tests/CMakeFiles/llstar_tests.dir/PredictionContextTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/PredictionContextTests.cpp.o.d"
+  "/root/repo/tests/PropertyTests.cpp" "tests/CMakeFiles/llstar_tests.dir/PropertyTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/PropertyTests.cpp.o.d"
+  "/root/repo/tests/RegexTests.cpp" "tests/CMakeFiles/llstar_tests.dir/RegexTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/RegexTests.cpp.o.d"
+  "/root/repo/tests/RuntimeTests.cpp" "tests/CMakeFiles/llstar_tests.dir/RuntimeTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/RuntimeTests.cpp.o.d"
+  "/root/repo/tests/SupportTests.cpp" "tests/CMakeFiles/llstar_tests.dir/SupportTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/SupportTests.cpp.o.d"
+  "/root/repo/tests/TokenSetTests.cpp" "tests/CMakeFiles/llstar_tests.dir/TokenSetTests.cpp.o" "gcc" "tests/CMakeFiles/llstar_tests.dir/TokenSetTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_artifacts/common/CMakeFiles/llstar_benchcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/peg/CMakeFiles/llstar_peg.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/llstar_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/llstar_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/llstar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfa/CMakeFiles/llstar_dfa.dir/DependInfo.cmake"
+  "/root/repo/build/src/atn/CMakeFiles/llstar_atn.dir/DependInfo.cmake"
+  "/root/repo/build/src/leftrec/CMakeFiles/llstar_leftrec.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/llstar_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/llstar_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/llstar_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/llstar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

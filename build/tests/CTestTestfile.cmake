@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/llstar_tests[1]_include.cmake")
+add_test(cli_analyze "/root/repo/build/tools/llstar" "analyze" "/root/repo/grammars/dot.g" "--dfa" "stmt")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_generate "/root/repo/build/tools/llstar" "generate" "/root/repo/grammars/ini.g" "IniGen" "-o" "/root/repo/build/tests")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/llstar" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;33;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_parse_json "/root/repo/build/tools/llstar" "parse" "/root/repo/grammars/json.g" "/root/repo/build/tests/sample.json" "--tree" "--stats")
+set_tests_properties(cli_parse_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_parse_peg "/root/repo/build/tools/llstar" "parse" "/root/repo/grammars/json.g" "/root/repo/build/tests/sample.json" "--peg")
+set_tests_properties(cli_parse_peg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")

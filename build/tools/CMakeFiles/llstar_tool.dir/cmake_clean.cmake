@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llstar_tool.dir/llstar_tool.cpp.o"
+  "CMakeFiles/llstar_tool.dir/llstar_tool.cpp.o.d"
+  "llstar"
+  "llstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llstar_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
