@@ -1,0 +1,209 @@
+#include "fuzz/DifferentialOracle.h"
+
+#include "lexer/Lexer.h"
+#include "lexer/TokenStream.h"
+#include "peg/PackratParser.h"
+#include "runtime/LLStarParser.h"
+
+using namespace llstar;
+using namespace llstar::fuzz;
+
+DifferentialOracle::DifferentialOracle(std::string GrammarText)
+    : Text(std::move(GrammarText)) {
+  DiagnosticEngine Diags;
+  AG = analyzeGrammarText(Text, Diags);
+  if (!AG || Diags.hasErrors()) {
+    AG = nullptr;
+    GrammarErr = Diags.str();
+    return;
+  }
+  for (const Rule &R : AG->grammar().rules())
+    if (R.IsPrecedenceRule)
+      TreesCmp = false;
+}
+
+OracleVerdict DifferentialOracle::checkGrammar() {
+  // Determinism: a second analysis of the same text must serialize to the
+  // same bytes — ATN construction, subset construction, and DFA encoding
+  // may not depend on iteration order of hashed containers.
+  std::string First = serializeGrammar(*AG);
+  {
+    DiagnosticEngine Diags;
+    auto AG2 = analyzeGrammarText(Text, Diags);
+    if (!AG2 || Diags.hasErrors())
+      return OracleVerdict::fail("nondeterministic-analysis",
+                                 "second analysis of the same text failed:\n" +
+                                     Diags.str());
+    std::string Second = serializeGrammar(*AG2);
+    if (First != Second) {
+      size_t At = 0;
+      while (At < First.size() && At < Second.size() &&
+             First[At] == Second[At])
+        ++At;
+      return OracleVerdict::fail(
+          "nondeterministic-analysis",
+          "two DFA constructions differ at serialized offset " +
+              std::to_string(At));
+    }
+  }
+
+  // Serializer round-trip: the compiled form must load back cleanly. The
+  // loaded grammar also drives the per-sentence re-prediction check.
+  DiagnosticEngine Diags;
+  CG = deserializeGrammar(First, Diags);
+  if (!CG || Diags.hasErrors()) {
+    CG = nullptr;
+    return OracleVerdict::fail("serializer-reload",
+                               "deserializeGrammar rejected its own output:\n" +
+                                   Diags.str());
+  }
+  return OracleVerdict::ok();
+}
+
+namespace {
+
+struct ParseOutcome {
+  bool LexOk = false;
+  bool Ok = false;
+  std::string Tree;
+  std::string Diags;
+};
+
+ParseOutcome runLLStar(const AnalyzedGrammar &AG, const std::string &Input) {
+  ParseOutcome R;
+  DiagnosticEngine LexDiags;
+  Lexer L(AG.grammar().lexerSpec(), LexDiags);
+  std::vector<Token> Tokens = L.tokenize(Input, LexDiags);
+  if (LexDiags.hasErrors()) {
+    R.Diags = LexDiags.str();
+    return R;
+  }
+  R.LexOk = true;
+  TokenStream Stream(std::move(Tokens));
+  DiagnosticEngine Diags;
+  ParserOptions Opts;
+  Opts.BuildTree = true;
+  Opts.CollectStats = false;
+  Opts.Recover = false; // recovery would mask accept/reject disagreements
+  LLStarParser P(AG, Stream, nullptr, Diags, Opts);
+  auto Tree = P.parse();
+  R.Ok = P.ok();
+  R.Diags = Diags.str();
+  if (R.Ok && Tree)
+    R.Tree = Tree->str(AG.grammar());
+  return R;
+}
+
+ParseOutcome runPackrat(const Grammar &G, const std::string &Input) {
+  ParseOutcome R;
+  DiagnosticEngine LexDiags;
+  Lexer L(G.lexerSpec(), LexDiags);
+  std::vector<Token> Tokens = L.tokenize(Input, LexDiags);
+  if (LexDiags.hasErrors()) {
+    R.Diags = LexDiags.str();
+    return R;
+  }
+  R.LexOk = true;
+  TokenStream Stream(std::move(Tokens));
+  DiagnosticEngine Diags;
+  PackratParser::Options Opts;
+  Opts.BuildTree = true;
+  PackratParser P(G, Stream, nullptr, Diags, Opts);
+  auto Tree = P.parse();
+  R.Ok = P.ok();
+  R.Diags = Diags.str();
+  if (R.Ok && Tree)
+    R.Tree = Tree->str(G);
+  return R;
+}
+
+} // namespace
+
+OracleVerdict DifferentialOracle::checkSentence(const std::string &Input) {
+  ParseOutcome LL = runLLStar(*AG, Input);
+  ParseOutcome Peg = runPackrat(AG->grammar(), Input);
+  LastAccepted = Peg.LexOk && Peg.Ok;
+
+  if (LL.LexOk != Peg.LexOk)
+    return OracleVerdict::fail("lex-mismatch",
+                               "lexers disagree on input <" + Input + ">");
+  if (!LL.LexOk)
+    // Both lexers reject: mutation produced unlexable text; not a parser
+    // disagreement. (Generator-envelope inputs are always lexable.)
+    return OracleVerdict::ok();
+
+  if (LL.Ok != Peg.Ok)
+    return OracleVerdict::fail(
+        "accept-mismatch", "LL(*) " + std::string(LL.Ok ? "accepts" : "rejects") +
+                               " but packrat " +
+                               std::string(Peg.Ok ? "accepts" : "rejects") +
+                               " input <" + Input + ">\nLL(*): " + LL.Diags +
+                               "packrat: " + Peg.Diags);
+
+  if (LL.Ok && TreesCmp && LL.Tree != Peg.Tree)
+    return OracleVerdict::fail("tree-mismatch",
+                               "parse trees differ on input <" + Input +
+                                   ">\nLL(*):   " + LL.Tree +
+                                   "\npackrat: " + Peg.Tree);
+
+  // Serializer re-prediction: the deserialized tables must behave like the
+  // fresh analysis — same tokens, same verdict, same tree.
+  if (CG) {
+    DiagnosticEngine LexDiags;
+    std::vector<Token> Reloaded = CG->tokenize(Input, LexDiags);
+    if (LexDiags.hasErrors())
+      return OracleVerdict::fail("serializer-tokens",
+                                 "compiled lexer rejects input <" + Input +
+                                     ">:\n" + LexDiags.str());
+    {
+      DiagnosticEngine FreshDiags;
+      Lexer L(AG->grammar().lexerSpec(), FreshDiags);
+      std::vector<Token> Fresh = L.tokenize(Input, FreshDiags);
+      if (Fresh.size() != Reloaded.size())
+        return OracleVerdict::fail(
+            "serializer-tokens",
+            "compiled lexer token count differs on input <" + Input + ">");
+      for (size_t I = 0; I < Fresh.size(); ++I)
+        if (Fresh[I].Type != Reloaded[I].Type ||
+            Fresh[I].Text != Reloaded[I].Text)
+          return OracleVerdict::fail(
+              "serializer-tokens",
+              "compiled lexer token " + std::to_string(I) +
+                  " differs on input <" + Input + ">: '" + Fresh[I].Text +
+                  "' vs '" + Reloaded[I].Text + "'");
+    }
+
+    // Parse through the reloaded tables. The deserialized Grammar carries
+    // no LexerSpec — tokens must come from the precompiled lexer DFA.
+    ParseOutcome Re;
+    Re.LexOk = true;
+    {
+      TokenStream Stream{std::vector<Token>(Reloaded)};
+      DiagnosticEngine Diags;
+      ParserOptions Opts;
+      Opts.BuildTree = true;
+      Opts.CollectStats = false;
+      Opts.Recover = false;
+      LLStarParser P(*CG->AG, Stream, nullptr, Diags, Opts);
+      auto Tree = P.parse();
+      Re.Ok = P.ok();
+      if (Re.Ok && Tree)
+        Re.Tree = Tree->str(CG->AG->grammar());
+    }
+    if (Re.Ok != LL.Ok)
+      return OracleVerdict::fail(
+          "serializer-verdict",
+          "reloaded grammar " + std::string(Re.Ok ? "accepts" : "rejects") +
+              " but fresh analysis " +
+              std::string(LL.Ok ? "accepts" : "rejects") + " input <" + Input +
+              ">");
+    if (Re.Ok && Re.Tree != LL.Tree)
+      return OracleVerdict::fail("serializer-tree",
+                                 "reloaded grammar builds a different tree "
+                                 "on input <" +
+                                     Input + ">\nfresh:    " + LL.Tree +
+                                     "\nreloaded: " + Re.Tree);
+  }
+
+  return OracleVerdict::ok();
+}

@@ -1,0 +1,63 @@
+//===- fuzz/FuzzRandom.h - Deterministic fuzzing PRNG -----------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small splitmix64-based PRNG for the fuzzing subsystem. The standard
+/// <random> engines are deterministic, but their distributions are
+/// implementation-defined; fuzz runs must replay bit-identically from a
+/// seed across compilers and standard libraries, so everything here is
+/// spelled out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_FUZZ_FUZZRANDOM_H
+#define LLSTAR_FUZZ_FUZZRANDOM_H
+
+#include <cstdint>
+
+namespace llstar {
+namespace fuzz {
+
+/// splitmix64: tiny, fast, and good enough for test-case generation.
+class FuzzRng {
+public:
+  explicit FuzzRng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, N). N must be > 0.
+  uint64_t below(uint64_t N) { return next() % N; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int range(int Lo, int Hi) {
+    if (Hi <= Lo)
+      return Lo;
+    return Lo + int(below(uint64_t(Hi - Lo + 1)));
+  }
+
+  /// True with probability Percent/100.
+  bool chance(int Percent) { return int(below(100)) < Percent; }
+
+  /// Derives an independent sub-seed (for per-iteration generators).
+  static uint64_t mix(uint64_t Seed, uint64_t Salt) {
+    FuzzRng R(Seed ^ (0x5851f42d4c957f2dULL * (Salt + 1)));
+    return R.next();
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace fuzz
+} // namespace llstar
+
+#endif // LLSTAR_FUZZ_FUZZRANDOM_H

@@ -1,0 +1,204 @@
+#include "fuzz/Fuzzer.h"
+
+#include <algorithm>
+
+using namespace llstar;
+using namespace llstar::fuzz;
+
+//===----------------------------------------------------------------------===//
+// Minimization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Does the oracle still fail the same way on this exact input?
+bool failsSameWay(DifferentialOracle &Oracle,
+                  const std::vector<std::string> &Tokens,
+                  const std::string &Check) {
+  OracleVerdict V = Oracle.checkSentence(SentenceSampler::render(Tokens));
+  return V.Failed && V.Check == Check;
+}
+
+} // namespace
+
+std::vector<std::string>
+llstar::fuzz::minimizeSentence(DifferentialOracle &Oracle,
+                               std::vector<std::string> Tokens,
+                               const std::string &Check) {
+  // Classic ddmin sweep: chunk sizes from half down to single tokens;
+  // restart at the current chunk size after any successful removal.
+  for (size_t Chunk = std::max<size_t>(Tokens.size() / 2, 1); Chunk >= 1;
+       Chunk /= 2) {
+    bool Removed = true;
+    while (Removed) {
+      Removed = false;
+      for (size_t At = 0; At + Chunk <= Tokens.size();) {
+        std::vector<std::string> Candidate;
+        Candidate.reserve(Tokens.size() - Chunk);
+        Candidate.insert(Candidate.end(), Tokens.begin(),
+                         Tokens.begin() + long(At));
+        Candidate.insert(Candidate.end(), Tokens.begin() + long(At + Chunk),
+                         Tokens.end());
+        if (failsSameWay(Oracle, Candidate, Check)) {
+          Tokens = std::move(Candidate);
+          Removed = true;
+        } else {
+          At += Chunk;
+        }
+      }
+    }
+    if (Chunk == 1)
+      break;
+  }
+  return Tokens;
+}
+
+GeneratedGrammar llstar::fuzz::minimizeGrammar(const GeneratedGrammar &G,
+                                               const std::string &Input,
+                                               const std::string &Check) {
+  auto StillFails = [&](const GeneratedGrammar &Candidate) {
+    DifferentialOracle Oracle(Candidate.text());
+    if (!Oracle.valid())
+      return false; // dropping broke the grammar (dangling reference etc.)
+    OracleVerdict V = Oracle.checkGrammar();
+    if (!V.Failed)
+      V = Oracle.checkSentence(Input);
+    return V.Failed && V.Check == Check;
+  };
+
+  GeneratedGrammar Best = G;
+  bool Shrunk = true;
+  while (Shrunk) {
+    Shrunk = false;
+    // Drop whole rules (works only when nothing references them — the
+    // validity probe rejects candidates with dangling references).
+    for (size_t R = 1; R < Best.Rules.size(); ++R) {
+      GeneratedGrammar Candidate = Best;
+      Candidate.Rules.erase(Candidate.Rules.begin() + long(R));
+      if (StillFails(Candidate)) {
+        Best = std::move(Candidate);
+        Shrunk = true;
+        break;
+      }
+    }
+    if (Shrunk)
+      continue;
+    // Drop single alternatives from multi-alternative rules.
+    for (size_t R = 0; R < Best.Rules.size(); ++R) {
+      if (Best.Rules[R].Alts.size() < 2)
+        continue;
+      for (size_t A = 0; A < Best.Rules[R].Alts.size(); ++A) {
+        GeneratedGrammar Candidate = Best;
+        Candidate.Rules[R].Alts.erase(Candidate.Rules[R].Alts.begin() +
+                                      long(A));
+        if (StillFails(Candidate)) {
+          Best = std::move(Candidate);
+          Shrunk = true;
+          break;
+        }
+      }
+      if (Shrunk)
+        break;
+    }
+  }
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// The fuzz loop
+//===----------------------------------------------------------------------===//
+
+void Fuzzer::reportFailure(uint64_t GrammarSeed, const GeneratedGrammar &G,
+                           const std::vector<std::string> &Tokens,
+                           const OracleVerdict &V,
+                           DifferentialOracle &Oracle) {
+  ++Stats.Failures;
+  FuzzFailure F;
+  F.GrammarSeed = GrammarSeed;
+  F.Check = V.Check;
+  F.Detail = V.Detail;
+  F.GrammarText = G.text();
+  F.Input = SentenceSampler::render(Tokens);
+
+  if (Config.Minimize) {
+    std::vector<std::string> MinTokens =
+        Tokens.empty() ? Tokens : minimizeSentence(Oracle, Tokens, V.Check);
+    GeneratedGrammar MinG =
+        minimizeGrammar(G, SentenceSampler::render(MinTokens), V.Check);
+    // The smaller grammar may admit an even smaller input.
+    DifferentialOracle MinOracle(MinG.text());
+    if (MinOracle.valid()) {
+      if (Config.CheckGrammarLevel)
+        MinOracle.checkGrammar();
+      if (!MinTokens.empty())
+        MinTokens = minimizeSentence(MinOracle, MinTokens, V.Check);
+    }
+    F.GrammarText = MinG.text();
+    F.Input = SentenceSampler::render(MinTokens);
+  }
+  Failures.push_back(std::move(F));
+}
+
+void Fuzzer::runIteration(int Iteration) {
+  uint64_t SubSeed = FuzzRng::mix(Config.Seed, uint64_t(Iteration));
+  GrammarGenerator Gen(Config.Envelope, SubSeed);
+  GeneratedGrammar G = Gen.generate();
+  ++Stats.Grammars;
+
+  DifferentialOracle Oracle(G.text());
+  if (!Oracle.valid()) {
+    // The generator promised a valid grammar and the front end disagreed:
+    // report as a failure of the harness contract.
+    ++Stats.GrammarFailures;
+    reportFailure(SubSeed, G, {},
+                  OracleVerdict::fail("grammar-error", Oracle.grammarError()),
+                  Oracle);
+    return;
+  }
+
+  if (Config.CheckGrammarLevel) {
+    OracleVerdict V = Oracle.checkGrammar();
+    if (V.Failed) {
+      reportFailure(SubSeed, G, {}, V, Oracle);
+      return;
+    }
+  }
+
+  SentenceSampler Sampler(Oracle.analyzed().grammar(),
+                          FuzzRng::mix(SubSeed, 0x5a5a5a5aULL));
+  for (int S = 0; S < Config.SentencesPerGrammar; ++S) {
+    std::vector<std::string> Tokens = Sampler.sample();
+    ++Stats.Sentences;
+    OracleVerdict V = Oracle.checkSentence(SentenceSampler::render(Tokens));
+    if (Oracle.lastAccepted())
+      ++Stats.Accepted;
+    else
+      ++Stats.Rejected;
+    if (V.Failed) {
+      reportFailure(SubSeed, G, Tokens, V, Oracle);
+      continue;
+    }
+
+    for (int M = 0; M < Config.MutationsPerSentence; ++M) {
+      std::vector<std::string> Mutant = Sampler.mutate(Tokens);
+      ++Stats.Mutants;
+      OracleVerdict MV =
+          Oracle.checkSentence(SentenceSampler::render(Mutant));
+      if (Oracle.lastAccepted())
+        ++Stats.Accepted;
+      else
+        ++Stats.Rejected;
+      if (MV.Failed)
+        reportFailure(SubSeed, G, Mutant, MV, Oracle);
+    }
+  }
+}
+
+int Fuzzer::run() {
+  for (int I = 0; I < Config.Iterations; ++I) {
+    runIteration(I);
+    if (Progress)
+      Progress(I, Stats);
+  }
+  return int(Failures.size());
+}

@@ -1,0 +1,106 @@
+//===- fuzz/Fuzzer.h - Differential fuzzing orchestration -------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzz loop: per iteration, generate a grammar from the envelope, run
+/// the grammar-level oracle checks (determinism, serializer reload), then
+/// sample in-language sentences and mutation candidates and run the
+/// differential sentence oracle on each. Failures are minimized — first
+/// the input (token ddmin), then the grammar (dropping alternatives and
+/// unreferenced rules) — and collected as replayable reproducers.
+///
+/// Everything is driven by one seed: iteration i uses sub-seed
+/// mix(Seed, i), so any failure replays from (envelope, seed, iteration)
+/// alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_FUZZ_FUZZER_H
+#define LLSTAR_FUZZ_FUZZER_H
+
+#include "fuzz/DifferentialOracle.h"
+#include "fuzz/GrammarGenerator.h"
+#include "fuzz/SentenceSampler.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace llstar {
+namespace fuzz {
+
+struct FuzzConfig {
+  uint64_t Seed = 0;
+  int Iterations = 100;           ///< grammars to generate
+  int SentencesPerGrammar = 4;    ///< in-language samples per grammar
+  int MutationsPerSentence = 2;   ///< mutation candidates per sample
+  bool CheckGrammarLevel = true;  ///< determinism + serializer reload
+  bool Minimize = true;           ///< shrink failures before reporting
+  GrammarEnvelope Envelope;
+};
+
+/// One minimized, replayable failure.
+struct FuzzFailure {
+  uint64_t GrammarSeed = 0;  ///< sub-seed that generated the grammar
+  std::string Check;         ///< oracle failure kind
+  std::string Detail;
+  std::string GrammarText;   ///< minimized grammar
+  std::string Input;         ///< minimized sentence (empty for
+                             ///< grammar-level failures)
+};
+
+struct FuzzRunStats {
+  int64_t Grammars = 0;
+  int64_t GrammarFailures = 0; ///< generator produced an invalid grammar
+  int64_t Sentences = 0;       ///< derived in-language samples checked
+  int64_t Mutants = 0;         ///< mutation candidates checked
+  int64_t Accepted = 0;        ///< oracle inputs labeled in-language
+  int64_t Rejected = 0;        ///< oracle inputs labeled out-of-language
+  int64_t Failures = 0;
+};
+
+/// ddmin-style shrink of a failing sentence: repeatedly deletes token
+/// chunks while the oracle still fails with the same check kind.
+std::vector<std::string>
+minimizeSentence(DifferentialOracle &Oracle, std::vector<std::string> Tokens,
+                 const std::string &Check);
+
+/// Shrinks a failing grammar by dropping alternatives and rules while a
+/// fresh oracle over the re-rendered text still fails with the same check
+/// kind on \p Input (which is re-minimized by the caller afterwards).
+GeneratedGrammar minimizeGrammar(const GeneratedGrammar &G,
+                                 const std::string &Input,
+                                 const std::string &Check);
+
+class Fuzzer {
+public:
+  explicit Fuzzer(FuzzConfig Config) : Config(Config) {}
+
+  /// Runs the loop; returns the number of (minimized) failures.
+  int run();
+
+  const FuzzRunStats &stats() const { return Stats; }
+  const std::vector<FuzzFailure> &failures() const { return Failures; }
+
+  /// Optional progress hook, called once per iteration.
+  std::function<void(int Iteration, const FuzzRunStats &)> Progress;
+
+private:
+  void runIteration(int Iteration);
+  void reportFailure(uint64_t GrammarSeed, const GeneratedGrammar &G,
+                     const std::vector<std::string> &Tokens,
+                     const OracleVerdict &V, DifferentialOracle &Oracle);
+
+  FuzzConfig Config;
+  FuzzRunStats Stats;
+  std::vector<FuzzFailure> Failures;
+};
+
+} // namespace fuzz
+} // namespace llstar
+
+#endif // LLSTAR_FUZZ_FUZZER_H

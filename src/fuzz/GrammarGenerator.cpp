@@ -1,0 +1,206 @@
+#include "fuzz/GrammarGenerator.h"
+
+using namespace llstar;
+using namespace llstar::fuzz;
+
+std::string GeneratedGrammar::text() const {
+  std::string Out = "grammar " + Name + ";\n";
+  for (const GeneratedRule &R : Rules) {
+    Out += R.Name + " : ";
+    for (size_t A = 0; A < R.Alts.size(); ++A) {
+      if (A)
+        Out += " | ";
+      Out += R.Alts[A];
+    }
+    Out += " ;\n";
+  }
+  Out += "ID : [a-z] [a-z0-9]* ;\n"
+         "INT : [0-9]+ ;\n"
+         "WS : [ \\t\\r\\n]+ -> skip ;\n";
+  return Out;
+}
+
+std::string GrammarGenerator::freshLiteral() {
+  return "k" + std::to_string(NextLiteral++);
+}
+
+/// A random tail: elements after an alternative's distinguishing literal.
+/// Tail positions are never decision-entry positions, so anything goes:
+/// more literals, lexer tokens, rule references, nested blocks, actions.
+std::string GrammarGenerator::sampleTail(FuzzRng &Rng, int MaxRuleRef,
+                                         int Depth) {
+  std::string Out;
+  int Len = Rng.range(0, Env.MaxSeqLen);
+  for (int I = 0; I < Len; ++I) {
+    int Roll = int(Rng.below(100));
+    if (Roll < 40) {
+      Out += " '" + freshLiteral() + "'";
+    } else if (Roll < 55 && Env.LexerTokens) {
+      Out += " ID";
+    } else if (Roll < 65 && Env.LexerTokens) {
+      Out += " INT";
+    } else if (Roll < 80 && MaxRuleRef > RefBase) {
+      // Reference any later rule (DAG order keeps recursion terminating).
+      Out += " " + RefNames[size_t(Rng.range(RefBase, MaxRuleRef - 1))];
+    } else if (Roll < 95 && Env.EbnfBlocks && Depth < Env.MaxBlockDepth) {
+      Out += " " + sampleBlock(Rng, MaxRuleRef, Depth + 1);
+    } else if (Env.Actions) {
+      bool Always = Rng.chance(30);
+      std::string Name = "a" + std::to_string(NextAction++);
+      Out += Always ? " {{" + Name + "}}" : " {" + Name + "}";
+    } else {
+      Out += " '" + freshLiteral() + "'";
+    }
+  }
+  return Out;
+}
+
+/// An EBNF block `( alts ) suffix`. Every block-body alternative starts
+/// with a fresh literal so the enter/exit/iterate decisions stay disjoint
+/// from anything that can follow the block.
+std::string GrammarGenerator::sampleBlock(FuzzRng &Rng, int MaxRuleRef,
+                                          int Depth) {
+  int NAlts = Rng.range(1, 2);
+  std::string Out = "(";
+  for (int A = 0; A < NAlts; ++A) {
+    if (A)
+      Out += " |";
+    Out += " '" + freshLiteral() + "'" + sampleTail(Rng, MaxRuleRef, Depth);
+  }
+  Out += " )";
+  switch (Rng.below(4)) {
+  case 0:
+    break;
+  case 1:
+    Out += "?";
+    break;
+  case 2:
+    Out += "*";
+    break;
+  case 3:
+    Out += "+";
+    break;
+  }
+  return Out;
+}
+
+/// The alternatives of one rule-level choice. An optional shared prefix
+/// (plain literals, possibly starred) pushes the decision past LL(1);
+/// each alternative then diverges at a globally fresh literal.
+std::vector<std::string> GrammarGenerator::sampleChoice(FuzzRng &Rng,
+                                                        int MaxRuleRef) {
+  int NAlts = Rng.range(1, Env.MaxAlts);
+  std::string Prefix;
+  if (NAlts >= 2 && Env.CommonPrefixes && Rng.chance(45)) {
+    int Len = Rng.range(1, Env.MaxPrefixLen);
+    for (int I = 0; I < Len; ++I) {
+      if (Env.StarPrefixes && Rng.chance(35))
+        Prefix += "'" + freshLiteral() + "'* ";
+      else
+        Prefix += "'" + freshLiteral() + "' ";
+    }
+  }
+
+  std::vector<std::string> Alts;
+  bool UsedRefFirst = false;
+  for (int A = 0; A < NAlts; ++A) {
+    std::string Alt = Prefix;
+    // At most one alternative per choice may start with a rule reference,
+    // and only to a rule whose own FIRST is all-fresh literals; everything
+    // else diverges at a fresh literal of its own.
+    bool RefFirst = Prefix.empty() && !UsedRefFirst &&
+                    !LiteralFirstRefs.empty() && Rng.chance(15);
+    if (RefFirst) {
+      Alt += LiteralFirstRefs[Rng.below(LiteralFirstRefs.size())];
+      UsedRefFirst = true;
+    } else {
+      std::string Lit = freshLiteral();
+      if (A == 0 && NAlts >= 2 && Env.SynPreds && Rng.chance(20))
+        Alt += "('" + Lit + "')=> ";
+      if (Env.SemPreds && Rng.chance(10))
+        Alt += "{p" + std::to_string(NextPred++) + "}? ";
+      Alt += "'" + Lit + "'";
+    }
+    Alt += sampleTail(Rng, MaxRuleRef, 0);
+    Alts.push_back(Alt);
+  }
+  if (UsedRefFirst)
+    HasRefFirstAlt = true;
+  return Alts;
+}
+
+/// An immediately-left-recursive binary-operator rule in the paper's
+/// Section 1.1 shape; the analyzer rewrites it into a precedence loop.
+GeneratedRule GrammarGenerator::makeExpressionRule(FuzzRng &Rng,
+                                                   const std::string &Name) {
+  GeneratedRule R;
+  R.Name = Name;
+  int NumOps = Rng.range(1, 3);
+  for (int I = 0; I < NumOps; ++I)
+    R.Alts.push_back(Name + " '" + freshLiteral() + "' " + Name);
+  if (Rng.chance(40)) // a unary prefix operator
+    R.Alts.push_back("'" + freshLiteral() + "' " + Name);
+  if (Rng.chance(60)) // parenthesized form
+    R.Alts.push_back("'" + freshLiteral() + "' " + Name + " '" +
+                     freshLiteral() + "'");
+  R.Alts.push_back(Env.LexerTokens ? "INT" : "'" + freshLiteral() + "'");
+  return R;
+}
+
+GeneratedGrammar GrammarGenerator::generate() {
+  FuzzRng Rng(Seed);
+  NextLiteral = NextPred = NextAction = 0;
+  LiteralFirstRefs.clear();
+  RefNames.clear();
+  RefBase = 0;
+
+  GeneratedGrammar G;
+  G.Seed = Seed;
+  G.Name = "F" + std::to_string(Seed % 1000000);
+
+  int NumRules = Rng.range(Env.MinRules, Env.MaxRules);
+  bool WithExpr = Env.LeftRecursion && Rng.chance(40);
+  G.HasLeftRecursion = WithExpr;
+
+  // RefNames[i] is the name of rule index i (r1..rN, then the expression
+  // rule); rule i may reference indices > i only, so generate from the
+  // highest index down and record which rules are safe ref-first targets.
+  for (int I = 1; I <= NumRules; ++I)
+    RefNames.push_back("r" + std::to_string(I));
+  if (WithExpr)
+    RefNames.push_back("ex");
+
+  std::vector<GeneratedRule> Body(RefNames.size());
+  if (WithExpr)
+    Body.back() = makeExpressionRule(Rng, "ex");
+
+  for (int I = NumRules - 1; I >= 0; --I) {
+    RefBase = I + 1;
+    HasRefFirstAlt = false;
+    GeneratedRule R;
+    R.Name = RefNames[size_t(I)];
+    R.Alts = sampleChoice(Rng, int(RefNames.size()));
+    Body[size_t(I)] = R;
+    // A rule qualifies as a ref-first target only when every alternative
+    // of its choice starts with a fresh literal of its own.
+    if (!HasRefFirstAlt)
+      LiteralFirstRefs.push_back(R.Name);
+  }
+  RefBase = 0;
+
+  // Start rule: one or two distinct whole-rule entry points, each ending
+  // at EOF so acceptance means "the entire input".
+  GeneratedRule S;
+  S.Name = "s";
+  if (NumRules >= 2 && LiteralFirstRefs.size() >= 2 && Rng.chance(35)) {
+    S.Alts.push_back(LiteralFirstRefs[0] + " EOF");
+    S.Alts.push_back(LiteralFirstRefs[1] + " EOF");
+  } else {
+    S.Alts.push_back(RefNames[0] + " EOF");
+  }
+
+  G.Rules.push_back(S);
+  for (GeneratedRule &R : Body)
+    G.Rules.push_back(std::move(R));
+  return G;
+}

@@ -1,0 +1,125 @@
+//===- fuzz/GrammarGenerator.h - Random predicated grammars -----*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random predicated grammars for differential fuzzing. The
+/// generator is constrained so that LL(*) prediction and the packrat/PEG
+/// baseline accept exactly the same language *by construction*:
+///
+///  - every decision-entry position (an alternative of a choice after its
+///    shared prefix, or the start of an EBNF block body) begins with a
+///    keyword literal that is globally unique within the grammar, so FIRST
+///    sets at every choice point are pairwise disjoint and never collide
+///    with follow sets (possessive PEG loops then match exactly what a
+///    general CFG loop would);
+///  - shared multi-token prefixes (optionally a starred literal) in front
+///    of the distinguishing literal push decisions to LL(k>1) and cyclic
+///    lookahead without breaking the disjointness argument, because a
+///    packrat parser recovers from a literal-only prefix by rewinding;
+///  - rule references form a DAG (rule i references only rules j > i),
+///    except for one optional immediately-left-recursive expression rule,
+///    which the analyzer's precedence rewrite handles;
+///  - syntactic predicates `('k')=> 'k' ...` duplicate the alternative's
+///    own distinguishing literal, and semantic predicates / actions are
+///    unbound (both engines treat them as `true` / no-op).
+///
+/// Under these constraints, any accept/reject or parse-tree disagreement
+/// between the two engines is a real bug in one of them — which is what
+/// the differential oracle exploits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_FUZZ_GRAMMARGENERATOR_H
+#define LLSTAR_FUZZ_GRAMMARGENERATOR_H
+
+#include "fuzz/FuzzRandom.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llstar {
+namespace fuzz {
+
+/// The feature envelope: which grammar constructs the generator may use
+/// and how big grammars get. All features default on; the fuzz driver can
+/// narrow the envelope to isolate a misbehaving construct.
+struct GrammarEnvelope {
+  int MinRules = 2;      ///< parser rules, excluding the start rule
+  int MaxRules = 6;
+  int MaxAlts = 3;       ///< alternatives per choice
+  int MaxSeqLen = 3;     ///< tail elements after the distinguishing literal
+  int MaxBlockDepth = 2; ///< nesting of EBNF blocks
+  int MaxPrefixLen = 2;  ///< shared decision-prefix literals
+
+  bool EbnfBlocks = true;     ///< `( ... )` with `?` `*` `+` suffixes
+  bool CommonPrefixes = true; ///< LL(k>1) decisions via shared prefixes
+  bool StarPrefixes = true;   ///< `'m'* ...` prefixes -> cyclic DFAs
+  bool LeftRecursion = true;  ///< one binary-operator expression rule
+  bool SynPreds = true;       ///< `('k')=>` gates on first alternatives
+  bool SemPreds = true;       ///< unbound `{p}?` gates (always true)
+  bool Actions = true;        ///< unbound `{a}` / `{{a}}` mutators (no-ops)
+  bool LexerTokens = true;    ///< ID / INT references in tail positions
+};
+
+/// One generated rule, kept structured (name + alternative texts) so the
+/// minimizer can drop alternatives or rules and re-render.
+struct GeneratedRule {
+  std::string Name;
+  std::vector<std::string> Alts;
+};
+
+/// A generated grammar: structured rules plus the rendering to grammar
+/// meta-language text that the rest of the toolkit consumes.
+struct GeneratedGrammar {
+  std::string Name;
+  uint64_t Seed = 0;
+  std::vector<GeneratedRule> Rules; ///< Rules[0] is the start rule `s`.
+  bool HasLeftRecursion = false;
+
+  /// Renders the full grammar text (rules + the fixed lexer section).
+  std::string text() const;
+};
+
+/// Generates one random grammar per call.
+class GrammarGenerator {
+public:
+  GrammarGenerator(const GrammarEnvelope &Envelope, uint64_t Seed)
+      : Env(Envelope), Seed(Seed) {}
+
+  /// Generates the grammar for this generator's seed. Deterministic: the
+  /// same envelope + seed always produce the same grammar.
+  GeneratedGrammar generate();
+
+private:
+  std::string freshLiteral();
+  std::string sampleTail(FuzzRng &Rng, int MaxRuleRef, int Depth);
+  std::string sampleBlock(FuzzRng &Rng, int MaxRuleRef, int Depth);
+  std::vector<std::string> sampleChoice(FuzzRng &Rng, int MaxRuleRef);
+  GeneratedRule makeExpressionRule(FuzzRng &Rng, const std::string &Name);
+
+  GrammarEnvelope Env;
+  uint64_t Seed;
+  int NextLiteral = 0;
+  int NextPred = 0;
+  int NextAction = 0;
+
+  /// Names of rules by index (r1..rN, then the expression rule).
+  std::vector<std::string> RefNames;
+  /// First rule index the rule being generated may reference (its own + 1).
+  int RefBase = 0;
+  /// Already-generated rules whose FIRST is all-fresh literals: the only
+  /// legal targets for an alternative that *starts* with a rule reference.
+  std::vector<std::string> LiteralFirstRefs;
+  /// Set when the current choice used a ref-first alternative (the rule is
+  /// then itself disqualified as a ref-first target).
+  bool HasRefFirstAlt = false;
+};
+
+} // namespace fuzz
+} // namespace llstar
+
+#endif // LLSTAR_FUZZ_GRAMMARGENERATOR_H

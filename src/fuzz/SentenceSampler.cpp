@@ -1,0 +1,255 @@
+#include "fuzz/SentenceSampler.h"
+
+#include <algorithm>
+#include <climits>
+
+using namespace llstar;
+using namespace llstar::fuzz;
+
+// Heights are "nested rule expansions"; this sentinel means "cannot
+// terminate from here" and never survives the fixpoint for well-formed
+// grammars.
+static constexpr int InfHeight = INT_MAX / 2;
+
+SentenceSampler::SentenceSampler(const Grammar &G, uint64_t Seed,
+                                 SamplerOptions Opts)
+    : G(G), Rng(Seed), Opts(Opts) {
+  computeMinHeights();
+
+  const Vocabulary &V = G.vocabulary();
+  bool HasId = false, HasInt = false;
+  for (TokenType T = TokenMinUserType; T <= V.maxTokenType(); ++T) {
+    if (V.isLiteral(T))
+      TerminalPool.push_back(V.literalText(T));
+    HasId |= V.name(T) == "ID";
+    HasInt |= V.name(T) == "INT";
+  }
+  if (HasId) {
+    TerminalPool.push_back("x1");
+    TerminalPool.push_back("w9");
+  }
+  if (HasInt) {
+    TerminalPool.push_back("7");
+    TerminalPool.push_back("301");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Minimum derivation heights
+//===----------------------------------------------------------------------===//
+
+int SentenceSampler::elementHeight(const Element &E) const {
+  switch (E.Kind) {
+  case ElementKind::RuleRef:
+    return RuleMinHeight[size_t(E.RuleIndex)];
+  case ElementKind::Block: {
+    if (E.Repeat == BlockRepeat::Optional || E.Repeat == BlockRepeat::Star)
+      return 0; // zero iterations always terminate
+    int Best = InfHeight;
+    for (const Alternative &A : E.Alts)
+      Best = std::min(Best, altHeight(A));
+    return Best;
+  }
+  default:
+    return 0; // terminals, predicates, actions
+  }
+}
+
+int SentenceSampler::altHeight(const Alternative &A) const {
+  int H = 0;
+  for (const Element &E : A.Elements)
+    H = std::max(H, elementHeight(E));
+  return H;
+}
+
+void SentenceSampler::computeMinHeights() {
+  RuleMinHeight.assign(G.numRules(), InfHeight);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t R = 0; R < G.numRules(); ++R) {
+      int Best = InfHeight;
+      for (const Alternative &A : G.rule(int32_t(R)).Alts)
+        Best = std::min(Best, altHeight(A));
+      if (Best < InfHeight)
+        ++Best;
+      if (Best < RuleMinHeight[R]) {
+        RuleMinHeight[R] = Best;
+        Changed = true;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Derivation
+//===----------------------------------------------------------------------===//
+
+bool SentenceSampler::overBudget(const std::vector<std::string> &Out,
+                                 int Depth) const {
+  return Depth > Opts.MaxDepth || int(Out.size()) > Opts.MaxTokens;
+}
+
+std::vector<std::string> SentenceSampler::sample(int32_t RuleIndex) {
+  std::vector<std::string> Out;
+  deriveRule(RuleIndex < 0 ? G.startRule() : RuleIndex, Out, 0);
+  return Out;
+}
+
+void SentenceSampler::deriveRule(int32_t Rule, std::vector<std::string> &Out,
+                                 int Depth) {
+  const ::llstar::Rule &R = G.rule(Rule);
+  size_t Pick;
+  if (overBudget(Out, Depth)) {
+    // Minimal-height alternative: guarantees termination past the budget
+    // (ties broken toward the first alternative).
+    Pick = 0;
+    int Best = InfHeight;
+    for (size_t A = 0; A < R.Alts.size(); ++A) {
+      int H = altHeight(R.Alts[A]);
+      if (H < Best) {
+        Best = H;
+        Pick = A;
+      }
+    }
+  } else {
+    Pick = size_t(Rng.below(R.Alts.size()));
+  }
+  deriveAlt(R.Alts[Pick], Out, Depth);
+}
+
+void SentenceSampler::deriveAlt(const Alternative &A,
+                                std::vector<std::string> &Out, int Depth) {
+  for (const Element &E : A.Elements)
+    deriveElement(E, Out, Depth);
+}
+
+std::string SentenceSampler::tokenText(TokenType Type) {
+  const Vocabulary &V = G.vocabulary();
+  if (V.isLiteral(Type))
+    return V.literalText(Type);
+  const std::string &Name = V.name(Type);
+  if (Name == "ID")
+    return "x" + std::to_string(Rng.below(10));
+  if (Name == "INT")
+    return std::to_string(Rng.below(100));
+  return Name; // best effort for unknown named tokens
+}
+
+void SentenceSampler::deriveElement(const Element &E,
+                                    std::vector<std::string> &Out,
+                                    int Depth) {
+  switch (E.Kind) {
+  case ElementKind::TokenRef:
+    if (E.TokType != TokenEof)
+      Out.push_back(tokenText(E.TokType));
+    return;
+  case ElementKind::TokenSet: {
+    // Pick any concrete vocabulary token the set admits.
+    const Vocabulary &V = G.vocabulary();
+    std::vector<TokenType> Candidates;
+    for (TokenType T = TokenMinUserType; T <= V.maxTokenType(); ++T)
+      if (E.Negated ? !E.TokSet.contains(T) : E.TokSet.contains(T))
+        Candidates.push_back(T);
+    if (!Candidates.empty())
+      Out.push_back(tokenText(Candidates[Rng.below(Candidates.size())]));
+    return;
+  }
+  case ElementKind::RuleRef:
+    deriveRule(E.RuleIndex, Out, Depth + 1);
+    return;
+  case ElementKind::Block: {
+    int Reps = 1;
+    bool Tight = overBudget(Out, Depth);
+    switch (E.Repeat) {
+    case BlockRepeat::None:
+      Reps = 1;
+      break;
+    case BlockRepeat::Optional:
+      Reps = Tight ? 0 : Rng.range(0, 1);
+      break;
+    case BlockRepeat::Star:
+      Reps = Tight ? 0 : Rng.range(0, 2);
+      break;
+    case BlockRepeat::Plus:
+      Reps = Tight ? 1 : Rng.range(1, 2);
+      break;
+    }
+    for (int I = 0; I < Reps; ++I) {
+      size_t Pick = 0;
+      if (Tight) {
+        int Best = InfHeight;
+        for (size_t A = 0; A < E.Alts.size(); ++A)
+          if (altHeight(E.Alts[A]) < Best) {
+            Best = altHeight(E.Alts[A]);
+            Pick = A;
+          }
+      } else {
+        Pick = size_t(Rng.below(E.Alts.size()));
+      }
+      deriveAlt(E.Alts[Pick], Out, Depth + 1);
+    }
+    return;
+  }
+  case ElementKind::SemPred:
+  case ElementKind::SynPred:
+  case ElementKind::Action:
+    return; // invisible to derivation
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation
+//===----------------------------------------------------------------------===//
+
+std::string SentenceSampler::sampleTerminalText() {
+  if (TerminalPool.empty())
+    return "z";
+  return TerminalPool[Rng.below(TerminalPool.size())];
+}
+
+std::vector<std::string>
+SentenceSampler::mutate(const std::vector<std::string> &Tokens) {
+  std::vector<std::string> M = Tokens;
+  // Insertions always apply; the other operators need a non-empty input.
+  int Op = M.empty() ? 1 : int(Rng.below(6));
+  switch (Op) {
+  case 0: // delete one token
+    M.erase(M.begin() + long(Rng.below(M.size())));
+    break;
+  case 1: // insert a random terminal
+    M.insert(M.begin() + long(Rng.below(M.size() + 1)), sampleTerminalText());
+    break;
+  case 2: // replace one token
+    M[Rng.below(M.size())] = sampleTerminalText();
+    break;
+  case 3: // swap adjacent tokens
+    if (M.size() >= 2) {
+      size_t I = Rng.below(M.size() - 1);
+      std::swap(M[I], M[I + 1]);
+    } else {
+      M.insert(M.begin(), sampleTerminalText());
+    }
+    break;
+  case 4: // duplicate one token
+    {
+      size_t I = Rng.below(M.size());
+      M.insert(M.begin() + long(I), M[I]);
+    }
+    break;
+  case 5: // truncate a suffix
+    M.resize(Rng.below(M.size()));
+    break;
+  }
+  return M;
+}
+
+std::string SentenceSampler::render(const std::vector<std::string> &Tokens) {
+  std::string Out;
+  for (size_t I = 0; I < Tokens.size(); ++I) {
+    if (I)
+      Out += ' ';
+    Out += Tokens[I];
+  }
+  return Out;
+}

@@ -1,0 +1,83 @@
+//===- fuzz/SentenceSampler.h - Bounded sentence derivation -----*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Samples sentences from a \ref Grammar by random bounded derivation and
+/// produces out-of-language mutation candidates from them.
+///
+/// Derivation walks the grammar object model choosing random alternatives
+/// and loop counts; past the depth budget it switches to each rule's
+/// minimum-height alternative (precomputed by fixpoint), so derivation
+/// terminates even for (immediately) left-recursive rules. Sentences are
+/// token-text vectors; predicates and actions contribute nothing.
+///
+/// Mutations (delete / insert / replace / swap / duplicate) produce
+/// *candidate* negatives: a mutant may still be in the language, so the
+/// differential oracle labels it with the packrat baseline rather than
+/// trusting the mutation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_FUZZ_SENTENCESAMPLER_H
+#define LLSTAR_FUZZ_SENTENCESAMPLER_H
+
+#include "fuzz/FuzzRandom.h"
+#include "grammar/Grammar.h"
+
+#include <string>
+#include <vector>
+
+namespace llstar {
+namespace fuzz {
+
+struct SamplerOptions {
+  int MaxDepth = 10;   ///< derivation depth before min-height fallback
+  int MaxTokens = 200; ///< soft cap; derivation turns minimal beyond it
+};
+
+/// Samples sentences (token-text vectors) from one grammar.
+class SentenceSampler {
+public:
+  SentenceSampler(const Grammar &G, uint64_t Seed, SamplerOptions Opts = {});
+
+  /// Derives one sentence from \p RuleIndex (the start rule when -1).
+  std::vector<std::string> sample(int32_t RuleIndex = -1);
+
+  /// Applies one random mutation; returns the mutant (input unchanged).
+  std::vector<std::string> mutate(const std::vector<std::string> &Tokens);
+
+  /// Joins tokens with single spaces (the lexable input form).
+  static std::string render(const std::vector<std::string> &Tokens);
+
+  /// Text for one random terminal of the grammar (mutation insertions).
+  std::string sampleTerminalText();
+
+private:
+  void deriveRule(int32_t Rule, std::vector<std::string> &Out, int Depth);
+  void deriveAlt(const Alternative &A, std::vector<std::string> &Out,
+                 int Depth);
+  void deriveElement(const Element &E, std::vector<std::string> &Out,
+                     int Depth);
+  std::string tokenText(TokenType Type);
+  bool overBudget(const std::vector<std::string> &Out, int Depth) const;
+
+  /// Fixpoint: minimal derivation height per rule / per alternative
+  /// (INT_MAX/2 when an alternative cannot terminate).
+  void computeMinHeights();
+  int altHeight(const Alternative &A) const;
+  int elementHeight(const Element &E) const;
+
+  const Grammar &G;
+  FuzzRng Rng;
+  SamplerOptions Opts;
+  std::vector<int> RuleMinHeight;
+  std::vector<std::string> TerminalPool; ///< literal texts + ID/INT samples
+};
+
+} // namespace fuzz
+} // namespace llstar
+
+#endif // LLSTAR_FUZZ_SENTENCESAMPLER_H

@@ -1,0 +1,269 @@
+//===- tests/FuzzTests.cpp - Fuzzing-harness component tests --------------===//
+//
+// The fuzz subsystem fuzzes the toolkit, so it needs its own tests:
+//  - generator validity: every generated grammar parses and analyzes
+//    cleanly (the GrammarParser round-trip);
+//  - generator determinism: one seed, one grammar;
+//  - sampler soundness: derived sentences are accepted by the packrat
+//    oracle (and by LL(*));
+//  - mutation labeling: the packrat verdict labels mutants in/out of
+//    language and LL(*) always agrees on envelope grammars;
+//  - the oracle actually detects disagreements (a deliberate PEG ordered-
+//    choice hazard must trip the differential check);
+//  - the minimizer shrinks failing inputs while preserving failure kind.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+#include "fuzz/Fuzzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace llstar;
+using namespace llstar::fuzz;
+using namespace llstar::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Grammar generator
+//===----------------------------------------------------------------------===//
+
+class GeneratorValidity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorValidity, GeneratedGrammarAnalyzes) {
+  GrammarGenerator Gen(GrammarEnvelope(), GetParam());
+  GeneratedGrammar G = Gen.generate();
+  DiagnosticEngine Diags;
+  auto AG = analyzeGrammarText(G.text(), Diags);
+  ASSERT_TRUE(AG && !Diags.hasErrors())
+      << "seed " << GetParam() << " produced invalid grammar:\n"
+      << G.text() << Diags.str();
+  // Structure sanity: a start rule plus at least MinRules parser rules.
+  EXPECT_GE(G.Rules.size(), 3u);
+  EXPECT_EQ(G.Rules[0].Name, "s");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorValidity,
+                         ::testing::Range(uint64_t(0), uint64_t(50)));
+
+TEST(GrammarGeneratorTest, DeterministicPerSeed) {
+  GrammarEnvelope Env;
+  GrammarGenerator A(Env, 12345), B(Env, 12345), C(Env, 12346);
+  EXPECT_EQ(A.generate().text(), B.generate().text());
+  EXPECT_NE(A.generate().text(), C.generate().text());
+}
+
+TEST(GrammarGeneratorTest, EnvelopeFlagsNarrowOutput) {
+  GrammarEnvelope Env;
+  Env.LeftRecursion = false;
+  Env.SynPreds = Env.SemPreds = false;
+  Env.Actions = false;
+  for (uint64_t Seed = 0; Seed < 30; ++Seed) {
+    GrammarGenerator Gen(Env, Seed);
+    std::string Text = Gen.generate().text();
+    EXPECT_EQ(Text.find("=>"), std::string::npos) << Text;
+    EXPECT_EQ(Text.find("}?"), std::string::npos) << Text;
+    EXPECT_EQ(Text.find("ex :"), std::string::npos) << Text;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sentence sampler
+//===----------------------------------------------------------------------===//
+
+class SamplerSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SamplerSoundness, SampledSentencesAcceptedByPackrat) {
+  GrammarGenerator Gen(GrammarEnvelope(), GetParam() * 7919 + 17);
+  GeneratedGrammar G = Gen.generate();
+  DifferentialOracle Oracle(G.text());
+  ASSERT_TRUE(Oracle.valid()) << G.text() << Oracle.grammarError();
+
+  SentenceSampler Sampler(Oracle.analyzed().grammar(), GetParam());
+  for (int S = 0; S < 6; ++S) {
+    std::vector<std::string> Tokens = Sampler.sample();
+    OracleVerdict V = Oracle.checkSentence(SentenceSampler::render(Tokens));
+    EXPECT_FALSE(V.Failed) << V.Detail;
+    EXPECT_TRUE(Oracle.lastAccepted())
+        << "packrat rejected a derived sentence <"
+        << SentenceSampler::render(Tokens) << "> of:\n"
+        << G.text();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerSoundness,
+                         ::testing::Range(uint64_t(0), uint64_t(25)));
+
+TEST(SentenceSamplerTest, TerminatesOnLeftRecursiveRules) {
+  // Deep recursion must hit the min-height fallback, not blow the stack.
+  auto AG = analyzeOrFail(R"(
+grammar E;
+s : e EOF ;
+e : e '+' e | e '*' e | '(' e ')' | INT ;
+INT : [0-9]+ ;
+WS : [ ]+ -> skip ;
+)");
+  ASSERT_TRUE(AG);
+  SentenceSampler Sampler(AG->grammar(), 3,
+                          SamplerOptions{/*MaxDepth=*/4, /*MaxTokens=*/30});
+  for (int I = 0; I < 50; ++I) {
+    std::vector<std::string> Tokens = Sampler.sample();
+    EXPECT_FALSE(Tokens.empty());
+    EXPECT_LE(Tokens.size(), 200u); // budget + bounded overshoot
+  }
+}
+
+TEST(SentenceSamplerTest, MutationLabelingMatchesOracles) {
+  GrammarGenerator Gen(GrammarEnvelope(), 2024);
+  GeneratedGrammar G = Gen.generate();
+  DifferentialOracle Oracle(G.text());
+  ASSERT_TRUE(Oracle.valid()) << Oracle.grammarError();
+
+  SentenceSampler Sampler(Oracle.analyzed().grammar(), 99);
+  int OutOfLanguage = 0, Checked = 0;
+  for (int S = 0; S < 10; ++S) {
+    std::vector<std::string> Tokens = Sampler.sample();
+    for (int M = 0; M < 4; ++M) {
+      std::vector<std::string> Mutant = Sampler.mutate(Tokens);
+      // The packrat baseline labels the mutant; the differential check
+      // inside guarantees LL(*) assigned the same label.
+      OracleVerdict V =
+          Oracle.checkSentence(SentenceSampler::render(Mutant));
+      EXPECT_FALSE(V.Failed) << V.Detail;
+      ++Checked;
+      OutOfLanguage += Oracle.lastAccepted() ? 0 : 1;
+    }
+  }
+  // Mutations must actually produce negatives, or the fuzzer only ever
+  // exercises the accept path.
+  EXPECT_GT(OutOfLanguage, 0);
+  EXPECT_LT(OutOfLanguage, Checked); // ... and some survivors stay valid
+}
+
+//===----------------------------------------------------------------------===//
+// Differential oracle
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialOracleTest, DetectsPegOrderedChoiceHazard) {
+  // `e -> 'a' | 'a' 'b'` is the canonical PEG trap: ordered choice commits
+  // to the first alternative, LL(*) prediction looks past it. The oracle
+  // must flag the disagreement (this is the detector working, not a bug in
+  // either engine — generator-envelope grammars exclude this shape).
+  DifferentialOracle Oracle(R"(
+grammar H;
+s : e EOF ;
+e : 'a' | 'a' 'b' ;
+WS : [ ]+ -> skip ;
+)");
+  ASSERT_TRUE(Oracle.valid()) << Oracle.grammarError();
+  EXPECT_FALSE(Oracle.checkGrammar().Failed);
+
+  OracleVerdict V = Oracle.checkSentence("a b");
+  EXPECT_TRUE(V.Failed);
+  EXPECT_EQ(V.Check, "accept-mismatch") << V.Detail;
+
+  EXPECT_FALSE(Oracle.checkSentence("a").Failed);
+  EXPECT_FALSE(Oracle.checkSentence("b").Failed); // both engines reject
+}
+
+TEST(DifferentialOracleTest, GrammarChecksPassOnShippedGrammars) {
+  // Determinism + serializer round-trip over a real grammar from the pack.
+  std::string Text = R"(
+grammar J;
+value : obj | arr | STR | NUM | 'true' | 'false' | 'null' ;
+obj : '{' (pair (',' pair)*)? '}' ;
+pair : STR ':' value ;
+arr : '[' (value (',' value)*)? ']' ;
+STR : '"' [a-z]* '"' ;
+NUM : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;
+)";
+  DifferentialOracle Oracle(Text);
+  ASSERT_TRUE(Oracle.valid()) << Oracle.grammarError();
+  OracleVerdict V = Oracle.checkGrammar();
+  EXPECT_FALSE(V.Failed) << V.Check << ": " << V.Detail;
+  EXPECT_FALSE(Oracle.checkSentence(R"({ "k" : [ 1 , 2 ] })").Failed);
+  EXPECT_TRUE(Oracle.lastAccepted());
+  EXPECT_FALSE(Oracle.checkSentence(R"({ "k" : })").Failed);
+  EXPECT_FALSE(Oracle.lastAccepted());
+}
+
+TEST(DifferentialOracleTest, InvalidGrammarReported) {
+  DifferentialOracle Oracle("grammar X;\ns : undefinedRule EOF ;\n");
+  EXPECT_FALSE(Oracle.valid());
+  EXPECT_FALSE(Oracle.grammarError().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Minimizer
+//===----------------------------------------------------------------------===//
+
+TEST(MinimizerTest, ShrinksFailingInputToTwoTokens) {
+  // Star over the hazard choice: long failing inputs exist, but the
+  // minimal accept-mismatch witness is exactly `a b`.
+  DifferentialOracle Oracle(R"(
+grammar H;
+s : e* EOF ;
+e : 'a' | 'a' 'b' ;
+WS : [ ]+ -> skip ;
+)");
+  ASSERT_TRUE(Oracle.valid()) << Oracle.grammarError();
+  std::vector<std::string> Failing = {"a", "a", "a", "b", "a", "a"};
+  OracleVerdict V =
+      Oracle.checkSentence(SentenceSampler::render(Failing));
+  ASSERT_TRUE(V.Failed);
+  ASSERT_EQ(V.Check, "accept-mismatch");
+
+  std::vector<std::string> Min =
+      minimizeSentence(Oracle, Failing, "accept-mismatch");
+  EXPECT_EQ(SentenceSampler::render(Min), "a b");
+}
+
+TEST(MinimizerTest, DropsIrrelevantRulesAndAlternatives) {
+  GeneratedGrammar G;
+  G.Name = "M";
+  G.Rules.push_back({"s", {"e EOF"}});
+  G.Rules.push_back({"e", {"'a'", "'a' 'b'", "'zz' r9"}});
+  G.Rules.push_back({"r9", {"'q' ID INT"}}); // irrelevant to the failure
+  GeneratedGrammar Min = minimizeGrammar(G, "a b", "accept-mismatch");
+  std::string Text = Min.text();
+  EXPECT_EQ(Text.find("r9"), std::string::npos) << Text;
+  EXPECT_EQ(Text.find("'zz'"), std::string::npos) << Text;
+  // The two hazard alternatives must survive.
+  EXPECT_NE(Text.find("'a'"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("'a' 'b'"), std::string::npos) << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end loop
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzerTest, CleanRunOverEnvelopeGrammars) {
+  FuzzConfig Config;
+  Config.Seed = 77;
+  Config.Iterations = 25;
+  Config.SentencesPerGrammar = 3;
+  Config.MutationsPerSentence = 2;
+  Fuzzer F(Config);
+  EXPECT_EQ(F.run(), 0) << (F.failures().empty()
+                                ? std::string("(no failure detail)")
+                                : F.failures()[0].Detail);
+  EXPECT_EQ(F.stats().Grammars, 25);
+  EXPECT_EQ(F.stats().Sentences, 75);
+  EXPECT_GT(F.stats().Rejected, 0);
+}
+
+TEST(FuzzerTest, DeterministicReplay) {
+  FuzzConfig Config;
+  Config.Seed = 31337;
+  Config.Iterations = 8;
+  Fuzzer A(Config), B(Config);
+  A.run();
+  B.run();
+  EXPECT_EQ(A.stats().Accepted, B.stats().Accepted);
+  EXPECT_EQ(A.stats().Rejected, B.stats().Rejected);
+  EXPECT_EQ(A.stats().Failures, B.stats().Failures);
+}
+
+} // namespace

@@ -1,0 +1,9 @@
+// fuzz corpus grammar 0 (seed 15409682558769555168, master seed 2026)
+grammar F555168;
+s : r1 EOF ;
+r1 : 'k9' INT ( 'k11' 'k10' {a1} | 'k12' )* ;
+r2 : 'k5'* 'k6'* 'k7' | 'k5'* 'k6'* 'k8' r3 {a0} r3 ;
+r3 : 'k0'* 'k1' {p0}? 'k2' | 'k0'* 'k1' {p1}? 'k3' | 'k0'* 'k1' {p2}? 'k4' ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

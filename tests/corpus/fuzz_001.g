@@ -1,0 +1,14 @@
+// fuzz corpus grammar 1 (seed 1528388520586698580, master seed 2026)
+grammar F698580;
+s : r7 EOF | r6 EOF ;
+r1 : 'k23' ( 'k25' 'k24' r2 INT | 'k26' )? r5 ( 'k27' | 'k34' {a1} ( 'k29' 'k28' INT ID | 'k32' 'k30' 'k31' ID ) 'k33' ) ;
+r2 : {p1}? 'k21' INT 'k22' r3 ;
+r3 : 'k20' INT ;
+r4 : {p0}? 'k19' INT ;
+r5 : 'k15' INT ( 'k17' 'k16' r6 | 'k18' ID ) ;
+r6 : 'k8' 'k9' 'k10' 'k11' 'k12' | 'k8' 'k9' 'k13' INT | 'k8' 'k9' 'k14' INT ;
+r7 : 'k1' 'k2'* 'k3' {{a0}} ( 'k5' 'k4' ) ex | 'k1' 'k2'* 'k6' INT 'k7' ;
+ex : ex 'k0' ex | INT ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

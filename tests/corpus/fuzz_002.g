@@ -1,0 +1,13 @@
+// fuzz corpus grammar 2 (seed 16584499457043039071, master seed 2026)
+grammar F39071;
+s : r7 EOF | r6 EOF ;
+r1 : 'k32' ( 'k34' 'k33' ) 'k35' 'k36' | 'k37' | 'k38' ;
+r2 : r5 | 'k28' 'k29' | 'k30' r6 'k31' {a3} ;
+r3 : 'k24' 'k25' 'k26' | r5 INT | 'k27' ;
+r4 : 'k23' r5 ID {{a2}} ;
+r5 : 'k22' r6 ;
+r6 : 'k14' 'k15' 'k16' ( 'k17' r7 ID | 'k19' 'k18' )+ | 'k14' 'k15' 'k20' | 'k14' 'k15' 'k21' r7 ID INT ;
+r7 : 'k0'* 'k1' ID ( 'k4' 'k2' ID 'k3' | 'k11' ID ( 'k6' ID 'k5' | 'k8' 'k7' {{a0}} ID )+ ( 'k9' INT ID | 'k10' ID {{a1}} ID ) )* | 'k0'* 'k12' INT ( 'k13' )* ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

@@ -1,0 +1,14 @@
+// fuzz corpus grammar 3 (seed 8922000368357144215, master seed 2026)
+grammar F144215;
+s : r8 EOF | r7 EOF ;
+r1 : 'k31' ID 'k32' ;
+r2 : 'k23' 'k24' 'k25' 'k26' | 'k23' 'k24' 'k27' r4 INT | 'k23' 'k24' 'k28' 'k29' 'k30' {a1} ;
+r3 : 'k19'* 'k20' 'k21' r4 r4 ID | 'k19'* 'k20' 'k22' ;
+r4 : 'k12' ('k13')=> 'k13' 'k14' r7 INT | 'k12' 'k15' 'k16' 'k17' 'k18' ;
+r5 : 'k11' ID ;
+r6 : 'k10' r8 r8 ID ;
+r7 : 'k7' 'k8' ( 'k9' )+ INT ;
+r8 : 'k0' 'k1' 'k2' {a0} | 'k0' 'k3' | 'k0' 'k4' 'k5' 'k6' ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

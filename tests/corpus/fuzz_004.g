@@ -1,0 +1,13 @@
+// fuzz corpus grammar 4 (seed 8648100648882743746, master seed 2026)
+grammar F743746;
+s : r1 EOF ;
+r1 : 'k30'* ('k31')=> 'k31' ( 'k32' r7 | 'k33' ID )? ID ID | 'k30'* 'k34' INT ( 'k35' {{a3}} | 'k36' INT r5 r2 ) ID | 'k30'* 'k37' ID ;
+r2 : {p0}? 'k28' 'k29' {a2} ;
+r3 : 'k17' 'k18' | 'k17' 'k19' 'k20' ( 'k25' ( 'k21' )+ ( 'k23' 'k22' r7 | 'k24' {a1} )* | 'k26' ID )? 'k27' ;
+r4 : 'k14' 'k15' ( 'k16' )* ;
+r5 : 'k7' 'k8' | 'k7' 'k9' ( 'k13' 'k10' 'k11' 'k12' )* {a0} ;
+r6 : 'k4' | 'k5' | r7 'k6' ;
+r7 : 'k0' 'k1' 'k2' 'k3' ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

@@ -1,0 +1,13 @@
+// fuzz corpus grammar 5 (seed 2980472110671578589, master seed 2026)
+grammar F578589;
+s : r1 EOF ;
+r1 : 'k24' INT 'k25' 'k26' ;
+r2 : r6 'k23' ;
+r3 : 'k15' 'k16' 'k17' 'k18' 'k19' r4 | 'k15' 'k16' {p0}? 'k20' 'k21' | 'k15' 'k16' 'k22' ;
+r4 : 'k14' ;
+r5 : r6 r6 ;
+r6 : 'k6'* 'k7' 'k8' 'k9' INT ex | 'k6'* 'k7' 'k10' ( 'k12' 'k11' INT ID | 'k13' )? ;
+ex : ex 'k0' ex | ex 'k1' ex | ex 'k2' ex | 'k3' ex | 'k5' ex 'k4' | INT ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

@@ -1,0 +1,13 @@
+// fuzz corpus grammar 6 (seed 18172026907813386119, master seed 2026)
+grammar F386119;
+s : r1 EOF ;
+r1 : 'k31' ID ;
+r2 : 'k29' | r5 'k30' ID {a3} ;
+r3 : {p1}? 'k27' {{a2}} | r5 ID | 'k28' ID ;
+r4 : r7 r7 'k26' ;
+r5 : 'k19'* 'k20'* {p0}? 'k21' | 'k19'* 'k20'* 'k22' INT 'k23' | 'k19'* 'k20'* 'k24' 'k25' ;
+r6 : ('k15')=> 'k15' 'k16' r7 | 'k17' 'k18' ID ;
+r7 : ('k0')=> 'k0' ID ( 'k1' | 'k5' ID ( 'k2' {a0} | 'k3' )* 'k4' )? ( 'k8' 'k6' ( 'k7' )+ | 'k12' 'k9' ( 'k10' )* ( 'k11' {{a1}} )? ) | 'k13' | 'k14' ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

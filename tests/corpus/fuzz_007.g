@@ -1,0 +1,11 @@
+// fuzz corpus grammar 7 (seed 5481116521511003259, master seed 2026)
+grammar F3259;
+s : r1 EOF ;
+r1 : 'k29' 'k30' ID | 'k31' 'k32' ID ID ;
+r2 : r4 'k25' ( 'k26' | 'k28' 'k27' INT INT )+ ;
+r3 : 'k20' ( 'k23' ( 'k21' {a2} )? 'k22' )* 'k24' ID ;
+r4 : 'k17' 'k18' 'k19' r5 ;
+r5 : 'k0' ( 'k3' ( 'k2' 'k1' {a0} )+ | 'k7' 'k4' 'k5' 'k6' )+ 'k8' 'k9' | {p0}? 'k10' ( 'k13' {a1} 'k11' 'k12' | 'k16' 'k14' 'k15' ID )? ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

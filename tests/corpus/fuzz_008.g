@@ -1,0 +1,11 @@
+// fuzz corpus grammar 8 (seed 4858512127333043893, master seed 2026)
+grammar F43893;
+s : r5 EOF | r4 EOF ;
+r1 : 'k40' ( 'k42' r2 r5 'k41' )? ID ;
+r2 : r3 ( 'k27' | 'k30' INT 'k28' 'k29' )* ( 'k31' ID | 'k32' ) | {p1}? 'k33' ( 'k34' )? | 'k35' ( 'k36' | 'k39' r3 ( 'k37' r4 r5 | 'k38' ID r3 )? ) ;
+r3 : 'k21' ID | 'k22' 'k23' 'k24' | 'k25' 'k26' ;
+r4 : 'k14' 'k15' 'k16' 'k17' | 'k14' 'k18' | 'k14' 'k19' INT 'k20' ;
+r5 : 'k0' 'k1' ('k2')=> 'k2' | 'k0' 'k1' {p0}? 'k3' ( 'k6' ID ( 'k5' ID 'k4' ) | 'k7' )? | 'k0' 'k1' 'k8' ( 'k11' 'k9' 'k10' | 'k12' )+ 'k13' ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

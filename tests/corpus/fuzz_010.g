@@ -1,0 +1,12 @@
+// fuzz corpus grammar 10 (seed 10995976849990344965, master seed 2026)
+grammar F344965;
+s : r1 EOF ;
+r1 : 'k21' ( 'k23' r2 'k22' | 'k26' 'k24' 'k25' )+ ex ( 'k28' {{a0}} ( 'k27' )* ) ;
+r2 : r3 r3 'k19' 'k20' ;
+r3 : 'k18' ;
+r4 : 'k10'* 'k11'* {p0}? 'k12' INT 'k13' 'k14' | 'k10'* 'k11'* 'k15' | 'k10'* 'k11'* 'k16' ID ID 'k17' ;
+r5 : 'k4' | 'k5' ( 'k7' 'k6' | 'k8' INT )? | 'k9' ;
+ex : ex 'k0' ex | ex 'k1' ex | 'k3' ex 'k2' | INT ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

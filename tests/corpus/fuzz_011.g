@@ -1,0 +1,8 @@
+// fuzz corpus grammar 11 (seed 2377187763037528891, master seed 2026)
+grammar F528891;
+s : r1 EOF ;
+r1 : 'k11' r2 'k12' 'k13' | r2 | 'k14' 'k15' 'k16' 'k17' ;
+r2 : 'k0' 'k1' ( 'k2' | 'k7' ( 'k4' {{a0}} 'k3' {a1} | 'k6' 'k5' {a2} )+ ID ) | 'k8' | 'k9' 'k10' ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

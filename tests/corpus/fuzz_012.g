@@ -1,0 +1,10 @@
+// fuzz corpus grammar 12 (seed 9488837311234384219, master seed 2026)
+grammar F384219;
+s : r1 EOF ;
+r1 : 'k28'* 'k29' 'k30' 'k31' ID ID | 'k28'* 'k29' 'k32' ( 'k33' | 'k34' INT ID INT ) ;
+r2 : 'k20' | r3 'k21' INT ( 'k26' ( 'k24' 'k22' 'k23' )? {{a1}} 'k25' )* | 'k27' ;
+r3 : 'k15' 'k16' 'k17' 'k18' | 'k15' 'k16' 'k19' ;
+r4 : 'k0' ( 'k8' ( 'k1' | 'k3' 'k2' )+ ( 'k5' 'k4' | 'k6' ID {{a0}} ) ( 'k7' ) )? | 'k9' 'k10' ( 'k11' | 'k12' ) | 'k13' 'k14' ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

@@ -1,0 +1,11 @@
+// fuzz corpus grammar 14 (seed 567598966279698200, master seed 2026)
+grammar F698200;
+s : r1 EOF ;
+r1 : 'k15'* 'k16' ( 'k19' r3 'k17' 'k18' | 'k20' )+ ( 'k21' ID | 'k25' INT ( 'k22' | 'k23' ) 'k24' )? | 'k15'* 'k26' INT r5 ;
+r2 : 'k11' ('k12')=> 'k12' 'k13' ID | 'k11' 'k14' r4 ;
+r3 : 'k10' ;
+r4 : 'k2'* 'k3' 'k4' ( 'k5' ) 'k6' 'k7' | 'k2'* 'k3' 'k8' 'k9' {{a0}} ;
+r5 : {p0}? 'k0' | 'k1' ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

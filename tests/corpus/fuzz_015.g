@@ -1,0 +1,10 @@
+// fuzz corpus grammar 15 (seed 12413897265106193721, master seed 2026)
+grammar F193721;
+s : r1 EOF ;
+r1 : 'k15' 'k16' ID r2 | 'k17' r4 | r4 r3 ( 'k19' 'k18' )+ r4 ;
+r2 : {p1}? 'k12' 'k13' 'k14' ;
+r3 : 'k10' 'k11' {a0} ;
+r4 : {p0}? 'k0' 'k1' 'k2' ( 'k3' | 'k6' ( 'k4' )+ 'k5' ID )? | 'k7' | 'k8' 'k9' ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

@@ -1,0 +1,15 @@
+// fuzz corpus grammar 17 (seed 8221295405094648403, master seed 2026)
+grammar F648403;
+s : r1 EOF ;
+r1 : 'k34' ID | 'k35' 'k36' 'k37' ;
+r2 : ('k29')=> 'k29' ( 'k31' 'k30' INT )+ | 'k32' | 'k33' ;
+r3 : 'k28' ;
+r4 : 'k24' 'k25' | 'k24' 'k26' | 'k24' 'k27' ;
+r5 : 'k22' INT r7 | 'k23' ID ;
+r6 : 'k16' ('k17')=> 'k17' | 'k16' 'k18' ( 'k19' ID ID r7 )? 'k20' 'k21' ;
+r7 : 'k15' ;
+r8 : 'k4' 'k5' 'k6' | 'k7' ( 'k11' ( 'k8' INT ex ex | 'k10' INT 'k9' {a0} )? | 'k12' )? 'k13' | 'k14' ;
+ex : ex 'k0' ex | ex 'k1' ex | ex 'k2' ex | 'k3' ex | INT ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

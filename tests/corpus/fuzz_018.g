@@ -1,0 +1,8 @@
+// fuzz corpus grammar 18 (seed 2945915780690457584, master seed 2026)
+grammar F457584;
+s : r1 EOF ;
+r1 : 'k3'* 'k4' r2 ID INT | 'k3'* 'k5' | 'k3'* 'k6' 'k7' 'k8' ;
+r2 : 'k0' INT 'k1' 'k2' ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

@@ -1,0 +1,8 @@
+// fuzz corpus grammar 19 (seed 8787398949324820801, master seed 2026)
+grammar F820801;
+s : r2 EOF | r1 EOF ;
+r1 : ('k4')=> 'k4' | 'k5' r2 ;
+r2 : 'k0' | 'k1' 'k2' | 'k3' ID INT ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

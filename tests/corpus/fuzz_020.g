@@ -1,0 +1,8 @@
+// fuzz corpus grammar 20 (seed 3097554474149747684, master seed 2026)
+grammar F747684;
+s : r1 EOF ;
+r1 : 'k6' 'k7'* {p0}? 'k8' ( 'k14' ( 'k9' | 'k10' {a0} ) 'k11' ( 'k13' 'k12' r2 )? | 'k17' ( 'k15' )? 'k16' ) | 'k6' 'k7'* 'k18' | 'k6' 'k7'* 'k19' r2 ;
+r2 : 'k0'* 'k1' 'k2' | 'k0'* 'k3' 'k4' INT | 'k0'* 'k5' ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

@@ -1,0 +1,10 @@
+// fuzz corpus grammar 21 (seed 9704857206764516246, master seed 2026)
+grammar F516246;
+s : r1 EOF ;
+r1 : 'k13' 'k14' ('k15')=> {p0}? 'k15' | 'k13' 'k14' 'k16' INT r3 ID | 'k13' 'k14' 'k17' ;
+r2 : 'k10' 'k11' 'k12' ;
+r3 : 'k3' ex ( 'k5' 'k4' )* | 'k6' 'k7' 'k8' 'k9' ;
+ex : ex 'k0' ex | ex 'k1' ex | ex 'k2' ex | INT ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

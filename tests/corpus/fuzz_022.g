@@ -1,0 +1,12 @@
+// fuzz corpus grammar 22 (seed 8138195586951079715, master seed 2026)
+grammar F79715;
+s : r5 EOF | r4 EOF ;
+r1 : 'k21' 'k22' ('k23')=> {p0}? 'k23' 'k24' ( 'k29' ( 'k25' {a0} ID | 'k27' 'k26' )+ ID 'k28' )+ | 'k21' 'k22' 'k30' 'k31' INT ex ;
+r2 : r3 'k16' 'k17' ( 'k20' 'k18' 'k19' )? ;
+r3 : 'k10'* 'k11' 'k12' r4 'k13' | 'k10'* 'k11' 'k14' 'k15' ;
+r4 : 'k9' ;
+r5 : 'k4' ID ex ( 'k7' ID 'k5' 'k6' | 'k8' ex ID )? ;
+ex : ex 'k0' ex | ex 'k1' ex | 'k3' ex 'k2' | INT ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

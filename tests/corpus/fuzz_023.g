@@ -1,0 +1,12 @@
+// fuzz corpus grammar 23 (seed 8395333350943918559, master seed 2026)
+grammar F918559;
+s : r1 EOF ;
+r1 : 'k29' 'k30' ;
+r2 : 'k23' 'k24' ('k25')=> 'k25' ID | 'k23' 'k24' 'k26' | 'k23' 'k24' 'k27' {{a5}} ( 'k28' INT )? ID ;
+r3 : 'k11'* 'k12' ID ex ( 'k14' 'k13' INT INT | 'k17' ( 'k15' ID {a1} | 'k16' {a2} ) r5 ) | 'k11'* 'k18' r5 'k19' 'k20' | 'k11'* 'k21' 'k22' {{a3}} {a4} ;
+r4 : 'k8' ex 'k9' 'k10' | r5 ex ;
+r5 : 'k4' 'k5' 'k6' INT {a0} ID | 'k4' 'k5' 'k7' ID ;
+ex : ex 'k0' ex | ex 'k1' ex | 'k3' ex 'k2' | INT ;
+ID : [a-z] [a-z0-9]* ;
+INT : [0-9]+ ;
+WS : [ \t\r\n]+ -> skip ;

@@ -1,0 +1,211 @@
+//===- tools/llstar_fuzz.cpp - Differential grammar fuzzer ----------------===//
+//
+// The `llstar-fuzz` driver: generates random predicated grammars, samples
+// in-language sentences and out-of-language mutation candidates, and
+// cross-checks the LL(*) predictor-driven parser against the packrat/PEG
+// baseline, analysis determinism, and the serializer round-trip. Failures
+// are minimized and printed (and optionally written out) as replayable
+// reproducers.
+//
+//   llstar-fuzz [--seed N] [--iters K] [--sentences S] [--mutations M]
+//               [--max-rules R] [--no-minimize] [--no-grammar-checks]
+//               [--no-leftrec] [--no-preds] [--no-blocks]
+//               [--dump-dir DIR] [--emit-corpus DIR COUNT] [--quiet]
+//
+// Exit status: 0 when every check passed, 1 on any oracle failure, 2 on
+// usage errors. Runs are deterministic: the same flags and seed replay
+// bit-identically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace llstar;
+using namespace llstar::fuzz;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: llstar-fuzz [options]\n"
+      "  --seed N            master seed (default 0)\n"
+      "  --iters K           grammars to generate (default 1000)\n"
+      "  --sentences S       in-language samples per grammar (default 4)\n"
+      "  --mutations M       mutation candidates per sample (default 2)\n"
+      "  --max-rules R       parser rules per grammar (default 6)\n"
+      "  --no-minimize       report failures unshrunk\n"
+      "  --no-grammar-checks skip determinism + serializer oracles\n"
+      "  --no-leftrec        drop left-recursive rules from the envelope\n"
+      "  --no-preds          drop syntactic/semantic predicates\n"
+      "  --no-blocks         drop EBNF blocks\n"
+      "  --dump-dir DIR      write each failure as DIR/fail-N.g + .input\n"
+      "  --emit-corpus DIR COUNT\n"
+      "                      generate COUNT valid grammars into DIR and "
+      "exit\n"
+      "  --quiet             suppress progress output\n");
+  return 2;
+}
+
+bool writeFile(const std::string &Path, const std::string &Contents) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << Contents;
+  return true;
+}
+
+int emitCorpus(const FuzzConfig &Config, const std::string &Dir, int Count) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  int Written = 0;
+  // Probe sub-seeds until Count grammars pass full analysis; any skip is a
+  // generator bug, but the corpus emitter should not wedge on one.
+  for (uint64_t Probe = 0; Written < Count && Probe < uint64_t(Count) * 4;
+       ++Probe) {
+    uint64_t SubSeed = FuzzRng::mix(Config.Seed, Probe);
+    GrammarGenerator Gen(Config.Envelope, SubSeed);
+    GeneratedGrammar G = Gen.generate();
+    DifferentialOracle Oracle(G.text());
+    if (!Oracle.valid()) {
+      std::fprintf(stderr, "warning: seed %llu generated invalid grammar\n",
+                   (unsigned long long)SubSeed);
+      continue;
+    }
+    char Name[64];
+    std::snprintf(Name, sizeof(Name), "fuzz_%03d.g", Written);
+    std::string Header =
+        "// fuzz corpus grammar " + std::to_string(Written) + " (seed " +
+        std::to_string(SubSeed) + ", master seed " +
+        std::to_string(Config.Seed) + ")\n";
+    if (!writeFile(Dir + "/" + Name, Header + G.text())) {
+      std::fprintf(stderr, "error: cannot write %s/%s\n", Dir.c_str(), Name);
+      return 1;
+    }
+    ++Written;
+  }
+  std::printf("wrote %d corpus grammars to %s\n", Written, Dir.c_str());
+  return Written == Count ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzConfig Config;
+  Config.Iterations = 1000;
+  bool Quiet = false;
+  std::string DumpDir, CorpusDir;
+  int CorpusCount = 0;
+
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  for (size_t I = 0; I < Args.size(); ++I) {
+    auto Next = [&]() -> const char * {
+      return I + 1 < Args.size() ? Args[++I].c_str() : nullptr;
+    };
+    if (Args[I] == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Config.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Args[I] == "--iters") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Config.Iterations = std::atoi(V);
+    } else if (Args[I] == "--sentences") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Config.SentencesPerGrammar = std::atoi(V);
+    } else if (Args[I] == "--mutations") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Config.MutationsPerSentence = std::atoi(V);
+    } else if (Args[I] == "--max-rules") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      Config.Envelope.MaxRules = std::atoi(V);
+    } else if (Args[I] == "--no-minimize") {
+      Config.Minimize = false;
+    } else if (Args[I] == "--no-grammar-checks") {
+      Config.CheckGrammarLevel = false;
+    } else if (Args[I] == "--no-leftrec") {
+      Config.Envelope.LeftRecursion = false;
+    } else if (Args[I] == "--no-preds") {
+      Config.Envelope.SynPreds = Config.Envelope.SemPreds = false;
+    } else if (Args[I] == "--no-blocks") {
+      Config.Envelope.EbnfBlocks = false;
+    } else if (Args[I] == "--dump-dir") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      DumpDir = V;
+    } else if (Args[I] == "--emit-corpus") {
+      const char *D = Next();
+      const char *C = Next();
+      if (!D || !C)
+        return usage();
+      CorpusDir = D;
+      CorpusCount = std::atoi(C);
+    } else if (Args[I] == "--quiet") {
+      Quiet = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (!CorpusDir.empty())
+    return emitCorpus(Config, CorpusDir, CorpusCount);
+
+  Fuzzer F(Config);
+  if (!Quiet) {
+    int Every = Config.Iterations >= 20 ? Config.Iterations / 10 : 1;
+    F.Progress = [&](int Iteration, const FuzzRunStats &S) {
+      if ((Iteration + 1) % Every == 0)
+        std::printf("[%d/%d] grammars %lld, sentences %lld, mutants %lld, "
+                    "accepted %lld, rejected %lld, failures %lld\n",
+                    Iteration + 1, Config.Iterations, (long long)S.Grammars,
+                    (long long)S.Sentences, (long long)S.Mutants,
+                    (long long)S.Accepted, (long long)S.Rejected,
+                    (long long)S.Failures);
+    };
+  }
+
+  int NumFailures = F.run();
+  const FuzzRunStats &S = F.stats();
+  std::printf("fuzz done: seed %llu, %lld grammars, %lld sentences, %lld "
+              "mutants (%lld in-language, %lld out-of-language), "
+              "%d failure%s\n",
+              (unsigned long long)Config.Seed, (long long)S.Grammars,
+              (long long)S.Sentences, (long long)S.Mutants,
+              (long long)S.Accepted, (long long)S.Rejected, NumFailures,
+              NumFailures == 1 ? "" : "s");
+
+  if (!DumpDir.empty() && NumFailures) {
+    std::error_code Ec;
+    std::filesystem::create_directories(DumpDir, Ec);
+  }
+  for (size_t I = 0; I < F.failures().size(); ++I) {
+    const FuzzFailure &Fail = F.failures()[I];
+    std::printf("\n=== failure %zu: %s (grammar seed %llu) ===\n%s\n"
+                "--- grammar ---\n%s--- input ---\n%s\n",
+                I, Fail.Check.c_str(), (unsigned long long)Fail.GrammarSeed,
+                Fail.Detail.c_str(), Fail.GrammarText.c_str(),
+                Fail.Input.c_str());
+    if (!DumpDir.empty()) {
+      std::string Stem = DumpDir + "/fail-" + std::to_string(I);
+      writeFile(Stem + ".g", Fail.GrammarText);
+      writeFile(Stem + ".input", Fail.Input + "\n");
+    }
+  }
+  return NumFailures ? 1 : 0;
+}
