@@ -31,6 +31,9 @@ AnalyzedGrammar::analyze(std::unique_ptr<Grammar> G, DiagnosticEngine &Diags) {
     AG->Dfas.push_back(analyzeDecision(*AG->M, int32_t(D), Opts, Diags));
 
   AG->computeStats();
+  // Freeze lazy grammar caches so concurrent const use (the parse service
+  // sharing one analysis result across workers) never writes.
+  AG->G->freeze();
   AG->Stats.AnalysisSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
@@ -45,6 +48,7 @@ AnalyzedGrammar::fromParts(std::unique_ptr<Grammar> G, std::unique_ptr<Atn> M,
   AG->M = std::move(M);
   AG->Dfas = std::move(Dfas);
   AG->computeStats();
+  AG->G->freeze();
   return AG;
 }
 

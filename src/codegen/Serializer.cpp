@@ -3,6 +3,7 @@
 #include "support/StringUtils.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstring>
 #include <sstream>
 
@@ -46,17 +47,33 @@ public:
       ++Pos;
   }
 
+  /// Parses a decimal integer without std::stoll: hostile bundles contain
+  /// digit runs that overflow (stoll would throw) or bare signs (stoll
+  /// would throw invalid_argument). Overflow is a clean failure here.
   int64_t num() {
     skipWs();
-    size_t Start = Pos;
-    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+    bool Negative = false;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+')) {
+      Negative = Text[Pos] == '-';
       ++Pos;
+    }
+    int64_t Value = 0;
+    bool AnyDigits = false, Overflow = false;
     while (Pos < Text.size() &&
-           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+           std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+      AnyDigits = true;
+      int Digit = Text[Pos] - '0';
+      if (Value > (INT64_MAX - Digit) / 10)
+        Overflow = true;
+      else
+        Value = Value * 10 + Digit;
       ++Pos;
-    if (Pos == Start)
+    }
+    if (!AnyDigits)
       return fail("expected a number");
-    return std::stoll(std::string(Text.substr(Start, Pos - Start)));
+    if (Overflow)
+      return fail("number out of range");
+    return Negative ? -Value : Value;
   }
 
   std::string str() {
@@ -102,6 +119,152 @@ private:
   size_t Pos = 0;
   bool Failed = false;
 };
+
+/// Structural bounds-checks over freshly deserialized tables. Without
+/// these a mangled payload can decode "cleanly" and then index out of
+/// bounds at parse time; every table reference the runtime follows is
+/// checked here instead.
+bool validateTables(const Grammar &G, const Atn &M, int64_t NumActions,
+                    const std::vector<std::unique_ptr<LookaheadDfa>> &Dfas,
+                    const std::vector<regex::CharDfaState> &LexStates,
+                    size_t NumLexTags, DiagnosticEngine &Diags) {
+  auto Bad = [&Diags](const std::string &Message) {
+    Diags.error("compiled grammar: invalid tables: " + Message);
+    return false;
+  };
+
+  const int64_t NumStates = int64_t(M.numStates());
+  const int64_t NumRules = int64_t(G.numRules());
+  const int64_t NumPreds = int64_t(M.numPredicates());
+  const int64_t NumDecisions = int64_t(M.numDecisions());
+
+  if (NumRules == 0)
+    return Bad("grammar has no rules");
+  if (M.eofState() < 0 || M.eofState() >= NumStates)
+    return Bad("EOF state out of range");
+
+  for (int64_t S = 0; S < NumStates; ++S) {
+    const AtnState &St = M.state(int32_t(S));
+    if (St.Kind > AtnStateKind::LoopEnd)
+      return Bad("state " + std::to_string(S) + " has unknown kind");
+    if (St.RuleIndex < -1 || St.RuleIndex >= NumRules)
+      return Bad("state " + std::to_string(S) + " rule index out of range");
+    if (St.EndState < -1 || St.EndState >= NumStates)
+      return Bad("state " + std::to_string(S) + " end state out of range");
+    for (const AtnTransition &T : St.Transitions) {
+      if (T.Kind > AtnTransitionKind::Action)
+        return Bad("state " + std::to_string(S) +
+                   " transition has unknown kind");
+      if (T.Target < 0 || T.Target >= NumStates)
+        return Bad("state " + std::to_string(S) +
+                   " transition target out of range");
+      if (T.Kind == AtnTransitionKind::Rule &&
+          (T.RuleIndex < 0 || T.RuleIndex >= NumRules ||
+           T.FollowState < 0 || T.FollowState >= NumStates))
+        return Bad("state " + std::to_string(S) +
+                   " rule transition out of range");
+      if (T.Kind == AtnTransitionKind::SynPred &&
+          (T.RuleIndex < 0 || T.RuleIndex >= NumRules))
+        return Bad("state " + std::to_string(S) +
+                   " synpred transition out of range");
+      if (T.Kind == AtnTransitionKind::SemPred &&
+          (T.PredIndex < 0 || T.PredIndex >= NumPreds))
+        return Bad("state " + std::to_string(S) +
+                   " predicate index out of range");
+      if (T.Kind == AtnTransitionKind::Action &&
+          (T.ActionIndex < 0 || T.ActionIndex >= NumActions))
+        return Bad("state " + std::to_string(S) +
+                   " action index out of range");
+    }
+  }
+
+  for (int64_t Rl = 0; Rl < NumRules; ++Rl) {
+    if (M.ruleStart(int32_t(Rl)) < 0 || M.ruleStart(int32_t(Rl)) >= NumStates ||
+        M.ruleStop(int32_t(Rl)) < 0 || M.ruleStop(int32_t(Rl)) >= NumStates)
+      return Bad("rule " + std::to_string(Rl) +
+                 " start/stop state out of range");
+  }
+
+  /// 1-based alternative count of decision \p D (0 when invalid).
+  auto DecisionAlts = [&](int64_t D) -> int64_t {
+    int32_t State = M.decisionState(int32_t(D));
+    if (State < 0 || State >= NumStates)
+      return 0;
+    return int64_t(M.state(State).Transitions.size());
+  };
+
+  for (int64_t D = 0; D < NumDecisions; ++D) {
+    int32_t State = M.decisionState(int32_t(D));
+    if (State < 0 || State >= NumStates)
+      return Bad("decision " + std::to_string(D) + " state out of range");
+    const AtnState &St = M.state(State);
+    if (St.Transitions.empty())
+      return Bad("decision " + std::to_string(D) + " has no alternatives");
+    // evalSynPredAlt speculates from the decision to its end state.
+    if (St.EndState < 0)
+      return Bad("decision " + std::to_string(D) + " lacks an end state");
+  }
+
+  for (size_t D = 0; D < Dfas.size(); ++D) {
+    const LookaheadDfa &Dfa = *Dfas[D];
+    const int64_t N = int64_t(Dfa.numStates());
+    const int64_t Alts = DecisionAlts(int64_t(D));
+    for (int64_t S = 0; S < N; ++S) {
+      const DfaState &St = Dfa.state(int32_t(S));
+      if (St.PredictedAlt > Alts)
+        return Bad("DFA " + std::to_string(D) +
+                   " predicts a nonexistent alternative");
+      for (const DfaEdge &E : St.Edges)
+        if (E.Target < -1 || E.Target >= N)
+          return Bad("DFA " + std::to_string(D) + " edge target out of range");
+      for (const DfaPredEdge &E : St.PredEdges) {
+        if (E.Target < -1 || E.Target >= N)
+          return Bad("DFA " + std::to_string(D) +
+                     " predicate edge target out of range");
+        if (E.Alt < 1 || E.Alt > Alts)
+          return Bad("DFA " + std::to_string(D) +
+                     " predicate edge alternative out of range");
+        switch (E.Pred.K) {
+        case SemanticContext::Kind::None:
+          break;
+        case SemanticContext::Kind::Pred:
+          if (E.Pred.A < 0 || E.Pred.A >= NumPreds)
+            return Bad("DFA " + std::to_string(D) +
+                       " predicate index out of range");
+          break;
+        case SemanticContext::Kind::SynPredRule:
+          if (E.Pred.A < 0 || E.Pred.A >= NumRules)
+            return Bad("DFA " + std::to_string(D) +
+                       " synpred fragment rule out of range");
+          break;
+        case SemanticContext::Kind::SynPredAlt:
+          if (E.Pred.A < 0 || E.Pred.A >= NumDecisions || E.Pred.B < 1 ||
+              E.Pred.B > DecisionAlts(E.Pred.A))
+            return Bad("DFA " + std::to_string(D) +
+                       " synpred alternative out of range");
+          break;
+        default:
+          return Bad("DFA " + std::to_string(D) +
+                     " has an unknown predicate kind");
+        }
+      }
+    }
+  }
+
+  const int64_t NumLexStates = int64_t(LexStates.size());
+  for (int64_t S = 0; S < NumLexStates; ++S) {
+    const regex::CharDfaState &St = LexStates[size_t(S)];
+    if (St.AcceptTag < -1 || St.AcceptTag >= int64_t(NumLexTags))
+      return Bad("lexer state " + std::to_string(S) +
+                 " accept tag out of range");
+    for (int32_t Next : St.Next)
+      if (Next < -1 || Next >= NumLexStates)
+        return Bad("lexer state " + std::to_string(S) +
+                   " transition out of range");
+  }
+
+  return true;
+}
 
 } // namespace
 
@@ -294,6 +457,11 @@ llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
   for (int64_t I = 0; I < NumTokens && !R.failed(); ++I) {
     std::string Name = R.str();
     bool Literal = R.num() != 0;
+    if (Literal && (Name.size() < 2 || Name.front() != '\'' ||
+                    Name.back() != '\'')) {
+      R.fail("literal token name lost its quotes");
+      break;
+    }
     G->vocabulary().getOrDefine(Name, Literal);
   }
 
@@ -302,6 +470,10 @@ llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
   int64_t NumRules = R.num();
   for (int64_t I = 0; I < NumRules && !R.failed(); ++I) {
     std::string Name = R.str();
+    if (G->findRule(Name) >= 0) {
+      R.fail("duplicate rule name");
+      break;
+    }
     int32_t Index = G->addRule(Name);
     G->rule(Index).IsSynPredFragment = R.num() != 0;
     G->rule(Index).IsPrecedenceRule = R.num() != 0;
@@ -350,6 +522,13 @@ llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
       Tr.Precedence = int32_t(R.num());
       Tr.PredIndex = int32_t(R.num());
       Tr.ActionIndex = int32_t(R.num());
+      // finalize() below indexes CallSites by the rule of every Rule
+      // transition, so that field cannot wait for the post-pass checks.
+      if (Tr.Kind == AtnTransitionKind::Rule &&
+          (Tr.RuleIndex < 0 || Tr.RuleIndex >= int32_t(G->numRules()))) {
+        R.fail("rule transition index out of range");
+        break;
+      }
       int64_t NumIntervals = R.num();
       for (int64_t I = 0; I < NumIntervals && !R.failed(); ++I) {
         int32_t Lo = int32_t(R.num());
@@ -370,8 +549,18 @@ llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
   if (!R.word("decisions"))
     return nullptr;
   int64_t NumDecisions = R.num();
-  for (int64_t D = 0; D < NumDecisions && !R.failed(); ++D)
-    M->addDecision(int32_t(R.num()));
+  for (int64_t D = 0; D < NumDecisions && !R.failed(); ++D) {
+    int64_t StateId = R.num();
+    // addDecision writes through this index; check before, not in the
+    // post-pass.
+    if (StateId < 0 || StateId >= int64_t(M->numStates())) {
+      R.fail("decision state out of range");
+      break;
+    }
+    M->addDecision(int32_t(StateId));
+  }
+  if (R.failed())
+    return nullptr;
   M->finalize();
 
   if (!R.word("dfas"))
@@ -398,6 +587,12 @@ llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
         DfaEdge Edge;
         Edge.Label = TokenType(R.num());
         Edge.Target = int32_t(R.num());
+        // Checked here, not in the post-pass: finish() below walks these
+        // targets, so a corrupt index must be caught before it runs.
+        if (Edge.Target < 0 || int64_t(Edge.Target) >= N) {
+          R.fail("DFA edge target out of range");
+          break;
+        }
         St.Edges.push_back(Edge);
       }
       int64_t NumPredEdges = R.num();
@@ -408,9 +603,15 @@ llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
         Edge.Pred.B = int32_t(R.num());
         Edge.Alt = int32_t(R.num());
         Edge.Target = int32_t(R.num());
+        if (Edge.Target < -1 || int64_t(Edge.Target) >= N) {
+          R.fail("DFA predicate-edge target out of range");
+          break;
+        }
         St.PredEdges.push_back(Edge);
       }
     }
+    if (R.failed())
+      break;
     Dfa->finish();
     Dfas.push_back(std::move(Dfa));
   }
@@ -440,10 +641,19 @@ llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
   std::vector<LexerAction> Actions;
   std::vector<TokenType> Types;
   for (int64_t I = 0; I < NumTags && !R.failed(); ++I) {
-    Actions.push_back(LexerAction(R.num()));
+    int64_t Action = R.num();
+    if (Action < 0 || Action > int64_t(LexerAction::Skip)) {
+      R.fail("lexer action out of range");
+      break;
+    }
+    Actions.push_back(LexerAction(Action));
     Types.push_back(TokenType(R.num()));
   }
   if (!R.word("end") || R.failed())
+    return nullptr;
+
+  if (!validateTables(*G, *M, NumActs, Dfas, LexStates, Actions.size(),
+                      Diags))
     return nullptr;
 
   auto Result = std::make_unique<CompiledGrammar>();
@@ -459,4 +669,94 @@ std::vector<Token> CompiledGrammar::tokenize(std::string_view Input,
                                              DiagnosticEngine &Diags) const {
   Lexer L(LexerDfa, LexerActions, LexerTypes);
   return L.tokenize(Input, Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// Bundle container
+//===----------------------------------------------------------------------===//
+
+namespace {
+constexpr const char *BundleMagic = "llstarbundle";
+} // namespace
+
+std::string llstar::writeBundle(const AnalyzedGrammar &AG) {
+  std::string Payload = serializeGrammar(AG);
+  std::string Out = BundleMagic;
+  Out += ' ';
+  Out += std::to_string(BundleFormatVersion);
+  Out += ' ';
+  Out += std::to_string(Payload.size());
+  Out += ' ';
+  Out += std::to_string(hashBytes(Payload));
+  Out += '\n';
+  Out += Payload;
+  return Out;
+}
+
+bool llstar::looksLikeBundle(std::string_view Bytes) {
+  return Bytes.substr(0, std::strlen(BundleMagic)) == BundleMagic;
+}
+
+std::unique_ptr<CompiledGrammar> llstar::readBundle(std::string_view Bytes,
+                                                    DiagnosticEngine &Diags) {
+  if (!looksLikeBundle(Bytes)) {
+    Diags.error("not a grammar bundle (missing 'llstarbundle' header)");
+    return nullptr;
+  }
+  size_t HeaderEnd = Bytes.find('\n');
+  if (HeaderEnd == std::string_view::npos) {
+    Diags.error("truncated bundle: header line is incomplete");
+    return nullptr;
+  }
+
+  // Header fields: version, payload size, payload hash — all decimal.
+  std::string_view Header = Bytes.substr(
+      std::strlen(BundleMagic), HeaderEnd - std::strlen(BundleMagic));
+  uint64_t Fields[3] = {0, 0, 0};
+  {
+    size_t P = 0;
+    for (uint64_t &F : Fields) {
+      while (P < Header.size() && Header[P] == ' ')
+        ++P;
+      bool Any = false, Overflow = false;
+      while (P < Header.size() && Header[P] >= '0' && Header[P] <= '9') {
+        uint64_t Digit = uint64_t(Header[P] - '0');
+        if (F > (UINT64_MAX - Digit) / 10)
+          Overflow = true;
+        else
+          F = F * 10 + Digit;
+        Any = true;
+        ++P;
+      }
+      if (!Any || Overflow) {
+        Diags.error("malformed bundle header");
+        return nullptr;
+      }
+    }
+    while (P < Header.size() && Header[P] == ' ')
+      ++P;
+    if (P != Header.size()) {
+      Diags.error("malformed bundle header");
+      return nullptr;
+    }
+  }
+
+  if (int64_t(Fields[0]) != BundleFormatVersion) {
+    Diags.error("unsupported bundle format version " +
+                std::to_string(Fields[0]) + " (this build reads version " +
+                std::to_string(BundleFormatVersion) + ")");
+    return nullptr;
+  }
+  std::string_view Payload = Bytes.substr(HeaderEnd + 1);
+  if (Payload.size() != Fields[1]) {
+    Diags.error("corrupt bundle: payload is " +
+                std::to_string(Payload.size()) +
+                " bytes but the header declares " + std::to_string(Fields[1]));
+    return nullptr;
+  }
+  if (hashBytes(Payload) != Fields[2]) {
+    Diags.error("corrupt bundle: payload hash mismatch");
+    return nullptr;
+  }
+  return deserializeGrammar(Payload, Diags);
 }

@@ -48,9 +48,40 @@ struct CompiledGrammar {
 std::string serializeGrammar(const AnalyzedGrammar &AG);
 
 /// Parses the v1 text format; returns null and reports to \p Diags on any
-/// structural error.
+/// structural error. All table indices (ATN targets, DFA edges, lexer
+/// transitions, rule/predicate/action references) are bounds-checked, so a
+/// corrupt payload is a diagnostic, never undefined behavior at parse time.
 std::unique_ptr<CompiledGrammar> deserializeGrammar(std::string_view Text,
                                                     DiagnosticEngine &Diags);
+
+//===----------------------------------------------------------------------===//
+// Bundle container
+//===----------------------------------------------------------------------===//
+//
+// The on-disk / over-the-wire form used by the parse service and the
+// `llstar compile` command: a versioned header line
+//
+//   llstarbundle <format-version> <payload-bytes> <payload-fnv1a>\n
+//
+// followed by the serialized-grammar payload. The header lets loaders
+// reject wrong-version and corrupt (truncated, bit-flipped) bundles with a
+// clean diagnostic before touching the payload parser.
+
+/// Version stamped into bundle headers written by \ref writeBundle.
+constexpr int64_t BundleFormatVersion = 1;
+
+/// Serializes \p AG and wraps it in the versioned bundle container.
+std::string writeBundle(const AnalyzedGrammar &AG);
+
+/// True if \p Bytes starts with the bundle container magic (cheap sniff
+/// used to distinguish bundle files from grammar source).
+bool looksLikeBundle(std::string_view Bytes);
+
+/// Verifies the container (magic, version, declared size, content hash)
+/// and deserializes the payload. Returns null with a diagnostic on any
+/// mismatch.
+std::unique_ptr<CompiledGrammar> readBundle(std::string_view Bytes,
+                                            DiagnosticEngine &Diags);
 
 } // namespace llstar
 

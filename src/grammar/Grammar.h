@@ -230,6 +230,16 @@ public:
   bool alternativeIsNullable(const Alternative &A) const;
   bool ruleIsNullable(int32_t RuleIndex) const;
 
+  /// Forces the lazily computed nullability cache so later const queries
+  /// never write. AnalyzedGrammar calls this once analysis finishes; after
+  /// that, concurrent const use of the grammar from many threads (the parse
+  /// service's shared bundles) is data-race-free. Mutating the grammar
+  /// after freezing un-freezes it.
+  void freeze() const {
+    if (!NullableValid)
+      computeNullable();
+  }
+
   /// Human-readable dump of all rules, for tests and debugging.
   std::string str() const;
 
@@ -242,8 +252,10 @@ private:
   LexerSpec Lexer;
   int32_t StartRule = 0;
 
-  // Lazy nullability cache (computed on first query, invalidated never:
-  // queries are expected only after the grammar is fully built).
+  // Lazy nullability cache (computed on first query or by freeze(),
+  // invalidated by addRule). The mutation makes unsynchronized concurrent
+  // const queries racy, which is why AnalyzedGrammar freezes the cache
+  // before the grammar is ever shared across parse-service workers.
   mutable std::vector<char> NullableCache;
   mutable bool NullableValid = false;
 };

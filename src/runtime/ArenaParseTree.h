@@ -1,0 +1,114 @@
+//===- runtime/ArenaParseTree.h - Arena-allocated parse trees ---*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The arena allocation mode for parse trees: trivially destructible nodes
+/// carved from an \ref Arena, linked through intrusive sibling pointers.
+/// Token leaves store the token's index in the \ref TokenStream instead of
+/// an owning copy, so releasing a tree is the O(1) arena reset — the parse
+/// service renders or walks the tree while the request's stream is alive,
+/// then recycles the region.
+///
+/// \ref str produces byte-identical output to ParseTree::str for the same
+/// parse; ServiceTests rely on that to compare heap and arena modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_RUNTIME_ARENAPARSETREE_H
+#define LLSTAR_RUNTIME_ARENAPARSETREE_H
+
+#include "grammar/Grammar.h"
+#include "lexer/TokenStream.h"
+#include "runtime/Arena.h"
+
+#include <cstdint>
+#include <string>
+
+namespace llstar {
+
+/// One arena-allocated parse-tree node. No destructor may be required; the
+/// arena frees nodes without running them.
+class ArenaParseTree {
+public:
+  static ArenaParseTree *ruleNode(Arena &A, int32_t RuleIndex) {
+    ArenaParseTree *N = A.create<ArenaParseTree>();
+    N->RuleIdx = RuleIndex;
+    return N;
+  }
+  static ArenaParseTree *tokenNode(Arena &A, int64_t TokenIndex) {
+    ArenaParseTree *N = A.create<ArenaParseTree>();
+    N->IsToken = true;
+    N->TokenIdx = TokenIndex;
+    return N;
+  }
+
+  bool isToken() const { return IsToken; }
+  int32_t ruleIndex() const { return RuleIdx; }
+  /// Index of this leaf's token in the request's TokenStream.
+  int64_t tokenIndex() const { return TokenIdx; }
+
+  ArenaParseTree *addChild(ArenaParseTree *Child) {
+    Child->NextSibling = nullptr;
+    if (LastChild)
+      LastChild->NextSibling = Child;
+    else
+      FirstChild = Child;
+    LastChild = Child;
+    ++NumChildren;
+    return Child;
+  }
+
+  const ArenaParseTree *firstChild() const { return FirstChild; }
+  const ArenaParseTree *nextSibling() const { return NextSibling; }
+  size_t numChildren() const { return NumChildren; }
+
+  /// Total number of nodes in this subtree.
+  size_t size() const {
+    size_t N = 1;
+    for (const ArenaParseTree *C = FirstChild; C; C = C->NextSibling)
+      N += C->size();
+    return N;
+  }
+
+  /// LISP-style rendering identical to ParseTree::str: `(rule child ...)`,
+  /// token leaves as their text (looked up in \p Stream).
+  std::string str(const Grammar &G, const TokenStream &Stream) const {
+    std::string Out;
+    render(G, Stream, Out);
+    return Out;
+  }
+
+private:
+  void render(const Grammar &G, const TokenStream &Stream,
+              std::string &Out) const {
+    if (IsToken) {
+      Out += Stream.at(TokenIdx).Text;
+      return;
+    }
+    Out += "(";
+    Out += G.rule(RuleIdx).Name;
+    for (const ArenaParseTree *C = FirstChild; C; C = C->NextSibling) {
+      Out += " ";
+      C->render(G, Stream, Out);
+    }
+    Out += ")";
+  }
+
+  bool IsToken = false;
+  int32_t RuleIdx = -1;
+  int64_t TokenIdx = -1;
+  ArenaParseTree *FirstChild = nullptr;
+  ArenaParseTree *LastChild = nullptr;
+  ArenaParseTree *NextSibling = nullptr;
+  uint32_t NumChildren = 0;
+};
+
+static_assert(std::is_trivially_destructible_v<ArenaParseTree>,
+              "ArenaParseTree must stay arena-compatible");
+
+} // namespace llstar
+
+#endif // LLSTAR_RUNTIME_ARENAPARSETREE_H

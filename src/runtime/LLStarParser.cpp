@@ -31,12 +31,26 @@ std::unique_ptr<ParseTree> LLStarParser::parse(const std::string &RuleName) {
     return nullptr;
   }
   Memo.clear();
-  auto Root = ParseTree::ruleNode(Rule);
+  ArenaRoot = nullptr;
+  DeadlineHit = false;
+  DeadlinePollCountdown = DeadlinePollInterval;
+
+  std::unique_ptr<ParseTree> HeapRoot;
+  NodeRef Root;
+  if (Opts.TreeArena) {
+    if (Opts.BuildTree) {
+      ArenaRoot = ArenaParseTree::ruleNode(*Opts.TreeArena, Rule);
+      Root.InArena = ArenaRoot;
+    }
+  } else {
+    HeapRoot = ParseTree::ruleNode(Rule);
+    if (Opts.BuildTree)
+      Root.Heap = HeapRoot.get();
+  }
   unsigned ErrorsBefore = Diags.errorCount();
-  bool Ok = runStates(M.ruleStart(Rule), M.ruleStop(Rule),
-                      Opts.BuildTree ? Root.get() : nullptr);
+  bool Ok = runStates(M.ruleStart(Rule), M.ruleStop(Rule), Root);
   LastParseOk = Ok && Diags.errorCount() == ErrorsBefore;
-  return Root;
+  return HeapRoot;
 }
 
 //===----------------------------------------------------------------------===//
@@ -44,7 +58,7 @@ std::unique_ptr<ParseTree> LLStarParser::parse(const std::string &RuleName) {
 //===----------------------------------------------------------------------===//
 
 bool LLStarParser::runRule(int32_t RuleIndex, int32_t Precedence,
-                           ParseTree *Parent) {
+                           NodeRef Parent) {
   const Rule &R = AG.grammar().rule(RuleIndex);
 
   // Memoize speculative whole-rule parses (packrat memoization; only while
@@ -66,9 +80,9 @@ bool LLStarParser::runRule(int32_t RuleIndex, int32_t Precedence,
     ++Stats.MemoMisses;
   }
 
-  ParseTree *Node = nullptr;
+  NodeRef Node;
   if (Parent && !speculating())
-    Node = Parent->addChild(ParseTree::ruleNode(RuleIndex));
+    Node = addRuleChild(Parent, RuleIndex);
 
   if (R.IsPrecedenceRule)
     PrecStack.push_back(Precedence);
@@ -81,13 +95,15 @@ bool LLStarParser::runRule(int32_t RuleIndex, int32_t Precedence,
   return Ok;
 }
 
-bool LLStarParser::runStates(int32_t From, int32_t Until, ParseTree *Parent) {
+bool LLStarParser::runStates(int32_t From, int32_t Until, NodeRef Parent) {
   int32_t P = From;
   // Guards against loop decisions that iterate without consuming input
   // (an epsilon-matching loop body).
   std::unordered_map<int32_t, int64_t> LoopWatermark;
 
   while (P != Until) {
+    if (!deadlineOk())
+      return false;
     const AtnState &S = M.state(P);
 
     if (S.isDecision()) {
@@ -129,7 +145,7 @@ bool LLStarParser::runStates(int32_t From, int32_t Until, ParseTree *Parent) {
                          : (Stream.LA(1) != TokenEof &&
                             T.Labels.contains(Stream.LA(1)));
       if (!Matches) {
-        if (speculating())
+        if (speculating() || DeadlineHit)
           return false;
         reportMismatch(T.Kind == AtnTransitionKind::Atom ? T.Label
                                                          : TokenInvalid);
@@ -146,7 +162,7 @@ bool LLStarParser::runStates(int32_t From, int32_t Until, ParseTree *Parent) {
         }
       }
       if (Parent && !speculating())
-        Parent->addChild(ParseTree::tokenNode(Stream.LT(1)));
+        addTokenChild(Parent);
       if (speculating() && SpecMaxIndex < Stream.index() + 1)
         SpecMaxIndex = Stream.index() + 1;
       Stream.consume();
@@ -180,6 +196,39 @@ bool LLStarParser::runStates(int32_t From, int32_t Until, ParseTree *Parent) {
   return true;
 }
 
+LLStarParser::NodeRef LLStarParser::addRuleChild(NodeRef Parent,
+                                                 int32_t RuleIndex) {
+  NodeRef Node;
+  if (Parent.Heap)
+    Node.Heap = Parent.Heap->addChild(ParseTree::ruleNode(RuleIndex));
+  else if (Parent.InArena)
+    Node.InArena = Parent.InArena->addChild(
+        ArenaParseTree::ruleNode(*Opts.TreeArena, RuleIndex));
+  return Node;
+}
+
+void LLStarParser::addTokenChild(NodeRef Parent) {
+  if (Parent.Heap)
+    Parent.Heap->addChild(ParseTree::tokenNode(Stream.LT(1)));
+  else if (Parent.InArena)
+    Parent.InArena->addChild(
+        ArenaParseTree::tokenNode(*Opts.TreeArena, Stream.index()));
+}
+
+bool LLStarParser::deadlineOk() {
+  if (DeadlineHit)
+    return false;
+  if (--DeadlinePollCountdown > 0)
+    return true;
+  DeadlinePollCountdown = DeadlinePollInterval;
+  if (Opts.Deadline == std::chrono::steady_clock::time_point::max() ||
+      std::chrono::steady_clock::now() <= Opts.Deadline)
+    return true;
+  DeadlineHit = true;
+  Diags.error(Stream.LT(1).Loc, "parse deadline exceeded");
+  return false;
+}
+
 //===----------------------------------------------------------------------===//
 // Prediction
 //===----------------------------------------------------------------------===//
@@ -199,6 +248,8 @@ int32_t LLStarParser::adaptivePredict(int32_t Decision) {
   };
 
   while (true) {
+    if (!deadlineOk())
+      return -1;
     const DfaState &St = Dfa.state(S);
     if (St.isAccept()) {
       Record(Depth);
@@ -232,7 +283,7 @@ int32_t LLStarParser::adaptivePredict(int32_t Decision) {
       }
     }
     Record(Depth);
-    if (!speculating())
+    if (!speculating() && !DeadlineHit)
       reportNoViableAlt(Decision, Depth);
     return -1;
   }
@@ -271,7 +322,7 @@ bool LLStarParser::evalSynPredRule(int32_t FragmentRule) {
   ++Stats.SynPredEvals;
   int64_t Mark = Stream.index();
   ++SpecDepth;
-  bool Ok = runRule(FragmentRule, 0, nullptr);
+  bool Ok = runRule(FragmentRule, 0, NodeRef());
   --SpecDepth;
   Stream.seek(Mark);
   return Ok;
@@ -286,7 +337,7 @@ bool LLStarParser::evalSynPredAlt(int32_t Decision, int32_t Alt) {
   int64_t Mark = Stream.index();
   ++SpecDepth;
   bool Ok = runStates(S.Transitions[size_t(Alt) - 1].Target, S.EndState,
-                      nullptr);
+                      NodeRef());
   --SpecDepth;
   Stream.seek(Mark);
   return Ok;

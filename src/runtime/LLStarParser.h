@@ -25,11 +25,14 @@
 
 #include "analysis/AnalyzedGrammar.h"
 #include "lexer/TokenStream.h"
+#include "runtime/Arena.h"
+#include "runtime/ArenaParseTree.h"
 #include "runtime/ParseTree.h"
 #include "runtime/ParserStats.h"
 #include "runtime/SemanticEnv.h"
 #include "support/Diagnostics.h"
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -49,6 +52,16 @@ struct ParserOptions {
   bool CollectStats = true;
   /// Attempt single-token-deletion recovery on mismatched tokens.
   bool Recover = true;
+  /// When non-null, parse trees are built as \ref ArenaParseTree nodes
+  /// carved from this arena instead of heap ParseTree nodes. parse() then
+  /// returns null; fetch the root with \ref LLStarParser::arenaTree. The
+  /// arena and the token stream must outlive any use of the tree.
+  Arena *TreeArena = nullptr;
+  /// Absolute deadline for the parse; max() means none. Checked at decision
+  /// entries and periodically along the state walk. On expiry the parse
+  /// aborts with a "parse deadline exceeded" error diagnostic.
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// An interpreting LL(*) parser for one analyzed grammar.
@@ -63,24 +76,50 @@ public:
   /// Parses starting at \p RuleName (or the grammar's first rule when
   /// empty). Returns the (possibly partial) parse tree; syntax errors are
   /// reported to the diagnostics engine — check \c Diags.hasErrors() or
-  /// \ref ok().
+  /// \ref ok(). In arena mode (ParserOptions::TreeArena) the return value
+  /// is null and the root is available via \ref arenaTree.
   std::unique_ptr<ParseTree> parse(const std::string &RuleName = "");
 
   /// True if the last parse() completed without syntax errors.
   bool ok() const { return LastParseOk; }
 
+  /// Root of the last arena-mode parse (null in heap mode). Valid until
+  /// the arena passed in ParserOptions::TreeArena is reset.
+  const ArenaParseTree *arenaTree() const { return ArenaRoot; }
+
+  /// True if the last parse() aborted because its deadline expired.
+  bool deadlineExpired() const { return DeadlineHit; }
+
   const ParserStats &stats() const { return Stats; }
   ParserStats &stats() { return Stats; }
 
 private:
+  /// Parent slot for tree building: exactly one pointer is set, matching
+  /// the allocation mode (heap ParseTree vs ArenaParseTree). Both null
+  /// while speculating or when tree building is off.
+  struct NodeRef {
+    ParseTree *Heap = nullptr;
+    ArenaParseTree *InArena = nullptr;
+    explicit operator bool() const { return Heap || InArena; }
+  };
+
   // Core interpretation -----------------------------------------------------
 
   /// Parses one rule invocation. \p Precedence is the argument for
   /// precedence-rewritten rules (0 = unconstrained). Returns success.
-  bool runRule(int32_t RuleIndex, int32_t Precedence, ParseTree *Parent);
+  bool runRule(int32_t RuleIndex, int32_t Precedence, NodeRef Parent);
 
   /// Walks ATN states from \p From until reaching \p Until.
-  bool runStates(int32_t From, int32_t Until, ParseTree *Parent);
+  bool runStates(int32_t From, int32_t Until, NodeRef Parent);
+
+  /// Appends a rule node / the upcoming token to \p Parent in whichever
+  /// allocation mode is active.
+  NodeRef addRuleChild(NodeRef Parent, int32_t RuleIndex);
+  void addTokenChild(NodeRef Parent);
+
+  /// Periodic deadline poll; returns false (once per parse reporting the
+  /// error) after ParserOptions::Deadline passes.
+  bool deadlineOk();
 
   /// One prediction event at \p Decision; returns the 1-based alternative
   /// or -1 on a no-viable-alternative error.
@@ -128,6 +167,12 @@ private:
   /// Predicate/action names already reported as unbound (warn once).
   std::unordered_set<std::string> ReportedUnbound;
   bool LastParseOk = false;
+  ArenaParseTree *ArenaRoot = nullptr;
+  bool DeadlineHit = false;
+  /// Countdown between clock reads so deadline polling stays off the
+  /// per-state fast path.
+  int32_t DeadlinePollCountdown = DeadlinePollInterval;
+  static constexpr int32_t DeadlinePollInterval = 256;
 };
 
 } // namespace llstar

@@ -1,0 +1,88 @@
+#include "runtime/ParserStats.h"
+
+#include <cstdio>
+
+using namespace llstar;
+
+void ParserStats::merge(const ParserStats &O) {
+  ensure(O.Decisions.size());
+  for (size_t I = 0; I < O.Decisions.size(); ++I)
+    Decisions[I].merge(O.Decisions[I]);
+  SynPredEvals += O.SynPredEvals;
+  MemoHits += O.MemoHits;
+  MemoMisses += O.MemoMisses;
+  TokensConsumed += O.TokensConsumed;
+  SyntaxErrors += O.SyntaxErrors;
+}
+
+namespace {
+
+void appendNum(std::string &Out, const char *Key, int64_t V) {
+  Out += '"';
+  Out += Key;
+  Out += "\":";
+  Out += std::to_string(V);
+}
+
+void appendDouble(std::string &Out, const char *Key, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "\"%s\":%.6g", Key, V);
+  Out += Buf;
+}
+
+} // namespace
+
+std::string ParserStats::json(bool IncludeDecisions) const {
+  std::string Out = "{";
+  appendNum(Out, "decisionEvents", totalEvents());
+  Out += ',';
+  appendNum(Out, "decisionsCovered", decisionsCovered());
+  Out += ',';
+  appendDouble(Out, "avgLookahead", avgLookahead());
+  Out += ',';
+  appendNum(Out, "maxLookahead", maxLookahead());
+  Out += ',';
+  appendNum(Out, "backtrackEvents", backtrackEvents());
+  Out += ',';
+  appendDouble(Out, "backtrackFraction", backtrackEventFraction());
+  Out += ',';
+  appendDouble(Out, "avgBacktrackLookahead", avgBacktrackLookahead());
+  Out += ',';
+  appendNum(Out, "synPredEvals", SynPredEvals);
+  Out += ',';
+  appendNum(Out, "memoHits", MemoHits);
+  Out += ',';
+  appendNum(Out, "memoMisses", MemoMisses);
+  Out += ',';
+  appendNum(Out, "tokensConsumed", TokensConsumed);
+  Out += ',';
+  appendNum(Out, "syntaxErrors", SyntaxErrors);
+  if (IncludeDecisions) {
+    Out += ",\"decisions\":[";
+    bool First = true;
+    for (size_t I = 0; I < Decisions.size(); ++I) {
+      const DecisionStats &D = Decisions[I];
+      if (D.Events == 0)
+        continue;
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += "{";
+      appendNum(Out, "decision", int64_t(I));
+      Out += ',';
+      appendNum(Out, "events", D.Events);
+      Out += ',';
+      appendNum(Out, "totalK", D.TotalK);
+      Out += ',';
+      appendNum(Out, "maxK", D.MaxK);
+      Out += ',';
+      appendNum(Out, "backtrackEvents", D.BacktrackEvents);
+      Out += ',';
+      appendNum(Out, "backtrackTotalK", D.BacktrackTotalK);
+      Out += "}";
+    }
+    Out += "]";
+  }
+  Out += "}";
+  return Out;
+}

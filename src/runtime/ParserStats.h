@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace llstar {
@@ -36,6 +37,14 @@ struct DecisionStats {
       ++BacktrackEvents;
       BacktrackTotalK += K;
     }
+  }
+
+  void merge(const DecisionStats &O) {
+    Events += O.Events;
+    TotalK += O.TotalK;
+    MaxK = std::max(MaxK, O.MaxK);
+    BacktrackEvents += O.BacktrackEvents;
+    BacktrackTotalK += O.BacktrackTotalK;
   }
 };
 
@@ -108,6 +117,16 @@ struct ParserStats {
       N += D.BacktrackEvents > 0;
     return N;
   }
+
+  /// Accumulates \p O into this. Decision vectors of different lengths are
+  /// aligned by index; the service merges every worker's thread-local stats
+  /// into one aggregate snapshot with this.
+  void merge(const ParserStats &O);
+
+  /// Renders all counters as a JSON object. \p IncludeDecisions adds a
+  /// `decisions` array with one entry per decision that recorded at least
+  /// one event.
+  std::string json(bool IncludeDecisions = false) const;
 
   void reset() { *this = ParserStats(); }
 };

@@ -12,11 +12,23 @@
 #ifndef LLSTAR_SUPPORT_STRINGUTILS_H
 #define LLSTAR_SUPPORT_STRINGUTILS_H
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace llstar {
+
+/// FNV-1a 64-bit hash of \p Bytes. Stable across platforms; used as the
+/// grammar-bundle content key and integrity check (not cryptographic).
+constexpr uint64_t hashBytes(std::string_view Bytes) {
+  uint64_t H = 1469598103934665603ull;
+  for (char C : Bytes) {
+    H ^= uint8_t(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
 
 /// Escapes one character for display inside quotes ("\n", "\t", "\\", ...).
 std::string escapeChar(char C);

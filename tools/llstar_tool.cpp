@@ -7,7 +7,8 @@
 //   llstar analyze <grammar.g> [--dfa [rule]] [--dot <decision>] [--atn]
 //   llstar tokens  <grammar.g> <input>
 //   llstar parse   <grammar.g> <input> [--start <rule>] [--tree]
-//                  [--stats] [--peg] [--no-memoize]
+//                  [--stats] [--stats-json] [--peg] [--no-memoize]
+//   llstar compile <grammar.g> -o <out.llb>
 //
 // Semantic predicates evaluate as `true` with a warning (bind real
 // callbacks through the C++ API when your grammar needs them).
@@ -46,8 +47,12 @@ int usage() {
       "  tokens <grammar.g> <input>\n"
       "      tokenize an input file with the grammar's lexer rules\n"
       "  parse <grammar.g> <input> [--start <rule>] [--tree] [--stats]\n"
-      "        [--peg] [--no-memoize]\n"
-      "      parse an input file; --peg uses the packrat baseline\n"
+      "        [--stats-json] [--peg] [--no-memoize]\n"
+      "      parse an input file; --peg uses the packrat baseline;\n"
+      "      --stats-json prints the full ParserStats as JSON\n"
+      "  compile <grammar.g> -o <out.llb>\n"
+      "      analyze once and write a versioned grammar bundle that\n"
+      "      llstar-batch and the ParseService load without re-analysis\n"
       "  generate <grammar.g> <ClassName> [-o <dir>]\n"
       "      emit <dir>/<ClassName>.h/.cpp embedding the precompiled\n"
       "      grammar tables (link against the llstar runtime)\n");
@@ -175,7 +180,8 @@ int cmdParse(const std::vector<std::string> &Args) {
   }
 
   std::string Start;
-  bool ShowTree = false, ShowStats = false, UsePeg = false, Memoize = true;
+  bool ShowTree = false, ShowStats = false, StatsJson = false,
+       UsePeg = false, Memoize = true;
   for (size_t I = 2; I < Args.size(); ++I) {
     if (Args[I] == "--start" && I + 1 < Args.size())
       Start = Args[++I];
@@ -183,6 +189,8 @@ int cmdParse(const std::vector<std::string> &Args) {
       ShowTree = true;
     else if (Args[I] == "--stats")
       ShowStats = true;
+    else if (Args[I] == "--stats-json")
+      StatsJson = true;
     else if (Args[I] == "--peg")
       UsePeg = true;
     else if (Args[I] == "--no-memoize")
@@ -235,7 +243,36 @@ int cmdParse(const std::vector<std::string> &Args) {
                 100.0 * Stats.backtrackEventFraction(),
                 (long long)Stats.MemoHits, (long long)Stats.MemoMisses);
   }
+  if (StatsJson && !UsePeg)
+    std::printf("%s\n", Stats.json(/*IncludeDecisions=*/true).c_str());
   return Ok ? 0 : 1;
+}
+
+int cmdCompile(const std::vector<std::string> &Args) {
+  if (Args.empty())
+    return usage();
+  std::string OutPath;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    if (Args[I] == "-o" && I + 1 < Args.size())
+      OutPath = Args[++I];
+    else
+      return usage();
+  }
+  if (OutPath.empty())
+    return usage();
+  auto AG = loadGrammar(Args[0]);
+  if (!AG)
+    return 1;
+  std::string Bundle = writeBundle(*AG);
+  std::ofstream Out(OutPath, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  Out << Bundle;
+  std::printf("wrote %s (%zu bytes, format v%lld)\n", OutPath.c_str(),
+              Bundle.size(), (long long)BundleFormatVersion);
+  return 0;
 }
 
 int cmdGenerate(const std::vector<std::string> &Args) {
@@ -281,6 +318,8 @@ int main(int Argc, char **Argv) {
     return cmdTokens(Args);
   if (Cmd == "parse")
     return cmdParse(Args);
+  if (Cmd == "compile")
+    return cmdCompile(Args);
   if (Cmd == "generate")
     return cmdGenerate(Args);
   return usage();
