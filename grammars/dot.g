@@ -3,6 +3,9 @@
 grammar Dot;
 
 graph     : 'strict'? ('graph' | 'digraph') ID? '{' stmt* '}' EOF ;
+// LL(*) cyclic lookahead decides edge-vs-node without backtracking; the
+// predicate stays as documentation of the decision ANTLR 2/3 needed it for.
+// llstar-lint-disable synpred-redundant
 stmt      : (nodeId edgeRhs)=> edgeStmt ';'?
           | ('graph' | 'node' | 'edge') attrList ';'?
           | 'subgraph' ID? '{' stmt* '}'

@@ -15,6 +15,10 @@ chunk   : block EOF ;
 block   : stat* retstat? ;
 retstat : 'return' explist? ';'? ;
 
+// Assignment vs call both start with an unbounded prefixexp: recursion in
+// two alternatives is the paper's LikelyNonLLRegular case, resolved by the
+// explicit (varlist '=')=> backtrack below.
+// llstar-lint-disable non-ll-regular
 stat : ';'
      | (varlist '=')=> varlist '=' explist
      | prefixexp
@@ -65,6 +69,7 @@ parlist  : namelist (',' '...')? | '...' ;
 
 tableconstructor : '{' (field ((',' | ';') field)* (',' | ';')?)? '}' ;
 field            : '[' exp ']' '=' exp
+                 // llstar-lint-disable synpred-redundant
                  | (NAME '=')=> NAME '=' exp
                  | exp
                  ;

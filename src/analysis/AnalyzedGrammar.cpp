@@ -27,8 +27,10 @@ AnalyzedGrammar::analyze(std::unique_ptr<Grammar> G, DiagnosticEngine &Diags) {
   AG->M = buildAtn(*AG->G);
 
   AnalysisOptions Opts = AnalysisOptions::fromGrammar(AG->G->Options);
+  AG->Reports.resize(AG->M->numDecisions());
   for (size_t D = 0; D < AG->M->numDecisions(); ++D)
-    AG->Dfas.push_back(analyzeDecision(*AG->M, int32_t(D), Opts, Diags));
+    AG->Dfas.push_back(
+        analyzeDecision(*AG->M, int32_t(D), Opts, Diags, &AG->Reports[D]));
 
   AG->computeStats();
   // Freeze lazy grammar caches so concurrent const use (the parse service
@@ -47,6 +49,7 @@ AnalyzedGrammar::fromParts(std::unique_ptr<Grammar> G, std::unique_ptr<Atn> M,
   AG->G = std::move(G);
   AG->M = std::move(M);
   AG->Dfas = std::move(Dfas);
+  AG->Reports.resize(AG->Dfas.size());
   AG->computeStats();
   AG->G->freeze();
   return AG;

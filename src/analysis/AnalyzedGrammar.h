@@ -80,6 +80,13 @@ public:
     return *Dfas[size_t(Decision)];
   }
 
+  /// Resolution verdicts recorded while building \p Decision's DFA. Empty
+  /// reports when the grammar was assembled from serialized parts
+  /// (fromParts) -- the construction never ran there.
+  const DecisionReport &decisionReport(int32_t Decision) const {
+    return Reports[size_t(Decision)];
+  }
+
   const StaticStats &stats() const { return Stats; }
 
   /// Renders the Table-1-style one-line summary for this grammar.
@@ -92,6 +99,7 @@ private:
   std::unique_ptr<Grammar> G;
   std::unique_ptr<Atn> M;
   std::vector<std::unique_ptr<LookaheadDfa>> Dfas;
+  std::vector<DecisionReport> Reports;
   StaticStats Stats;
 };
 

@@ -34,8 +34,8 @@ struct ConfigSetEq {
 class Analyzer {
 public:
   Analyzer(const Atn &M, int32_t Decision, const AnalysisOptions &Opts,
-           DiagnosticEngine &Diags)
-      : M(M), Decision(Decision), Opts(Opts), Diags(Diags),
+           DiagnosticEngine &Diags, DecisionReport *Report)
+      : M(M), Decision(Decision), Opts(Opts), Diags(Diags), Report(Report),
         DecisionState(M.decisionState(Decision)) {}
 
   std::unique_ptr<LookaheadDfa> run() {
@@ -48,6 +48,11 @@ public:
       buildFallback();
     }
     Dfa->finish();
+    if (Report) {
+      Report->UsedFallback = Dfa->usedFallback();
+      Report->LikelyNonLLRegular = MultiRecursionAbort;
+      Report->Overflowed = Dfa->overflowed();
+    }
     return std::move(Dfa);
   }
 
@@ -144,6 +149,7 @@ private:
           if (AbortOnMultiRecursion && RecursiveAlts.size() > 1) {
             // LikelyNonLLRegular: recursion in more than one alternative.
             Aborted = true;
+            MultiRecursionAbort = true;
             return false;
           }
         }
@@ -242,7 +248,7 @@ private:
     return Alts;
   }
 
-  void resolve(ConfigSet &D) {
+  void resolve(ConfigSet &D, const std::vector<TokenType> &Path) {
     std::set<size_t> ConflictingConfigs;
     std::set<int32_t> Conflicts = conflictSet(D, &ConflictingConfigs);
     if (D.Overflowed) {
@@ -263,7 +269,7 @@ private:
     }
     if (Conflicts.size() < 2)
       return;
-    if (resolveWithPreds(D, Conflicts)) {
+    if (resolveWithPreds(D, Conflicts, Path)) {
       // An overflow-forced resolution makes the state terminal: closure
       // stopped early, so further terminal edges would be built from
       // crippled configurations. Ordinary predicate-resolved states keep
@@ -300,10 +306,13 @@ private:
       }
       D.Configs = std::move(Kept);
     }
+    std::set<int32_t> Losers(std::next(Conflicts.begin()), Conflicts.end());
+    recordEvent(Conflicts, Min, Losers, D.Overflowed, /*ByPreds=*/false, Path);
     reportResolution(Conflicts, Min, D.Overflowed);
   }
 
-  bool resolveWithPreds(ConfigSet &D, const std::set<int32_t> &Conflicts) {
+  bool resolveWithPreds(ConfigSet &D, const std::set<int32_t> &Conflicts,
+                        const std::vector<TokenType> &Path) {
     // A predicate gates a conflicting alternative only if it *dominates*
     // it: every lookahead-bearing configuration (one with terminal
     // transitions) of that alternative carries the same predicate.
@@ -374,6 +383,8 @@ private:
       Synthesized[DefaultAlt] = SemanticContext::none();
       Dropped.insert(Unpredicated.begin() + 1, Unpredicated.end());
       if (!Dropped.empty()) {
+        recordEvent(Conflicts, DefaultAlt, Dropped, D.Overflowed,
+                    /*ByPreds=*/true, Path);
         reportResolution(Dropped, DefaultAlt, D.Overflowed);
         D.Configs.erase(std::remove_if(D.Configs.begin(), D.Configs.end(),
                                        [&](const AtnConfig &C) {
@@ -406,7 +417,24 @@ private:
           break;
         }
     }
+    if (Dropped.empty())
+      recordEvent(Conflicts, -1, {}, D.Overflowed, /*ByPreds=*/true, Path);
     return true;
+  }
+
+  void recordEvent(const std::set<int32_t> &Conflicts, int32_t Chosen,
+                   const std::set<int32_t> &Losers, bool Overflowed,
+                   bool ByPreds, const std::vector<TokenType> &Path) {
+    if (!Report)
+      return;
+    ResolutionEvent E;
+    E.ConflictingAlts.assign(Conflicts.begin(), Conflicts.end());
+    E.ChosenAlt = Chosen;
+    E.LosingAlts.assign(Losers.begin(), Losers.end());
+    E.Overflowed = Overflowed;
+    E.ByPredicates = ByPreds;
+    E.Path = Path;
+    Report->Resolutions.push_back(std::move(E));
   }
 
   void reportResolution(const std::set<int32_t> &Conflicts, int32_t Min,
@@ -420,7 +448,7 @@ private:
     const AtnState &S = M.state(DecisionState);
     std::string RuleName =
         S.RuleIndex >= 0 ? M.grammar().rule(S.RuleIndex).Name : "<none>";
-    Diags.warning(formatString(
+    Diags.warning(M.decisionLoc(Decision), formatString(
         "decision %d (rule %s): %s between alternatives {%s}; "
         "resolving in favor of alternative %d",
         Decision, RuleName.c_str(),
@@ -441,6 +469,7 @@ private:
     Dfa->state(Id).PredictedAlt = Alt;
     AcceptByAlt.emplace(Alt, Id);
     StateConfigs.resize(size_t(Id) + 1);
+    StatePaths.resize(size_t(Id) + 1);
     return Id;
   }
 
@@ -460,6 +489,7 @@ private:
       return {It->second, false};
     int32_t Id = Dfa->addState();
     StateConfigs.resize(size_t(Id) + 1);
+    StatePaths.resize(size_t(Id) + 1);
     StateConfigs[size_t(Id)] = D;
     Known.emplace(std::move(D), Id);
     return {Id, true};
@@ -498,7 +528,7 @@ private:
       if (!closure(D0, C, Busy, RecursiveAlts, /*AbortOnMultiRecursion=*/true))
         return false;
     }
-    resolve(D0);
+    resolve(D0, /*Path=*/{});
     D0.normalize();
 
     auto [D0Id, D0New] = internState(std::move(D0));
@@ -530,8 +560,9 @@ private:
       int32_t Id = Work.back();
       Work.pop_back();
 
-      // Copy: internState may reallocate StateConfigs.
+      // Copies: internState may reallocate StateConfigs/StatePaths.
       ConfigSet D = StateConfigs[size_t(Id)];
+      std::vector<TokenType> Path = StatePaths[size_t(Id)];
       for (TokenType Label : terminalLabels(D)) {
         ConfigSet DNext;
         BusySet NextBusy;
@@ -542,7 +573,9 @@ private:
             return false;
         if (DNext.empty())
           continue;
-        resolve(DNext);
+        std::vector<TokenType> NextPath = Path;
+        NextPath.push_back(Label);
+        resolve(DNext, NextPath);
         DNext.normalize();
         auto [Target, IsNew] = internState(std::move(DNext));
         if (Label == TokenEof && Target == Id)
@@ -552,6 +585,7 @@ private:
         E.Target = Target;
         Dfa->state(Id).Edges.push_back(E);
         if (IsNew) {
+          StatePaths[size_t(Target)] = std::move(NextPath);
           if (StateConfigs[size_t(Target)].FullyPredResolved)
             addPredicateEdges(Target); // terminal: predicate edges only
           else
@@ -580,8 +614,12 @@ private:
     Aborted = false;
     Known.clear();
     StateConfigs.clear();
+    StatePaths.clear();
     AcceptByAlt.clear();
     ReportedResolution = false;
+    if (Report)
+      Report->Resolutions.clear(); // state ids/paths referenced the
+                                   // discarded full construction
     const AtnState &S = M.state(DecisionState);
     size_t NumAlts = S.Transitions.size();
 
@@ -656,7 +694,8 @@ private:
         if (It != PredStates.end()) {
           Target = It->second;
         } else {
-          Target = buildFallbackPredState(Alts, AltPred, WarnedAmbiguity);
+          Target = buildFallbackPredState(Alts, AltPred, Label,
+                                          WarnedAmbiguity);
           PredStates.emplace(Alts, Target);
         }
       }
@@ -670,7 +709,8 @@ private:
   /// A state whose predicate edges arbitrate between \p Alts.
   int32_t buildFallbackPredState(const std::vector<int32_t> &Alts,
                                  const std::vector<SemanticContext> &AltPred,
-                                 bool &WarnedAmbiguity) {
+                                 TokenType Label, bool &WarnedAmbiguity) {
+    std::set<int32_t> AltSet(Alts.begin(), Alts.end());
     // Do all conflicting alternatives have (or can be given) predicates?
     bool AllPredicated = true;
     for (size_t J = 0; J + 1 < Alts.size(); ++J)
@@ -678,16 +718,21 @@ private:
         AllPredicated = false;
 
     if (!AllPredicated) {
+      recordEvent(AltSet, Alts[0],
+                  std::set<int32_t>(Alts.begin() + 1, Alts.end()),
+                  /*Overflowed=*/true, /*ByPreds=*/false, {Label});
       if (!WarnedAmbiguity) {
         WarnedAmbiguity = true;
-        reportResolution(std::set<int32_t>(Alts.begin(), Alts.end()), Alts[0],
-                         /*Overflowed=*/true);
+        reportResolution(AltSet, Alts[0], /*Overflowed=*/true);
       }
       return acceptStateFor(Alts[0]);
     }
+    recordEvent(AltSet, -1, {}, /*Overflowed=*/false, /*ByPreds=*/true,
+                {Label});
 
     int32_t Id = Dfa->addState();
     StateConfigs.resize(Dfa->numStates());
+    StatePaths.resize(Dfa->numStates());
     for (size_t J = 0; J < Alts.size(); ++J) {
       int32_t Alt = Alts[J];
       SemanticContext Pred = AltPred[size_t(Alt) - 1];
@@ -707,14 +752,19 @@ private:
   int32_t Decision;
   AnalysisOptions Opts;
   DiagnosticEngine &Diags;
+  DecisionReport *Report;
   int32_t DecisionState;
 
   PredictionContextPool Pool;
   std::unique_ptr<LookaheadDfa> Dfa;
   std::unordered_map<ConfigSet, int32_t, ConfigSetHash, ConfigSetEq> Known;
   std::vector<ConfigSet> StateConfigs;
+  /// Terminal labels on the path from DFA state 0 to each interned state;
+  /// parallel to StateConfigs. Feeds ResolutionEvent::Path.
+  std::vector<std::vector<TokenType>> StatePaths;
   std::map<int32_t, int32_t> AcceptByAlt;
   bool Aborted = false;
+  bool MultiRecursionAbort = false;
   bool ReportedResolution = false;
 };
 
@@ -722,6 +772,7 @@ private:
 
 std::unique_ptr<LookaheadDfa>
 llstar::analyzeDecision(const Atn &M, int32_t Decision,
-                        const AnalysisOptions &Opts, DiagnosticEngine &Diags) {
-  return Analyzer(M, Decision, Opts, Diags).run();
+                        const AnalysisOptions &Opts, DiagnosticEngine &Diags,
+                        DecisionReport *Report) {
+  return Analyzer(M, Decision, Opts, Diags, Report).run();
 }

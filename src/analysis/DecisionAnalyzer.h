@@ -60,13 +60,48 @@ struct AnalysisOptions {
   }
 };
 
+/// One ambiguity-resolution verdict recorded while building a DFA: at the
+/// lookahead prefix \ref Path, the alternatives in \ref ConflictingAlts
+/// matched the same input and the construction resolved in favor of
+/// \ref ChosenAlt, dropping \ref LosingAlts (empty when predicates carried
+/// every conflicting alternative). The lint passes turn these into
+/// shadowed-alternative and ambiguity diagnostics with witnesses instead of
+/// rediscovering them from the finished DFA.
+struct ResolutionEvent {
+  std::vector<int32_t> ConflictingAlts; ///< sorted, 1-based
+  int32_t ChosenAlt = -1;               ///< winner (lowest alt or default)
+  std::vector<int32_t> LosingAlts;      ///< alts dropped by this event
+  bool Overflowed = false;     ///< forced by recursion-depth overflow
+  bool ByPredicates = false;   ///< predicates gate the conflict at runtime
+  /// Terminal labels on the DFA path from the start state to the config
+  /// set where the conflict was resolved (the lookahead prefix).
+  std::vector<TokenType> Path;
+};
+
+/// Everything the analyzer learns about one decision beyond the DFA
+/// itself. Previously discarded; retained so diagnostics passes can see
+/// resolution verdicts without re-running the subset construction.
+struct DecisionReport {
+  std::vector<ResolutionEvent> Resolutions;
+  /// Full LL(*) construction aborted (LikelyNonLLRegular or a resource
+  /// limit); the DFA is the LL(1)-with-predicates fallback.
+  bool UsedFallback = false;
+  /// Construction aborted specifically because recursion was observed in
+  /// more than one alternative (the paper's LikelyNonLLRegular condition).
+  bool LikelyNonLLRegular = false;
+  /// Closure hit the recursion-depth limit m somewhere.
+  bool Overflowed = false;
+};
+
 /// Builds the lookahead DFA for \p Decision of \p M. Warnings (ambiguity,
 /// recursion overflow, fallback) go to \p Diags. Never fails: when full
 /// LL(*) construction aborts, the result is the LL(1)-with-predicates
-/// fallback DFA (check \ref LookaheadDfa::usedFallback).
+/// fallback DFA (check \ref LookaheadDfa::usedFallback). When \p Report is
+/// non-null it receives the resolution verdicts of the construction.
 std::unique_ptr<LookaheadDfa> analyzeDecision(const Atn &M, int32_t Decision,
                                               const AnalysisOptions &Opts,
-                                              DiagnosticEngine &Diags);
+                                              DiagnosticEngine &Diags,
+                                              DecisionReport *Report = nullptr);
 
 } // namespace llstar
 

@@ -90,6 +90,12 @@ struct AtnState {
   int32_t Id = -1;
   AtnStateKind Kind = AtnStateKind::Basic;
   int32_t RuleIndex = -1;
+  /// Source position this state was built from: the rule header for rule
+  /// start/stop states, the alternative for per-alternative entry states,
+  /// the element for everything else. Lets diagnostics point at the
+  /// offending alternative instead of just the rule. Invalid for synthetic
+  /// states (EOF, rewritten constructs without a source span).
+  SourceLocation Loc;
   /// Decision number, or -1. Decision states own one lookahead DFA each;
   /// their transitions are ordered by alternative number (loop decisions:
   /// body alternatives first, exit last).
@@ -132,6 +138,30 @@ public:
   size_t numDecisions() const { return DecisionStates.size(); }
   int32_t decisionState(int32_t Decision) const {
     return DecisionStates[size_t(Decision)];
+  }
+
+  /// Source position of alternative \p Alt (1-based) of \p Decision: the
+  /// location of the per-alternative entry state, falling back to the
+  /// decision state itself when the alternative has no span of its own.
+  SourceLocation decisionAltLoc(int32_t Decision, int32_t Alt) const {
+    const AtnState &S = state(decisionState(Decision));
+    if (Alt >= 1 && size_t(Alt) <= S.Transitions.size()) {
+      const AtnState &Entry = state(S.Transitions[size_t(Alt) - 1].Target);
+      if (Entry.Loc.isValid())
+        return Entry.Loc;
+    }
+    return S.Loc;
+  }
+
+  /// Source position of \p Decision's decision state, falling back to the
+  /// owning rule's header location.
+  SourceLocation decisionLoc(int32_t Decision) const {
+    const AtnState &S = state(decisionState(Decision));
+    if (S.Loc.isValid())
+      return S.Loc;
+    if (S.RuleIndex >= 0)
+      return G->rule(S.RuleIndex).Loc;
+    return SourceLocation();
   }
 
   /// Registers \p S as the next decision; returns the decision number.

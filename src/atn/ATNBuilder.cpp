@@ -59,6 +59,8 @@ private:
     const Rule &R = G.rule(RuleIndex);
     int32_t Start = Result->ruleStart(RuleIndex);
     int32_t Stop = Result->ruleStop(RuleIndex);
+    Result->state(Start).Loc = R.Loc;
+    Result->state(Stop).Loc = R.Loc;
     if (R.Alts.empty()) {
       // Tolerated only for fragments mid-construction; validate() rejects
       // empty ordinary rules earlier.
@@ -71,6 +73,7 @@ private:
     }
     for (const Alternative &A : R.Alts) {
       int32_t Left = Result->addState(AtnStateKind::Basic, RuleIndex);
+      Result->state(Left).Loc = A.Loc.isValid() ? A.Loc : R.Loc;
       addEpsilon(Start, Left);
       int32_t End = buildSequence(A.Elements, Left, RuleIndex);
       addEpsilon(End, Stop);
@@ -90,6 +93,7 @@ private:
     switch (E.Kind) {
     case ElementKind::TokenRef: {
       int32_t Next = Result->addState(AtnStateKind::Basic, RuleIndex);
+      Result->state(Next).Loc = E.Loc;
       AtnTransition T;
       T.Kind = AtnTransitionKind::Atom;
       T.Label = E.TokType;
@@ -99,6 +103,7 @@ private:
     }
     case ElementKind::TokenSet: {
       int32_t Next = Result->addState(AtnStateKind::Basic, RuleIndex);
+      Result->state(Next).Loc = E.Loc;
       AtnTransition T;
       T.Kind = AtnTransitionKind::Set;
       // Resolve negation against the final vocabulary; EOF (< 1) is never
@@ -113,6 +118,7 @@ private:
     }
     case ElementKind::RuleRef: {
       int32_t Next = Result->addState(AtnStateKind::Basic, RuleIndex);
+      Result->state(Next).Loc = E.Loc;
       AtnTransition T;
       T.Kind = AtnTransitionKind::Rule;
       T.RuleIndex = E.RuleIndex;
@@ -124,6 +130,7 @@ private:
     }
     case ElementKind::SemPred: {
       int32_t Next = Result->addState(AtnStateKind::Basic, RuleIndex);
+      Result->state(Next).Loc = E.Loc;
       AtnTransition T;
       T.Kind = AtnTransitionKind::SemPred;
       T.PredIndex = internPredicate(E);
@@ -133,6 +140,7 @@ private:
     }
     case ElementKind::SynPred: {
       int32_t Next = Result->addState(AtnStateKind::Basic, RuleIndex);
+      Result->state(Next).Loc = E.Loc;
       AtnTransition T;
       T.Kind = AtnTransitionKind::SynPred;
       T.RuleIndex = E.SynPredRule;
@@ -142,6 +150,7 @@ private:
     }
     case ElementKind::Action: {
       int32_t Next = Result->addState(AtnStateKind::Basic, RuleIndex);
+      Result->state(Next).Loc = E.Loc;
       AtnTransition T;
       T.Kind = AtnTransitionKind::Action;
       T.ActionIndex = internAction(E);
@@ -167,11 +176,14 @@ private:
     case BlockRepeat::None: {
       int32_t BlockStart = Result->addState(AtnStateKind::BlockStart, RuleIndex);
       int32_t BlockEnd = Result->addState(AtnStateKind::BlockEnd, RuleIndex);
+      Result->state(BlockStart).Loc = E.Loc;
+      Result->state(BlockEnd).Loc = E.Loc;
       addEpsilon(Cur, BlockStart);
       Result->addDecision(BlockStart);
       Result->state(BlockStart).EndState = BlockEnd;
       for (const Alternative &A : E.Alts) {
         int32_t Left = Result->addState(AtnStateKind::Basic, RuleIndex);
+        Result->state(Left).Loc = A.Loc.isValid() ? A.Loc : E.Loc;
         addEpsilon(BlockStart, Left);
         int32_t End = buildSequence(A.Elements, Left, RuleIndex);
         addEpsilon(End, BlockEnd);
@@ -181,11 +193,14 @@ private:
     case BlockRepeat::Optional: {
       int32_t BlockStart = Result->addState(AtnStateKind::BlockStart, RuleIndex);
       int32_t BlockEnd = Result->addState(AtnStateKind::BlockEnd, RuleIndex);
+      Result->state(BlockStart).Loc = E.Loc;
+      Result->state(BlockEnd).Loc = E.Loc;
       addEpsilon(Cur, BlockStart);
       Result->addDecision(BlockStart);
       Result->state(BlockStart).EndState = BlockEnd;
       for (const Alternative &A : E.Alts) {
         int32_t Left = Result->addState(AtnStateKind::Basic, RuleIndex);
+        Result->state(Left).Loc = A.Loc.isValid() ? A.Loc : E.Loc;
         addEpsilon(BlockStart, Left);
         int32_t End = buildSequence(A.Elements, Left, RuleIndex);
         addEpsilon(End, BlockEnd);
@@ -196,11 +211,14 @@ private:
     case BlockRepeat::Star: {
       int32_t Entry = Result->addState(AtnStateKind::StarLoopEntry, RuleIndex);
       int32_t End = Result->addState(AtnStateKind::LoopEnd, RuleIndex);
+      Result->state(Entry).Loc = E.Loc;
+      Result->state(End).Loc = E.Loc;
       addEpsilon(Cur, Entry);
       Result->addDecision(Entry);
       Result->state(Entry).EndState = Entry; // body alternatives loop back
       for (const Alternative &A : E.Alts) {
         int32_t Left = Result->addState(AtnStateKind::Basic, RuleIndex);
+        Result->state(Left).Loc = A.Loc.isValid() ? A.Loc : E.Loc;
         addEpsilon(Entry, Left);
         int32_t AltEnd = buildSequence(A.Elements, Left, RuleIndex);
         addEpsilon(AltEnd, Entry); // loop back
@@ -212,6 +230,9 @@ private:
       int32_t BodyStart = Result->addState(AtnStateKind::BlockStart, RuleIndex);
       int32_t LoopBack = Result->addState(AtnStateKind::PlusLoopBack, RuleIndex);
       int32_t End = Result->addState(AtnStateKind::LoopEnd, RuleIndex);
+      Result->state(BodyStart).Loc = E.Loc;
+      Result->state(LoopBack).Loc = E.Loc;
+      Result->state(End).Loc = E.Loc;
       addEpsilon(Cur, BodyStart);
       if (E.Alts.size() > 1) {
         Result->addDecision(BodyStart);
@@ -219,6 +240,7 @@ private:
       }
       for (const Alternative &A : E.Alts) {
         int32_t Left = Result->addState(AtnStateKind::Basic, RuleIndex);
+        Result->state(Left).Loc = A.Loc.isValid() ? A.Loc : E.Loc;
         addEpsilon(BodyStart, Left);
         int32_t AltEnd = buildSequence(A.Elements, Left, RuleIndex);
         addEpsilon(AltEnd, LoopBack);

@@ -3,9 +3,84 @@
 #include "atn/ATN.h"
 #include "support/StringUtils.h"
 
+#include <deque>
 #include <functional>
 
 using namespace llstar;
+
+std::set<int32_t> LookaheadDfa::reachableAlts() const {
+  std::set<int32_t> Alts;
+  for (const DfaState &S : States) {
+    if (S.isAccept())
+      Alts.insert(S.PredictedAlt);
+    for (const DfaPredEdge &E : S.PredEdges)
+      Alts.insert(E.Alt);
+  }
+  return Alts;
+}
+
+bool LookaheadDfa::shortestPathToAlt(int32_t Alt,
+                                     std::vector<TokenType> &PathOut) const {
+  PathOut.clear();
+  if (States.empty())
+    return false;
+  auto Predicts = [&](const DfaState &S) {
+    if (S.PredictedAlt == Alt)
+      return true;
+    for (const DfaPredEdge &E : S.PredEdges)
+      if (E.Alt == Alt)
+        return true;
+    return false;
+  };
+  // BFS over terminal edges; Parent remembers (previous state, label).
+  std::vector<std::pair<int32_t, TokenType>> Parent(States.size(),
+                                                    {-2, TokenInvalid});
+  std::deque<int32_t> Queue;
+  Parent[0] = {-1, TokenInvalid};
+  Queue.push_back(0);
+  while (!Queue.empty()) {
+    int32_t Id = Queue.front();
+    Queue.pop_front();
+    if (Predicts(States[size_t(Id)])) {
+      for (int32_t At = Id; Parent[size_t(At)].first >= 0;
+           At = Parent[size_t(At)].first)
+        PathOut.push_back(Parent[size_t(At)].second);
+      std::reverse(PathOut.begin(), PathOut.end());
+      return true;
+    }
+    for (const DfaEdge &E : States[size_t(Id)].Edges)
+      if (Parent[size_t(E.Target)].first == -2) {
+        Parent[size_t(E.Target)] = {Id, E.Label};
+        Queue.push_back(E.Target);
+      }
+  }
+  return false;
+}
+
+int32_t LookaheadDfa::simulate(const std::vector<TokenType> &Input) const {
+  if (States.empty())
+    return -1;
+  int32_t At = 0;
+  size_t Pos = 0;
+  // Past the end of the witness sentence the lookahead is EOF, exactly as
+  // a token stream pads with EOF forever. Bound the walk so a (malformed)
+  // EOF cycle cannot spin.
+  for (size_t Step = 0; Step <= Input.size() + States.size(); ++Step) {
+    const DfaState &S = States[size_t(At)];
+    if (S.isAccept())
+      return S.PredictedAlt;
+    int32_t Next = S.edgeOn(Pos < Input.size() ? Input[Pos] : TokenEof);
+    if (Next < 0) {
+      // No terminal edge applies: predicate edges are tried in alternative
+      // order; assume the first one holds.
+      return S.PredEdges.empty() ? -1 : S.PredEdges.front().Alt;
+    }
+    At = Next;
+    if (Pos < Input.size())
+      ++Pos;
+  }
+  return -1;
+}
 
 void LookaheadDfa::finish() {
   HasSynPreds = HasSemPreds = false;

@@ -25,6 +25,7 @@
 #include "lexer/Token.h"
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -114,6 +115,24 @@ public:
   /// Computes classification, cyclicity, and fixed k. Call once after all
   /// states and edges exist.
   void finish();
+
+  /// Alternatives this DFA can actually predict: every accept state's
+  /// alternative plus every predicate edge's. A decision alternative
+  /// missing here can never be chosen at runtime (it is dead/shadowed).
+  std::set<int32_t> reachableAlts() const;
+
+  /// Shortest terminal-label path from the start state to a prediction of
+  /// \p Alt (an accept state, or a state with a predicate edge for it).
+  /// Returns false if no such path exists. An empty \p PathOut means the
+  /// start state itself already predicts \p Alt.
+  bool shortestPathToAlt(int32_t Alt, std::vector<TokenType> &PathOut) const;
+
+  /// Walks terminal edges over \p Input from the start state as the
+  /// runtime predictor would, and returns the predicted alternative: the
+  /// alternative of the first accept state reached, or the first predicate
+  /// edge's alternative when terminal edges run out, or -1 when the walk
+  /// is inconclusive. Used to validate diagnostic witnesses.
+  int32_t simulate(const std::vector<TokenType> &Input) const;
 
   /// Text rendering, one edge per line; stable across runs, used by tests.
   std::string str(const Atn &M) const;

@@ -35,7 +35,7 @@ int32_t Grammar::findRule(const std::string &RuleName) const {
   return It == RuleByName.end() ? -1 : It->second;
 }
 
-TokenType Grammar::defineLiteral(const std::string &Text) {
+TokenType Grammar::defineLiteral(const std::string &Text, SourceLocation Loc) {
   std::string Quoted = "'" + Text + "'";
   TokenType Existing = Vocab.lookup(Quoted);
   if (Existing != TokenInvalid)
@@ -43,7 +43,7 @@ TokenType Grammar::defineLiteral(const std::string &Text) {
   TokenType Type = Vocab.getOrDefine(Quoted, /*Literal=*/true);
   // Literals get priority 0 so keywords beat identifier rules on ties.
   Lexer.addRule(Type, regex::RegexNode::string(Text), LexerAction::Emit,
-                /*Priority=*/0);
+                /*Priority=*/0, Loc);
   return Type;
 }
 

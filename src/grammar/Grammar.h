@@ -217,7 +217,8 @@ public:
 
   /// Convenience: defines (or finds) the token type for quoted literal
   /// \p Text and ensures a keyword lexer rule exists for it.
-  TokenType defineLiteral(const std::string &Text);
+  TokenType defineLiteral(const std::string &Text,
+                          SourceLocation Loc = SourceLocation());
 
   /// Post-parse validation: undefined rules were already rejected by the
   /// parser; this checks for direct/indirect left recursion (illegal for

@@ -374,7 +374,7 @@ private:
     }
     case MetaKind::StrLit: {
       MetaToken T = take();
-      Out = Element::tokenRef(G->defineLiteral(T.Text), Loc);
+      Out = Element::tokenRef(G->defineLiteral(T.Text, T.Loc), Loc);
       return applyPostfix(Out, Loc);
     }
     case MetaKind::LParen: {
@@ -436,7 +436,10 @@ private:
         return true;
       }
       if (at(MetaKind::StrLit)) {
-        Set.add(G->defineLiteral(take().Text));
+        {
+        MetaToken LitTok = take();
+        Set.add(G->defineLiteral(LitTok.Text, LitTok.Loc));
+      }
         return true;
       }
       Diags.error(Loc, "expected a token reference after '~'");
@@ -739,7 +742,7 @@ private:
       TokenType Type = G->vocabulary().getOrDefine(Def.Name);
       // Named rules rank after literals (priority 0) so keywords win ties.
       G->lexerSpec().addRule(Type, std::move(Re), Def.Action,
-                             /*Priority=*/100 + Def.Order);
+                             /*Priority=*/100 + Def.Order, Def.Loc);
     }
   }
 

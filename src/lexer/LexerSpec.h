@@ -16,6 +16,7 @@
 
 #include "lexer/Token.h"
 #include "regex/RegexAST.h"
+#include "support/SourceLocation.h"
 
 #include <vector>
 
@@ -37,6 +38,9 @@ struct LexerRule {
   /// front end gives implicit literals ('if', '+') lower numbers than
   /// named rules so keywords beat identifiers.
   int32_t Priority = 0;
+  /// Where the rule (or the first reference to the literal) appears in the
+  /// grammar source; invalid for rules assembled programmatically.
+  SourceLocation Loc;
 };
 
 /// The full tokenizer definition for one grammar.
@@ -44,8 +48,9 @@ struct LexerSpec {
   std::vector<LexerRule> Rules;
 
   void addRule(TokenType Type, regex::RegexNode::Ptr Pattern,
-               LexerAction Action = LexerAction::Emit, int32_t Priority = 0) {
-    Rules.push_back({Type, std::move(Pattern), Action, Priority});
+               LexerAction Action = LexerAction::Emit, int32_t Priority = 0,
+               SourceLocation Loc = SourceLocation()) {
+    Rules.push_back({Type, std::move(Pattern), Action, Priority, Loc});
   }
 };
 

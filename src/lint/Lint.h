@@ -1,0 +1,169 @@
+//===- lint/Lint.h - Grammar static-analysis diagnostics --------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The grammar lint engine: a pipeline of static-analysis passes over an
+/// \ref AnalyzedGrammar (grammar + ATN + per-decision lookahead DFAs and
+/// resolution reports) that emits structured, source-located diagnostics —
+/// the byproducts of the paper's Section 5 analysis surfaced as a developer
+/// tool instead of discarded as pass/fail internals.
+///
+/// Diagnostic classes (stable ids, see \ref lintRuleCatalog):
+///   shadowed-alt        alternative dead under production-order resolution
+///   ambiguity           conflict resolved by order; losing alt still live
+///   dead-rule           rule unreachable from the start rule
+///   dead-token          emitted token never referenced by a parser rule
+///   shadowed-token      lexer rule whose literal an earlier rule matches
+///   lookahead-budget    decision exceeds --budget / --dfa-budget limits
+///   lookahead-profile   per-decision LL(1)/LL(k)/LL(*)/backtrack class
+///   pred-never-hoisted  semantic predicate that gates no decision
+///   synpred-redundant   syntactic predicate on a deterministic decision
+///   left-recursion      rule rewritten into a precedence loop
+///   non-ll-regular      decision where full LL(*) construction aborted
+///
+/// Shadowed-alternative and ambiguity diagnostics carry a witness: a
+/// minimal lookahead token sequence, extracted from the DFA path recorded
+/// at resolution time, on which prediction demonstrably selects the earlier
+/// alternative (see Witness.h).
+///
+/// Suppression: a grammar comment containing `llstar-lint-disable <ids>`
+/// suppresses the listed ids (all when none listed) on the next source
+/// line; `llstar-lint-disable-line <ids>` on its own line;
+/// `llstar-lint-disable-file <ids>` everywhere in the file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_LINT_LINT_H
+#define LLSTAR_LINT_LINT_H
+
+#include "analysis/AnalyzedGrammar.h"
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llstar {
+
+/// One lint finding. Unlike the free-form \ref Diagnostic, every finding
+/// has a stable rule id and, where applicable, the decision/alternative it
+/// concerns and a witness token sequence.
+struct LintDiagnostic {
+  std::string Id;
+  DiagSeverity Severity = DiagSeverity::Warning;
+  SourceLocation Loc;
+  std::string RuleName; ///< Grammar rule the finding concerns (may be empty).
+  int32_t Decision = -1;
+  int32_t Alt = -1; ///< 1-based alternative, or -1.
+  std::string Message;
+  /// Witness lookahead sequence as display token names ("'a'", "ID").
+  std::vector<std::string> Witness;
+  /// The same sequence as raw token types, for programmatic verification
+  /// (e.g. replaying it through the decision's DFA).
+  std::vector<TokenType> WitnessTypes;
+
+  /// Renders "line:col: severity: message [id]" (no trailing newline).
+  std::string str() const;
+};
+
+/// Tunables for a lint run.
+struct LintOptions {
+  /// Flag decisions whose fixed lookahead k exceeds this, and cyclic or
+  /// backtracking decisions (unbounded cost). 0 disables the check.
+  int32_t LookaheadBudget = 0;
+  /// Flag decisions whose DFA has more states than this. 0 disables.
+  int32_t DfaStateBudget = 0;
+  /// Emit a lookahead-profile note for every decision.
+  bool Profile = false;
+  /// Rule ids disabled wholesale (--disable on the command line).
+  std::set<std::string> Disabled;
+};
+
+/// Outcome of a lint run: deduplicated findings in deterministic
+/// (location, severity, id) order.
+struct LintResult {
+  std::vector<LintDiagnostic> Diagnostics;
+  /// Findings dropped by in-source suppression comments or --disable.
+  int32_t NumSuppressed = 0;
+
+  int32_t errorCount() const {
+    return count(DiagSeverity::Error);
+  }
+  int32_t warningCount() const {
+    return count(DiagSeverity::Warning);
+  }
+  bool empty() const { return Diagnostics.empty(); }
+
+private:
+  int32_t count(DiagSeverity S) const {
+    int32_t N = 0;
+    for (const LintDiagnostic &D : Diagnostics)
+      N += D.Severity == S;
+    return N;
+  }
+};
+
+/// Catalog entry for one diagnostic class; the SARIF writer renders the
+/// whole catalog as the tool's rule table so ruleIndex is stable.
+struct LintRuleInfo {
+  const char *Id;
+  const char *Summary;
+  DiagSeverity DefaultSeverity;
+};
+
+/// All known diagnostic classes, in stable order.
+const std::vector<LintRuleInfo> &lintRuleCatalog();
+
+/// Index of \p Id in \ref lintRuleCatalog, or -1.
+int32_t lintRuleIndex(const std::string &Id);
+
+/// Runs all lint passes over \p AG. \p Source is the grammar text, used
+/// only to honor suppression comments (pass empty to skip that).
+class LintEngine {
+public:
+  explicit LintEngine(LintOptions Opts = LintOptions()) : Opts(std::move(Opts)) {}
+
+  LintResult run(const AnalyzedGrammar &AG,
+                 std::string_view Source = std::string_view()) const;
+
+private:
+  LintOptions Opts;
+};
+
+//===----------------------------------------------------------------------===//
+// Individual passes (exposed for targeted testing; LintEngine runs all).
+//===----------------------------------------------------------------------===//
+
+void lintShadowedAlts(const AnalyzedGrammar &AG, const LintOptions &Opts,
+                      std::vector<LintDiagnostic> &Out);
+void lintDeadSymbols(const AnalyzedGrammar &AG, const LintOptions &Opts,
+                     std::vector<LintDiagnostic> &Out);
+void lintLookaheadProfile(const AnalyzedGrammar &AG, const LintOptions &Opts,
+                          std::vector<LintDiagnostic> &Out);
+void lintPredicates(const AnalyzedGrammar &AG, const LintOptions &Opts,
+                    std::vector<LintDiagnostic> &Out);
+void lintStructure(const AnalyzedGrammar &AG, const LintOptions &Opts,
+                   std::vector<LintDiagnostic> &Out);
+
+//===----------------------------------------------------------------------===//
+// Renderers
+//===----------------------------------------------------------------------===//
+
+/// One diagnostic per line, prefixed with \p File, witnesses on an
+/// indented continuation line.
+std::string renderLintText(const LintResult &R, const std::string &File);
+
+/// Machine-readable JSON (single object; stable key order).
+std::string renderLintJson(const LintResult &R, const std::string &File);
+
+/// Escapes \p S for embedding in a JSON string literal (quotes included).
+std::string jsonQuote(std::string_view S);
+
+} // namespace llstar
+
+#endif // LLSTAR_LINT_LINT_H

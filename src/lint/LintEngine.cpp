@@ -1,0 +1,332 @@
+//===- lint/LintEngine.cpp - Pass driver, suppression, rendering ----------===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+using namespace llstar;
+
+//===----------------------------------------------------------------------===//
+// Rule catalog
+//===----------------------------------------------------------------------===//
+
+const std::vector<LintRuleInfo> &llstar::lintRuleCatalog() {
+  static const std::vector<LintRuleInfo> Catalog = {
+      {"shadowed-alt",
+       "Alternative can never be matched: production-order ambiguity "
+       "resolution always selects an earlier alternative.",
+       DiagSeverity::Warning},
+      {"ambiguity",
+       "Alternatives match the same input; the conflict is resolved in "
+       "favor of the earliest alternative.",
+       DiagSeverity::Warning},
+      {"dead-rule", "Rule is unreachable from the start rule.",
+       DiagSeverity::Warning},
+      {"dead-token",
+       "Token is emitted by the lexer but never referenced by any parser "
+       "rule.",
+       DiagSeverity::Warning},
+      {"shadowed-token",
+       "Lexer rule can never produce a token: an earlier rule matches its "
+       "text.",
+       DiagSeverity::Warning},
+      {"lookahead-budget",
+       "Decision exceeds the configured lookahead or DFA-size budget.",
+       DiagSeverity::Warning},
+      {"lookahead-profile",
+       "Lookahead classification of a decision: LL(1), LL(k), LL(*) "
+       "cyclic, or backtracking.",
+       DiagSeverity::Note},
+      {"pred-never-hoisted",
+       "Semantic predicate never gates a prediction decision; it only "
+       "validates during the parse.",
+       DiagSeverity::Warning},
+      {"synpred-redundant",
+       "Syntactic predicate is redundant: the decision is deterministic "
+       "without backtracking.",
+       DiagSeverity::Warning},
+      {"left-recursion",
+       "Rule is left-recursive and was rewritten into a precedence loop.",
+       DiagSeverity::Note},
+      {"non-ll-regular",
+       "Full LL(*) analysis aborted for this decision; it uses the "
+       "LL(1)-with-predicates fallback.",
+       DiagSeverity::Warning},
+  };
+  return Catalog;
+}
+
+int32_t llstar::lintRuleIndex(const std::string &Id) {
+  const auto &Catalog = lintRuleCatalog();
+  for (size_t I = 0; I < Catalog.size(); ++I)
+    if (Id == Catalog[I].Id)
+      return int32_t(I);
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// LintDiagnostic rendering
+//===----------------------------------------------------------------------===//
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string LintDiagnostic::str() const {
+  std::string Result;
+  if (Loc.isValid()) {
+    Result += Loc.str();
+    Result += ": ";
+  }
+  Result += severityName(Severity);
+  Result += ": ";
+  Result += Message;
+  Result += " [";
+  Result += Id;
+  Result += ']';
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Suppression directives
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Suppressions harvested from grammar-source comments.
+struct SuppressionMap {
+  /// Ids suppressed for the whole file ("" = all ids).
+  std::set<std::string> File;
+  /// Line -> ids suppressed on that line ("" = all ids).
+  std::map<uint32_t, std::set<std::string>> Lines;
+
+  bool suppresses(const LintDiagnostic &D) const {
+    if (File.count("") || File.count(D.Id))
+      return true;
+    if (!D.Loc.isValid())
+      return false;
+    auto It = Lines.find(D.Loc.Line);
+    if (It == Lines.end())
+      return false;
+    return It->second.count("") || It->second.count(D.Id);
+  }
+};
+
+std::set<std::string> parseIdList(std::string_view Rest) {
+  std::set<std::string> Ids;
+  std::string Cur;
+  for (char C : Rest) {
+    if (C == ' ' || C == '\t' || C == ',') {
+      if (!Cur.empty())
+        Ids.insert(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Ids.insert(Cur);
+  if (Ids.empty())
+    Ids.insert(""); // bare directive: suppress everything
+  return Ids;
+}
+
+SuppressionMap scanSuppressions(std::string_view Source) {
+  SuppressionMap Map;
+  uint32_t Line = 1;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    std::string_view Text = Source.substr(
+        Pos, Eol == std::string_view::npos ? std::string_view::npos
+                                           : Eol - Pos);
+    // Longest directive name first so "-file"/"-line" are not mistaken for
+    // the bare next-line form.
+    static constexpr std::string_view FileDir = "llstar-lint-disable-file";
+    static constexpr std::string_view LineDir = "llstar-lint-disable-line";
+    static constexpr std::string_view NextDir = "llstar-lint-disable";
+    size_t At;
+    if ((At = Text.find(FileDir)) != std::string_view::npos) {
+      for (const std::string &Id : parseIdList(Text.substr(At + FileDir.size())))
+        Map.File.insert(Id);
+    } else if ((At = Text.find(LineDir)) != std::string_view::npos) {
+      auto &Ids = Map.Lines[Line];
+      for (const std::string &Id : parseIdList(Text.substr(At + LineDir.size())))
+        Ids.insert(Id);
+    } else if ((At = Text.find(NextDir)) != std::string_view::npos) {
+      auto &Ids = Map.Lines[Line + 1];
+      for (const std::string &Id : parseIdList(Text.substr(At + NextDir.size())))
+        Ids.insert(Id);
+    }
+    if (Eol == std::string_view::npos)
+      break;
+    Pos = Eol + 1;
+    ++Line;
+  }
+  return Map;
+}
+
+int severityRank(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Error:
+    return 0;
+  case DiagSeverity::Warning:
+    return 1;
+  case DiagSeverity::Note:
+    return 2;
+  }
+  return 3;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+LintResult LintEngine::run(const AnalyzedGrammar &AG,
+                           std::string_view Source) const {
+  std::vector<LintDiagnostic> All;
+  lintShadowedAlts(AG, Opts, All);
+  lintDeadSymbols(AG, Opts, All);
+  lintLookaheadProfile(AG, Opts, All);
+  lintPredicates(AG, Opts, All);
+  lintStructure(AG, Opts, All);
+
+  LintResult R;
+  SuppressionMap Sup = scanSuppressions(Source);
+
+  // Deterministic order: location (unlocated first), then severity (errors
+  // first), then id, decision, alt, message as stable tie-breaks.
+  std::stable_sort(All.begin(), All.end(),
+                   [](const LintDiagnostic &A, const LintDiagnostic &B) {
+                     return std::make_tuple(A.Loc.Line, A.Loc.Column,
+                                            severityRank(A.Severity), A.Id,
+                                            A.Decision, A.Alt, A.Message) <
+                            std::make_tuple(B.Loc.Line, B.Loc.Column,
+                                            severityRank(B.Severity), B.Id,
+                                            B.Decision, B.Alt, B.Message);
+                   });
+
+  std::set<std::tuple<std::string, uint32_t, uint32_t, int32_t, int32_t,
+                      std::string>>
+      Seen;
+  for (LintDiagnostic &D : All) {
+    if (Opts.Disabled.count(D.Id) || Sup.suppresses(D)) {
+      ++R.NumSuppressed;
+      continue;
+    }
+    auto Key = std::make_tuple(D.Id, D.Loc.Line, D.Loc.Column, D.Decision,
+                               D.Alt, D.Message);
+    if (!Seen.insert(std::move(Key)).second)
+      continue; // duplicate from overlapping passes
+    R.Diagnostics.push_back(std::move(D));
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Text / JSON renderers
+//===----------------------------------------------------------------------===//
+
+std::string llstar::renderLintText(const LintResult &R,
+                                   const std::string &File) {
+  std::string Out;
+  for (const LintDiagnostic &D : R.Diagnostics) {
+    if (!File.empty()) {
+      Out += File;
+      Out += ':';
+    }
+    Out += D.str();
+    Out += '\n';
+    if (!D.Witness.empty()) {
+      Out += "    witness:";
+      for (const std::string &W : D.Witness) {
+        Out += ' ';
+        Out += W;
+      }
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+std::string llstar::jsonQuote(std::string_view S) {
+  std::string Out = "\"";
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        static const char *Hex = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xF];
+        Out += Hex[C & 0xF];
+      } else {
+        Out += char(C);
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string llstar::renderLintJson(const LintResult &R,
+                                   const std::string &File) {
+  std::ostringstream Out;
+  Out << "{\n  \"file\": " << jsonQuote(File) << ",\n  \"diagnostics\": [";
+  for (size_t I = 0; I < R.Diagnostics.size(); ++I) {
+    const LintDiagnostic &D = R.Diagnostics[I];
+    Out << (I ? ",\n    " : "\n    ");
+    Out << "{\"id\": " << jsonQuote(D.Id)
+        << ", \"severity\": " << jsonQuote(severityName(D.Severity));
+    if (D.Loc.isValid())
+      Out << ", \"line\": " << D.Loc.Line << ", \"column\": " << D.Loc.Column;
+    if (!D.RuleName.empty())
+      Out << ", \"rule\": " << jsonQuote(D.RuleName);
+    if (D.Decision >= 0)
+      Out << ", \"decision\": " << D.Decision;
+    if (D.Alt >= 0)
+      Out << ", \"alt\": " << D.Alt;
+    Out << ", \"message\": " << jsonQuote(D.Message);
+    if (!D.Witness.empty()) {
+      Out << ", \"witness\": [";
+      for (size_t J = 0; J < D.Witness.size(); ++J)
+        Out << (J ? ", " : "") << jsonQuote(D.Witness[J]);
+      Out << ']';
+    }
+    Out << '}';
+  }
+  Out << (R.Diagnostics.empty() ? "]" : "\n  ]");
+  Out << ",\n  \"suppressed\": " << R.NumSuppressed << "\n}\n";
+  return Out.str();
+}

@@ -1,0 +1,125 @@
+//===- lint/LookaheadProfile.cpp - Per-decision lookahead cost ------------===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pass 3: classify every decision as LL(1) / LL(k) / LL(*)-cyclic /
+/// backtracking with its DFA size (the paper's Table 1 data, per decision
+/// instead of aggregated), and flag decisions that exceed the configured
+/// lookahead or DFA-size budget. LL(finite) (Belcak 2020) argues exactly
+/// this per-decision profile is what makes an LL strategy's cost visible;
+/// Ford's packrat work motivates calling out silent backtracking.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include <sstream>
+
+using namespace llstar;
+
+namespace {
+
+std::string describeClass(const LookaheadDfa &Dfa) {
+  std::ostringstream Out;
+  switch (Dfa.decisionClass()) {
+  case DecisionClass::FixedK:
+    if (Dfa.fixedK() == 1)
+      Out << "LL(1)";
+    else
+      Out << "LL(" << Dfa.fixedK() << ")";
+    break;
+  case DecisionClass::Cyclic:
+    Out << "LL(*) cyclic";
+    break;
+  case DecisionClass::Backtrack:
+    Out << "backtracking";
+    break;
+  }
+  Out << ", " << Dfa.numStates() << " DFA state"
+      << (Dfa.numStates() == 1 ? "" : "s");
+  if (Dfa.hasSemPredEdges())
+    Out << ", semantic predicates";
+  return Out.str();
+}
+
+} // namespace
+
+void llstar::lintLookaheadProfile(const AnalyzedGrammar &AG,
+                                  const LintOptions &Opts,
+                                  std::vector<LintDiagnostic> &Out) {
+  const Atn &M = AG.atn();
+  const Grammar &G = AG.grammar();
+  for (int32_t D = 0; D < int32_t(AG.numDecisions()); ++D) {
+    const LookaheadDfa &Dfa = AG.dfa(D);
+    const AtnState &DS = M.state(M.decisionState(D));
+    std::string RuleName =
+        DS.RuleIndex >= 0 ? G.rule(DS.RuleIndex).Name : std::string();
+
+    if (Opts.Profile) {
+      LintDiagnostic Diag;
+      Diag.Id = "lookahead-profile";
+      Diag.Severity = DiagSeverity::Note;
+      Diag.Loc = M.decisionLoc(D);
+      Diag.RuleName = RuleName;
+      Diag.Decision = D;
+      std::ostringstream Msg;
+      Msg << "decision " << D << " in rule '" << RuleName
+          << "': " << describeClass(Dfa);
+      Diag.Message = Msg.str();
+      Out.push_back(std::move(Diag));
+    }
+
+    if (Opts.LookaheadBudget > 0) {
+      std::string Over;
+      switch (Dfa.decisionClass()) {
+      case DecisionClass::FixedK:
+        if (Dfa.fixedK() > Opts.LookaheadBudget) {
+          std::ostringstream S;
+          S << "needs k=" << Dfa.fixedK() << " lookahead, over budget "
+            << Opts.LookaheadBudget;
+          Over = S.str();
+        }
+        break;
+      case DecisionClass::Cyclic:
+        Over = "uses unbounded (cyclic) lookahead, over fixed budget " +
+               std::to_string(Opts.LookaheadBudget);
+        break;
+      case DecisionClass::Backtrack:
+        Over = "may backtrack (syntactic predicates), over lookahead budget " +
+               std::to_string(Opts.LookaheadBudget);
+        break;
+      }
+      if (!Over.empty()) {
+        LintDiagnostic Diag;
+        Diag.Id = "lookahead-budget";
+        Diag.Severity = DiagSeverity::Warning;
+        Diag.Loc = M.decisionLoc(D);
+        Diag.RuleName = RuleName;
+        Diag.Decision = D;
+        std::ostringstream Msg;
+        Msg << "decision " << D << " in rule '" << RuleName << "' " << Over;
+        Diag.Message = Msg.str();
+        Out.push_back(std::move(Diag));
+      }
+    }
+
+    if (Opts.DfaStateBudget > 0 &&
+        int32_t(Dfa.numStates()) > Opts.DfaStateBudget) {
+      LintDiagnostic Diag;
+      Diag.Id = "lookahead-budget";
+      Diag.Severity = DiagSeverity::Warning;
+      Diag.Loc = M.decisionLoc(D);
+      Diag.RuleName = RuleName;
+      Diag.Decision = D;
+      std::ostringstream Msg;
+      Msg << "decision " << D << " in rule '" << RuleName << "' lookahead DFA "
+          << "has " << Dfa.numStates() << " states, over budget "
+          << Opts.DfaStateBudget;
+      Diag.Message = Msg.str();
+      Out.push_back(std::move(Diag));
+    }
+  }
+}

@@ -1,0 +1,100 @@
+//===- lint/PredicateLint.cpp - Predicate usefulness analysis -------------===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pass 4: predicates that do no predictive work.
+///
+///  - pred-never-hoisted: a semantic predicate `{p}?` that appears on no
+///    lookahead-DFA predicate edge. Hoisting (paper Section 4.2) found no
+///    decision whose resolution needs it, so it only runs as a validating
+///    predicate during the parse — often a sign the author expected it to
+///    disambiguate something.
+///  - synpred-redundant: a user-written syntactic predicate `(alpha)=>`
+///    whose fragment rule gates no DFA edge. Analysis proved the decision
+///    deterministic without speculation, so the predicate only costs
+///    (potential) backtracking setup.
+///
+/// Precedence predicates synthesized by the left-recursion rewrite and
+/// PEG-mode auto-backtrack predicates are exempt: the toolkit inserted
+/// them, the author cannot remove them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+using namespace llstar;
+
+void llstar::lintPredicates(const AnalyzedGrammar &AG, const LintOptions &,
+                            std::vector<LintDiagnostic> &Out) {
+  const Atn &M = AG.atn();
+  const Grammar &G = AG.grammar();
+
+  // Which predicate indices / synpred fragments gate some DFA edge?
+  std::vector<char> PredHoisted(M.numPredicates(), 0);
+  std::vector<char> SynPredUsed(G.numRules(), 0);
+  for (size_t D = 0; D < AG.numDecisions(); ++D) {
+    const LookaheadDfa &Dfa = AG.dfa(int32_t(D));
+    for (size_t S = 0; S < Dfa.numStates(); ++S)
+      for (const DfaPredEdge &E : Dfa.state(int32_t(S)).PredEdges) {
+        if (E.Pred.K == SemanticContext::Kind::Pred && E.Pred.A >= 0 &&
+            E.Pred.A < int32_t(PredHoisted.size()))
+          PredHoisted[size_t(E.Pred.A)] = 1;
+        else if (E.Pred.K == SemanticContext::Kind::SynPredRule &&
+                 E.Pred.A >= 0 && E.Pred.A < int32_t(SynPredUsed.size()))
+          SynPredUsed[size_t(E.Pred.A)] = 1;
+      }
+  }
+
+  // Where does each predicate appear in the grammar? The ATN keeps the
+  // element location on the SemPred transition's target state.
+  std::vector<SourceLocation> PredLoc(M.numPredicates());
+  std::vector<std::string> PredRule(M.numPredicates());
+  for (size_t S = 0; S < M.numStates(); ++S) {
+    const AtnState &St = M.state(int32_t(S));
+    for (const AtnTransition &T : St.Transitions) {
+      if (T.Kind != AtnTransitionKind::SemPred || T.PredIndex < 0)
+        continue;
+      SourceLocation Loc = M.state(T.Target).Loc;
+      if (!Loc.isValid())
+        Loc = St.Loc;
+      if (!PredLoc[size_t(T.PredIndex)].isValid()) {
+        PredLoc[size_t(T.PredIndex)] = Loc;
+        if (St.RuleIndex >= 0)
+          PredRule[size_t(T.PredIndex)] = G.rule(St.RuleIndex).Name;
+      }
+    }
+  }
+
+  for (size_t P = 0; P < M.numPredicates(); ++P) {
+    const AtnPredicate &Pred = M.predicate(int32_t(P));
+    if (Pred.isPrecedence() || PredHoisted[P])
+      continue;
+    LintDiagnostic Diag;
+    Diag.Id = "pred-never-hoisted";
+    Diag.Severity = DiagSeverity::Warning;
+    Diag.Loc = PredLoc[P];
+    Diag.RuleName = PredRule[P];
+    Diag.Message = "semantic predicate '{" + Pred.Name +
+                   "}?' never gates a prediction: no decision hoists it (it "
+                   "still runs as a validating predicate during the parse)";
+    Out.push_back(std::move(Diag));
+  }
+
+  for (int32_t R = 0; R < int32_t(G.numRules()); ++R) {
+    const Rule &Rule = G.rule(R);
+    if (!Rule.IsSynPredFragment || SynPredUsed[size_t(R)])
+      continue;
+    LintDiagnostic Diag;
+    Diag.Id = "synpred-redundant";
+    Diag.Severity = DiagSeverity::Warning;
+    Diag.Loc = Rule.Loc;
+    Diag.RuleName = Rule.Name;
+    Diag.Message =
+        "syntactic predicate is redundant: the decision it guards is "
+        "deterministic without backtracking";
+    Out.push_back(std::move(Diag));
+  }
+}

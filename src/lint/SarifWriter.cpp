@@ -1,0 +1,106 @@
+#include "lint/SarifWriter.h"
+
+#include <sstream>
+
+using namespace llstar;
+
+namespace {
+
+/// SARIF levels: error / warning / note.
+const char *sarifLevel(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Error:
+    return "error";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Note:
+    return "note";
+  }
+  return "none";
+}
+
+} // namespace
+
+std::string llstar::renderSarif(const LintResult &R, const std::string &File) {
+  std::ostringstream Out;
+  Out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"llstar\",\n"
+      << "          \"informationUri\": "
+         "\"https://www.antlr.org/papers/LL-star-PLDI11.pdf\",\n"
+      << "          \"version\": \"0.4.0\",\n"
+      << "          \"rules\": [";
+  const auto &Catalog = lintRuleCatalog();
+  for (size_t I = 0; I < Catalog.size(); ++I) {
+    Out << (I ? ",\n            " : "\n            ");
+    Out << "{\"id\": " << jsonQuote(Catalog[I].Id)
+        << ", \"shortDescription\": {\"text\": "
+        << jsonQuote(Catalog[I].Summary) << "}, "
+        << "\"defaultConfiguration\": {\"level\": "
+        << jsonQuote(sarifLevel(Catalog[I].DefaultSeverity)) << "}}";
+  }
+  Out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"columnKind\": \"utf16CodeUnits\",\n"
+      << "      \"results\": [";
+  for (size_t I = 0; I < R.Diagnostics.size(); ++I) {
+    const LintDiagnostic &D = R.Diagnostics[I];
+    Out << (I ? ",\n        " : "\n        ");
+    Out << "{\n          \"ruleId\": " << jsonQuote(D.Id);
+    int32_t RuleIdx = lintRuleIndex(D.Id);
+    if (RuleIdx >= 0)
+      Out << ",\n          \"ruleIndex\": " << RuleIdx;
+    Out << ",\n          \"level\": " << jsonQuote(sarifLevel(D.Severity))
+        << ",\n          \"message\": {\"text\": " << jsonQuote(D.Message)
+        << "}";
+    Out << ",\n          \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": " << jsonQuote(File) << "}";
+    if (D.Loc.isValid())
+      // SARIF regions are 1-based in both dimensions; our columns are
+      // 0-based.
+      Out << ", \"region\": {\"startLine\": " << D.Loc.Line
+          << ", \"startColumn\": " << (D.Loc.Column + 1) << "}";
+    Out << "}}]";
+    bool HasProps = !D.Witness.empty() || D.Decision >= 0 || D.Alt >= 0 ||
+                    !D.RuleName.empty();
+    if (HasProps) {
+      Out << ",\n          \"properties\": {";
+      bool First = true;
+      auto Sep = [&]() {
+        Out << (First ? "" : ", ");
+        First = false;
+      };
+      if (!D.RuleName.empty()) {
+        Sep();
+        Out << "\"rule\": " << jsonQuote(D.RuleName);
+      }
+      if (D.Decision >= 0) {
+        Sep();
+        Out << "\"decision\": " << D.Decision;
+      }
+      if (D.Alt >= 0) {
+        Sep();
+        Out << "\"alt\": " << D.Alt;
+      }
+      if (!D.Witness.empty()) {
+        Sep();
+        Out << "\"witness\": [";
+        for (size_t J = 0; J < D.Witness.size(); ++J)
+          Out << (J ? ", " : "") << jsonQuote(D.Witness[J]);
+        Out << ']';
+      }
+      Out << "}";
+    }
+    Out << "\n        }";
+  }
+  Out << (R.Diagnostics.empty() ? "]\n" : "\n      ]\n");
+  Out << "    }\n  ]\n}\n";
+  return Out.str();
+}

@@ -1,0 +1,32 @@
+//===- lint/SarifWriter.h - SARIF 2.1.0 output ------------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a \ref LintResult as a SARIF 2.1.0 log (the OASIS static-analysis
+/// interchange format) so CI systems and code-review UIs can ingest lint
+/// findings. One run, one tool (`llstar`), the full rule catalog in the
+/// driver's rules array, one result per diagnostic with a physicalLocation
+/// region when the finding has a source position; witnesses travel in the
+/// result's property bag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_LINT_SARIFWRITER_H
+#define LLSTAR_LINT_SARIFWRITER_H
+
+#include "lint/Lint.h"
+
+#include <string>
+
+namespace llstar {
+
+/// Renders \p R as a complete SARIF 2.1.0 JSON document. \p File becomes
+/// the result locations' artifactLocation uri.
+std::string renderSarif(const LintResult &R, const std::string &File);
+
+} // namespace llstar
+
+#endif // LLSTAR_LINT_SARIFWRITER_H

@@ -1,0 +1,135 @@
+//===- lint/ShadowedAlts.cpp - Dead & ambiguous alternatives --------------===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pass 1: alternatives dead under production-order ambiguity resolution
+/// (paper Section 3.1) and conflicts that were resolved by order while the
+/// losing alternative stays reachable on other input. A decision
+/// alternative is shadowed exactly when the finished lookahead DFA can
+/// never predict it — no accept state and no predicate edge carries its
+/// number. Witnesses come from the resolution events the subset
+/// construction recorded (see Witness.h).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+#include "lint/Witness.h"
+
+#include <map>
+#include <sstream>
+
+using namespace llstar;
+
+namespace {
+
+std::string altList(const std::vector<int32_t> &Alts) {
+  std::string Out = "{";
+  for (size_t I = 0; I < Alts.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += std::to_string(Alts[I]);
+  }
+  Out += '}';
+  return Out;
+}
+
+/// Loop decisions number the exit branch last; name alternatives the way
+/// the grammar author sees them.
+bool isLoopDecision(const AtnState &S) {
+  return S.Kind == AtnStateKind::StarLoopEntry ||
+         S.Kind == AtnStateKind::PlusLoopBack;
+}
+
+} // namespace
+
+void llstar::lintShadowedAlts(const AnalyzedGrammar &AG, const LintOptions &,
+                              std::vector<LintDiagnostic> &Out) {
+  const Atn &M = AG.atn();
+  const Grammar &G = AG.grammar();
+  for (int32_t D = 0; D < int32_t(AG.numDecisions()); ++D) {
+    const AtnState &DS = M.state(M.decisionState(D));
+    size_t NumAlts = DS.Transitions.size();
+    if (NumAlts < 2)
+      continue;
+    const LookaheadDfa &Dfa = AG.dfa(D);
+    const DecisionReport &Rep = AG.decisionReport(D);
+    std::set<int32_t> Reachable = Dfa.reachableAlts();
+    std::string RuleName =
+        DS.RuleIndex >= 0 ? G.rule(DS.RuleIndex).Name : std::string();
+
+    // Fully shadowed alternatives: never predicted by the DFA.
+    for (int32_t Alt = 1; Alt <= int32_t(NumAlts); ++Alt) {
+      if (Reachable.count(Alt))
+        continue;
+      LintDiagnostic Diag;
+      Diag.Id = "shadowed-alt";
+      Diag.Severity = DiagSeverity::Warning;
+      Diag.Loc = M.decisionAltLoc(D, Alt);
+      Diag.RuleName = RuleName;
+      Diag.Decision = D;
+      Diag.Alt = Alt;
+      std::vector<TokenType> Path;
+      int32_t Chosen = shadowedAltWitness(Rep, Alt, Path);
+      std::ostringstream Msg;
+      if (isLoopDecision(DS) && Alt == int32_t(NumAlts)) {
+        Msg << "loop exit of rule '" << RuleName
+            << "' can never be taken: the loop body matches every "
+               "continuation";
+      } else {
+        Msg << "alternative " << Alt << " of rule '" << RuleName
+            << "' can never be matched";
+        if (Chosen > 0)
+          Msg << ": input matching it always selects alternative " << Chosen;
+      }
+      Diag.Message = Msg.str();
+      if (Chosen > 0) {
+        Diag.WitnessTypes = Path;
+        Diag.Witness = witnessNames(Path, G.vocabulary());
+      }
+      Out.push_back(std::move(Diag));
+    }
+
+    // Order-resolved conflicts whose losers stay reachable elsewhere:
+    // genuine ambiguity on that prefix, not dead code. One diagnostic per
+    // conflicting-alternative set, keeping the shortest witness.
+    std::map<std::vector<int32_t>, const ResolutionEvent *> BestPerConflict;
+    for (const ResolutionEvent &E : Rep.Resolutions) {
+      if (E.LosingAlts.empty())
+        continue; // carried entirely by predicates
+      bool AnyLiveLoser = false;
+      for (int32_t L : E.LosingAlts)
+        AnyLiveLoser |= Reachable.count(L) != 0;
+      if (!AnyLiveLoser)
+        continue; // all losers dead: reported as shadowed-alt above
+      auto [It, Inserted] = BestPerConflict.emplace(E.ConflictingAlts, &E);
+      if (!Inserted && E.Path.size() < It->second->Path.size())
+        It->second = &E;
+    }
+    for (const auto &[Alts, E] : BestPerConflict) {
+      LintDiagnostic Diag;
+      Diag.Id = "ambiguity";
+      Diag.Severity = DiagSeverity::Warning;
+      Diag.Loc = M.decisionLoc(D);
+      Diag.RuleName = RuleName;
+      Diag.Decision = D;
+      std::ostringstream Msg;
+      Msg << "alternatives " << altList(Alts) << " of rule '" << RuleName
+          << "' match the same input";
+      if (E->Overflowed)
+        Msg << " within the lookahead recursion limit";
+      if (E->ByPredicates && E->ChosenAlt > 0)
+        Msg << "; unpredicated alternative " << E->ChosenAlt
+            << " wins when no predicate holds";
+      else if (E->ChosenAlt > 0)
+        Msg << "; resolved in favor of alternative " << E->ChosenAlt;
+      Diag.Message = Msg.str();
+      Diag.Alt = E->ChosenAlt;
+      Diag.WitnessTypes = E->Path;
+      Diag.Witness = witnessNames(E->Path, G.vocabulary());
+      Out.push_back(std::move(Diag));
+    }
+  }
+}

@@ -1,0 +1,75 @@
+//===- lint/StructureLint.cpp - Left recursion & non-LL-regular -----------===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pass 5: structural findings mapped back to rule source spans.
+///
+///  - left-recursion: rules the front end rewrote into precedence loops
+///    (LL(*) cannot parse left recursion directly; the rewrite changes
+///    tree shape, which authors should know about);
+///  - non-ll-regular: decisions where the full LL(*) subset construction
+///    aborted — recursion in more than one alternative (the paper's
+///    LikelyNonLLRegular condition, Section 5.3) or a resource limit —
+///    leaving the LL(1)-with-predicates fallback of Section 5.4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include <sstream>
+
+using namespace llstar;
+
+void llstar::lintStructure(const AnalyzedGrammar &AG, const LintOptions &,
+                           std::vector<LintDiagnostic> &Out) {
+  const Atn &M = AG.atn();
+  const Grammar &G = AG.grammar();
+
+  for (const Rule &Rule : G.rules()) {
+    if (!Rule.IsPrecedenceRule)
+      continue;
+    LintDiagnostic Diag;
+    Diag.Id = "left-recursion";
+    Diag.Severity = DiagSeverity::Note;
+    Diag.Loc = Rule.Loc;
+    Diag.RuleName = Rule.Name;
+    Diag.Message = "rule '" + Rule.Name +
+                   "' is left-recursive; rewritten into a precedence loop "
+                   "(LL(*) cannot parse left recursion directly)";
+    Out.push_back(std::move(Diag));
+  }
+
+  for (int32_t D = 0; D < int32_t(AG.numDecisions()); ++D) {
+    const DecisionReport &Rep = AG.decisionReport(D);
+    if (!Rep.UsedFallback)
+      continue;
+    const AtnState &DS = M.state(M.decisionState(D));
+    // Precedence loops synthesized by the left-recursion rewrite always
+    // trip the multi-alternative-recursion abort; the left-recursion note
+    // already tells that story, and the precedence predicates the fallback
+    // installs are the designed mechanism, not a degradation.
+    if (DS.RuleIndex >= 0 && G.rule(DS.RuleIndex).IsPrecedenceRule)
+      continue;
+    std::string RuleName =
+        DS.RuleIndex >= 0 ? G.rule(DS.RuleIndex).Name : std::string();
+    LintDiagnostic Diag;
+    Diag.Id = "non-ll-regular";
+    Diag.Severity = DiagSeverity::Warning;
+    Diag.Loc = M.decisionLoc(D);
+    Diag.RuleName = RuleName;
+    Diag.Decision = D;
+    std::ostringstream Msg;
+    Msg << "decision " << D << " in rule '" << RuleName << "' ";
+    if (Rep.LikelyNonLLRegular)
+      Msg << "is likely non-LL-regular (recursion in more than one "
+             "alternative); ";
+    else
+      Msg << "exceeded analysis resource limits; ";
+    Msg << "using the LL(1)-with-predicates fallback, which may backtrack";
+    Diag.Message = Msg.str();
+    Out.push_back(std::move(Diag));
+  }
+}

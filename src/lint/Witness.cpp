@@ -1,0 +1,34 @@
+#include "lint/Witness.h"
+
+#include <algorithm>
+
+using namespace llstar;
+
+int32_t llstar::shadowedAltWitness(const DecisionReport &Report, int32_t Alt,
+                                   std::vector<TokenType> &PathOut) {
+  PathOut.clear();
+  const ResolutionEvent *Best = nullptr;
+  for (const ResolutionEvent &E : Report.Resolutions) {
+    if (E.ChosenAlt < 0)
+      continue; // resolved entirely by predicates; nothing lost
+    if (std::find(E.LosingAlts.begin(), E.LosingAlts.end(), Alt) ==
+        E.LosingAlts.end())
+      continue;
+    if (!Best || E.Path.size() < Best->Path.size())
+      Best = &E;
+  }
+  if (!Best)
+    return -1;
+  PathOut = Best->Path;
+  return Best->ChosenAlt;
+}
+
+std::vector<std::string>
+llstar::witnessNames(const std::vector<TokenType> &Path,
+                     const Vocabulary &Vocab) {
+  std::vector<std::string> Names;
+  Names.reserve(Path.size());
+  for (TokenType T : Path)
+    Names.push_back(T == TokenEof ? std::string("EOF") : Vocab.name(T));
+  return Names;
+}

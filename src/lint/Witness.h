@@ -1,0 +1,43 @@
+//===- lint/Witness.h - Counterexample extraction ---------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns the lookahead-DFA paths recorded by the analyzer's resolution
+/// events into witness token sequences for shadowed-alternative and
+/// ambiguity diagnostics: the shortest lookahead prefix on which the
+/// conflicting alternatives matched the same input and production order
+/// picked the winner. Feeding the witness back through the decision's DFA
+/// (\ref LookaheadDfa::simulate) reproduces the earlier alternative's win,
+/// which is how tests validate every emitted witness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_LINT_WITNESS_H
+#define LLSTAR_LINT_WITNESS_H
+
+#include "analysis/DecisionAnalyzer.h"
+#include "lexer/Token.h"
+#include "lexer/Vocabulary.h"
+
+#include <string>
+#include <vector>
+
+namespace llstar {
+
+/// Picks the minimal recorded witness for \p Alt losing in \p Report: the
+/// shortest resolution-event path whose losers include \p Alt. Returns the
+/// winning alternative and fills \p PathOut, or returns -1 when no event
+/// involved \p Alt (PathOut is cleared).
+int32_t shadowedAltWitness(const DecisionReport &Report, int32_t Alt,
+                           std::vector<TokenType> &PathOut);
+
+/// Display names for a witness sequence ("'a'", "ID", "EOF").
+std::vector<std::string> witnessNames(const std::vector<TokenType> &Path,
+                                      const Vocabulary &Vocab);
+
+} // namespace llstar
+
+#endif // LLSTAR_LINT_WITNESS_H

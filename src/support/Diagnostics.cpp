@@ -1,5 +1,8 @@
 #include "support/Diagnostics.h"
 
+#include <algorithm>
+#include <numeric>
+
 using namespace llstar;
 
 static const char *severityName(DiagSeverity Severity) {
@@ -25,9 +28,37 @@ std::string Diagnostic::str() const {
   return Result;
 }
 
+std::vector<Diagnostic> DiagnosticEngine::sorted() const {
+  // Errors outrank warnings outrank notes when tied on location.
+  auto Rank = [](DiagSeverity S) {
+    switch (S) {
+    case DiagSeverity::Error:
+      return 0;
+    case DiagSeverity::Warning:
+      return 1;
+    case DiagSeverity::Note:
+      return 2;
+    }
+    return 3;
+  };
+  std::vector<size_t> Order(Diags.size());
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    const Diagnostic &DA = Diags[A], &DB = Diags[B];
+    if (DA.Loc != DB.Loc)
+      return DA.Loc < DB.Loc;
+    return Rank(DA.Severity) < Rank(DB.Severity);
+  });
+  std::vector<Diagnostic> Result;
+  Result.reserve(Diags.size());
+  for (size_t I : Order)
+    Result.push_back(Diags[I]);
+  return Result;
+}
+
 std::string DiagnosticEngine::str() const {
   std::string Result;
-  for (const Diagnostic &D : Diags) {
+  for (const Diagnostic &D : sorted()) {
     Result += D.str();
     Result += '\n';
   }

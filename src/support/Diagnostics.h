@@ -77,8 +77,15 @@ public:
     NumErrors = NumWarnings = 0;
   }
 
-  /// All diagnostics rendered one per line; handy for test failure output.
+  /// All diagnostics rendered one per line, sorted by (line, column,
+  /// severity) with emission order as the stable tie-break, so output is
+  /// deterministic regardless of pass ordering. Unlocated diagnostics sort
+  /// first; errors sort before warnings before notes at the same location.
+  /// \ref diagnostics keeps emission order.
   std::string str() const;
+
+  /// The diagnostics in the deterministic order \ref str renders them.
+  std::vector<Diagnostic> sorted() const;
 
   /// Returns true if any diagnostic message contains \p Needle.
   bool contains(const std::string &Needle) const;

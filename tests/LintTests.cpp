@@ -1,0 +1,701 @@
+//===- tests/LintTests.cpp - Grammar lint engine ---------------------------===//
+//
+// One fixture grammar per diagnostic class, asserting the exact diagnostic
+// id, source location, and witness; a clean twin per class proving no false
+// positive; witness validation by replaying the sequence through the
+// decision's DFA (and one full parse demonstrating the earlier alternative
+// wins); suppression directives; deterministic ordering; SARIF 2.1.0
+// structural checks (parsed with the repo's own JSON grammar) and a golden
+// snapshot; and a zero-warning sweep over grammars/ + examples/grammars/.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+#include "lint/SarifWriter.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace llstar;
+using namespace llstar::test;
+
+namespace {
+
+std::string readRepoFile(const std::string &RelPath) {
+  std::string Path = std::string(LLSTAR_SOURCE_DIR) + "/" + RelPath;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// Lints grammar text with default options (suppressions honored).
+LintResult lint(const std::string &Text, LintOptions Opts = LintOptions()) {
+  auto AG = analyzeOrFail(Text);
+  if (!AG)
+    return LintResult();
+  return LintEngine(std::move(Opts)).run(*AG, Text);
+}
+
+/// All findings with the given id.
+std::vector<LintDiagnostic> findingsOf(const LintResult &R,
+                                       const std::string &Id) {
+  std::vector<LintDiagnostic> Out;
+  for (const LintDiagnostic &D : R.Diagnostics)
+    if (D.Id == Id)
+      Out.push_back(D);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// shadowed-alt
+//===----------------------------------------------------------------------===//
+
+const char *ShadowedAltGrammar = "grammar t;\n"
+                                 "s : w | 'a' ;\n"
+                                 "w : 'a' ;\n";
+
+TEST(Lint, ShadowedAltExactDiagnostic) {
+  LintResult R = lint(ShadowedAltGrammar);
+  auto Hits = findingsOf(R, "shadowed-alt");
+  ASSERT_EQ(Hits.size(), 1u);
+  const LintDiagnostic &D = Hits[0];
+  EXPECT_EQ(D.Severity, DiagSeverity::Warning);
+  // Points at the shadowed alternative `'a'` (line 2, column of the
+  // literal), not the rule header — the span threaded through AtnState.
+  EXPECT_EQ(D.Loc, SourceLocation(2, 8));
+  EXPECT_EQ(D.RuleName, "s");
+  EXPECT_EQ(D.Alt, 2);
+  ASSERT_EQ(D.Witness.size(), 1u);
+  EXPECT_EQ(D.Witness[0], "'a'");
+  EXPECT_NE(D.Message.find("alternative 2 of rule 's' can never be matched"),
+            std::string::npos)
+      << D.Message;
+}
+
+TEST(Lint, ShadowedAltWitnessSelectsEarlierAlternative) {
+  auto AG = analyzeOrFail(ShadowedAltGrammar);
+  ASSERT_TRUE(AG);
+  LintResult R = LintEngine().run(*AG, ShadowedAltGrammar);
+  auto Hits = findingsOf(R, "shadowed-alt");
+  ASSERT_EQ(Hits.size(), 1u);
+  const LintDiagnostic &D = Hits[0];
+
+  // Replaying the witness through the decision's DFA predicts an earlier
+  // alternative than the shadowed one.
+  int32_t Predicted = AG->dfa(D.Decision).simulate(D.WitnessTypes);
+  EXPECT_EQ(Predicted, 1);
+  EXPECT_LT(Predicted, D.Alt);
+
+  // And an actual parse of the witness sentence goes through rule w
+  // (alternative 1), demonstrating alternative 2 is dead.
+  std::string Tree = parseToString(*AG, "a", "s");
+  EXPECT_NE(Tree.find("(w"), std::string::npos) << Tree;
+}
+
+TEST(Lint, ShadowedAltCleanTwin) {
+  // Same shape, distinct lookahead: nothing shadowed.
+  LintResult R = lint("grammar t;\n"
+                      "s : w | 'b' ;\n"
+                      "w : 'a' ;\n");
+  EXPECT_TRUE(findingsOf(R, "shadowed-alt").empty());
+  EXPECT_TRUE(R.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// ambiguity
+//===----------------------------------------------------------------------===//
+
+const char *AmbiguityGrammar = "grammar t;\n"
+                               "s : a | b ;\n"
+                               "a : A | C ;\n"
+                               "b : A | B ;\n"
+                               "A : 'x' ;\n"
+                               "B : 'y' ;\n"
+                               "C : 'z' ;\n";
+
+TEST(Lint, AmbiguityExactDiagnostic) {
+  LintResult R = lint(AmbiguityGrammar);
+  auto Hits = findingsOf(R, "ambiguity");
+  ASSERT_EQ(Hits.size(), 1u);
+  const LintDiagnostic &D = Hits[0];
+  EXPECT_EQ(D.Loc, SourceLocation(2, 0));
+  EXPECT_EQ(D.RuleName, "s");
+  EXPECT_EQ(D.Alt, 1); // resolved winner
+  ASSERT_EQ(D.Witness.size(), 1u);
+  EXPECT_EQ(D.Witness[0], "A");
+  EXPECT_NE(D.Message.find("alternatives {1, 2} of rule 's'"),
+            std::string::npos)
+      << D.Message;
+  // The losing alternative is NOT dead (b also matches B), so this is not
+  // a shadowed-alt.
+  EXPECT_TRUE(findingsOf(R, "shadowed-alt").empty());
+}
+
+TEST(Lint, AmbiguityWitnessSelectsWinner) {
+  auto AG = analyzeOrFail(AmbiguityGrammar);
+  ASSERT_TRUE(AG);
+  LintResult R = LintEngine().run(*AG, AmbiguityGrammar);
+  auto Hits = findingsOf(R, "ambiguity");
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(AG->dfa(Hits[0].Decision).simulate(Hits[0].WitnessTypes),
+            Hits[0].Alt);
+}
+
+//===----------------------------------------------------------------------===//
+// dead-rule / dead-token
+//===----------------------------------------------------------------------===//
+
+const char *DeadSymbolsGrammar = "grammar t;\n"
+                                 "s : A ;\n"
+                                 "dead : B ;\n"
+                                 "A : 'a' ;\n"
+                                 "B : 'b' ;\n"
+                                 "C : 'c' ;\n";
+
+TEST(Lint, DeadRuleExactDiagnostic) {
+  LintResult R = lint(DeadSymbolsGrammar);
+  auto Hits = findingsOf(R, "dead-rule");
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].Loc, SourceLocation(3, 0));
+  EXPECT_EQ(Hits[0].RuleName, "dead");
+  EXPECT_NE(Hits[0].Message.find("unreachable from start rule 's'"),
+            std::string::npos);
+}
+
+TEST(Lint, DeadTokenExactDiagnostic) {
+  LintResult R = lint(DeadSymbolsGrammar);
+  auto Hits = findingsOf(R, "dead-token");
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].Loc, SourceLocation(6, 0));
+  EXPECT_NE(Hits[0].Message.find("token C is never used"), std::string::npos);
+  // B is used (by the dead rule): one diagnostic for the dead rule, not a
+  // second one for its token.
+  for (const LintDiagnostic &D : Hits)
+    EXPECT_EQ(D.Message.find("token B"), std::string::npos);
+}
+
+TEST(Lint, DeadSymbolsCleanTwin) {
+  LintResult R = lint("grammar t;\n"
+                      "s : A dead ;\n"
+                      "dead : B | C ;\n"
+                      "A : 'a' ;\n"
+                      "B : 'b' ;\n"
+                      "C : 'c' ;\n");
+  EXPECT_TRUE(findingsOf(R, "dead-rule").empty());
+  EXPECT_TRUE(findingsOf(R, "dead-token").empty());
+  EXPECT_TRUE(R.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// shadowed-token
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, ShadowedTokenExactDiagnostic) {
+  LintResult R = lint("grammar t;\n"
+                      "s : K | I | J ;\n"
+                      "K : 'if' ;\n"
+                      "I : [a-z]+ ;\n"
+                      "J : 'if' ;\n");
+  auto Hits = findingsOf(R, "shadowed-token");
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].Loc, SourceLocation(5, 0));
+  EXPECT_NE(
+      Hits[0].Message.find("lexer rule J can never match: 'if' is matched "
+                           "by rule K"),
+      std::string::npos)
+      << Hits[0].Message;
+}
+
+TEST(Lint, ShadowedTokenCleanTwin) {
+  // Keyword before the identifier rule: maximal munch + order is fine, and
+  // the identifier rule is not a pure literal so it is never flagged.
+  LintResult R = lint("grammar t;\n"
+                      "s : K | I ;\n"
+                      "K : 'if' ;\n"
+                      "I : [a-z]+ ;\n");
+  EXPECT_TRUE(findingsOf(R, "shadowed-token").empty());
+  EXPECT_TRUE(R.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// pred-never-hoisted
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, PredNeverHoistedExactDiagnostic) {
+  LintResult R = lint("grammar t;\n"
+                      "s : {p}? A | B ;\n"
+                      "A : 'a' ;\n"
+                      "B : 'b' ;\n");
+  auto Hits = findingsOf(R, "pred-never-hoisted");
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].Loc, SourceLocation(2, 4));
+  EXPECT_NE(Hits[0].Message.find("'{p}?' never gates a prediction"),
+            std::string::npos)
+      << Hits[0].Message;
+}
+
+TEST(Lint, PredHoistedCleanTwin) {
+  // The same predicate where prediction needs it: both alternatives start
+  // with A, so analysis hoists {p}? onto a DFA predicate edge.
+  LintResult R = lint("grammar t;\n"
+                      "s : {p}? A | A ;\n"
+                      "A : 'a' ;\n");
+  EXPECT_TRUE(findingsOf(R, "pred-never-hoisted").empty());
+}
+
+//===----------------------------------------------------------------------===//
+// synpred-redundant
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, SynPredRedundantExactDiagnostic) {
+  LintResult R = lint("grammar t;\n"
+                      "s : (A)=> A | B ;\n"
+                      "A : 'a' ;\n"
+                      "B : 'b' ;\n");
+  auto Hits = findingsOf(R, "synpred-redundant");
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].Loc, SourceLocation(2, 4));
+  EXPECT_NE(Hits[0].Message.find("redundant"), std::string::npos);
+}
+
+TEST(Lint, SynPredNeededCleanTwin) {
+  // Recursion in both alternatives: full LL(*) aborts and the fallback
+  // leans on the user's syntactic predicate, so it is NOT redundant.
+  LintResult R = lint("grammar t;\n"
+                      "s : (r A)=> r A | r B ;\n"
+                      "r : C r | D ;\n"
+                      "A : 'a' ;\n"
+                      "B : 'b' ;\n"
+                      "C : 'c' ;\n"
+                      "D : 'd' ;\n");
+  EXPECT_TRUE(findingsOf(R, "synpred-redundant").empty());
+  // ... and the same grammar is the non-ll-regular fixture.
+  auto Hits = findingsOf(R, "non-ll-regular");
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].Loc, SourceLocation(2, 0));
+  EXPECT_EQ(Hits[0].RuleName, "s");
+  EXPECT_NE(Hits[0].Message.find("likely non-LL-regular"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// non-ll-regular / left-recursion
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, NonLLRegularExactDiagnostic) {
+  LintResult R = lint("grammar t;\n"
+                      "s : A s A | A s B | C ;\n"
+                      "A : 'a' ;\n"
+                      "B : 'b' ;\n"
+                      "C : 'c' ;\n");
+  auto Hits = findingsOf(R, "non-ll-regular");
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].Loc, SourceLocation(2, 0));
+  EXPECT_EQ(Hits[0].Decision, 0);
+  EXPECT_NE(Hits[0].Message.find("recursion in more than one alternative"),
+            std::string::npos);
+}
+
+TEST(Lint, LeftRecursionNoteNotNonLLRegular) {
+  LintResult R = lint("grammar t;\n"
+                      "e : e '+' e | N ;\n"
+                      "N : [0-9]+ ;\n");
+  auto Hits = findingsOf(R, "left-recursion");
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].Severity, DiagSeverity::Note);
+  EXPECT_EQ(Hits[0].Loc, SourceLocation(2, 0));
+  EXPECT_EQ(Hits[0].RuleName, "e");
+  // The precedence rewrite's internal fallback is by design, not noise.
+  EXPECT_TRUE(findingsOf(R, "non-ll-regular").empty());
+  EXPECT_EQ(R.warningCount(), 0);
+}
+
+TEST(Lint, NonRecursiveGrammarHasNoStructureFindings) {
+  LintResult R = lint("grammar t;\n"
+                      "s : A B ;\n"
+                      "A : 'a' ;\n"
+                      "B : 'b' ;\n");
+  EXPECT_TRUE(findingsOf(R, "left-recursion").empty());
+  EXPECT_TRUE(findingsOf(R, "non-ll-regular").empty());
+  EXPECT_TRUE(R.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// lookahead-budget / lookahead-profile
+//===----------------------------------------------------------------------===//
+
+const char *DeepLookaheadGrammar = "grammar t;\n"
+                                   "s : A A A B | A A A C ;\n"
+                                   "A : 'a' ;\n"
+                                   "B : 'b' ;\n"
+                                   "C : 'c' ;\n";
+
+TEST(Lint, LookaheadBudgetFlagsDeepDecision) {
+  LintOptions Opts;
+  Opts.LookaheadBudget = 2;
+  LintResult R = lint(DeepLookaheadGrammar, Opts);
+  auto Hits = findingsOf(R, "lookahead-budget");
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].Loc, SourceLocation(2, 0));
+  EXPECT_NE(Hits[0].Message.find("needs k=4 lookahead, over budget 2"),
+            std::string::npos)
+      << Hits[0].Message;
+
+  // A budget of 4 is satisfied: no finding.
+  Opts.LookaheadBudget = 4;
+  EXPECT_TRUE(findingsOf(lint(DeepLookaheadGrammar, Opts), "lookahead-budget")
+                  .empty());
+}
+
+TEST(Lint, DfaStateBudgetFlagsLargeDfa) {
+  LintOptions Opts;
+  Opts.DfaStateBudget = 2;
+  LintResult R = lint(DeepLookaheadGrammar, Opts);
+  auto Hits = findingsOf(R, "lookahead-budget");
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_NE(Hits[0].Message.find("states, over budget 2"), std::string::npos);
+}
+
+TEST(Lint, ProfileNotesEveryDecision) {
+  auto AG = analyzeOrFail(DeepLookaheadGrammar);
+  ASSERT_TRUE(AG);
+  LintOptions Opts;
+  Opts.Profile = true;
+  LintResult R = LintEngine(Opts).run(*AG, DeepLookaheadGrammar);
+  auto Hits = findingsOf(R, "lookahead-profile");
+  ASSERT_EQ(Hits.size(), AG->numDecisions());
+  EXPECT_EQ(Hits[0].Severity, DiagSeverity::Note);
+  EXPECT_NE(Hits[0].Message.find("LL(4)"), std::string::npos)
+      << Hits[0].Message;
+  // Off by default.
+  EXPECT_TRUE(
+      findingsOf(LintEngine().run(*AG, ""), "lookahead-profile").empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Suppression & ordering
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, SuppressionNextLineAndCounts) {
+  LintResult R = lint("grammar t;\n"
+                      "// llstar-lint-disable shadowed-alt\n"
+                      "s : w | 'a' ;\n"
+                      "w : 'a' ;\n");
+  EXPECT_TRUE(R.Diagnostics.empty());
+  EXPECT_EQ(R.NumSuppressed, 1);
+}
+
+TEST(Lint, SuppressionLineAndFileForms) {
+  // -line on the diagnostic's own line.
+  LintResult R1 = lint("grammar t;\n"
+                       "s : w | 'a' ; // llstar-lint-disable-line shadowed-alt\n"
+                       "w : 'a' ;\n");
+  EXPECT_TRUE(R1.Diagnostics.empty());
+  EXPECT_EQ(R1.NumSuppressed, 1);
+
+  // -file anywhere, and with no ids it silences everything.
+  LintResult R2 = lint("grammar t;\n"
+                       "s : w | 'a' ;\n"
+                       "w : 'a' ;\n"
+                       "// llstar-lint-disable-file\n");
+  EXPECT_TRUE(R2.Diagnostics.empty());
+  EXPECT_EQ(R2.NumSuppressed, 1);
+
+  // A directive for a different id suppresses nothing.
+  LintResult R3 = lint("grammar t;\n"
+                       "// llstar-lint-disable dead-rule\n"
+                       "s : w | 'a' ;\n"
+                       "w : 'a' ;\n");
+  EXPECT_EQ(R3.Diagnostics.size(), 1u);
+  EXPECT_EQ(R3.NumSuppressed, 0);
+}
+
+TEST(Lint, DisabledIdsFromOptions) {
+  LintOptions Opts;
+  Opts.Disabled.insert("shadowed-alt");
+  LintResult R = lint(ShadowedAltGrammar, Opts);
+  EXPECT_TRUE(R.Diagnostics.empty());
+  EXPECT_EQ(R.NumSuppressed, 1);
+}
+
+TEST(Lint, DiagnosticsSortedByLocationThenSeverity) {
+  // dead + shadowed findings across several lines arrive sorted.
+  LintResult R = lint("grammar t;\n"
+                      "s : w | 'a' ;\n"
+                      "w : 'a' ;\n"
+                      "dead : B ;\n"
+                      "B : 'b' ;\n"
+                      "C : 'c' ;\n");
+  ASSERT_GE(R.Diagnostics.size(), 3u);
+  for (size_t I = 1; I < R.Diagnostics.size(); ++I) {
+    const SourceLocation &Prev = R.Diagnostics[I - 1].Loc;
+    const SourceLocation &Cur = R.Diagnostics[I].Loc;
+    EXPECT_TRUE(Prev < Cur || Prev == Cur)
+        << "out of order at " << I << ": " << R.Diagnostics[I - 1].str()
+        << " vs " << R.Diagnostics[I].str();
+  }
+}
+
+TEST(Lint, RunIsDeterministic) {
+  auto AG = analyzeOrFail(DeadSymbolsGrammar);
+  ASSERT_TRUE(AG);
+  LintOptions Opts;
+  Opts.Profile = true;
+  LintEngine Engine(Opts);
+  std::string A = renderLintText(Engine.run(*AG, DeadSymbolsGrammar), "g.g");
+  std::string B = renderLintText(Engine.run(*AG, DeadSymbolsGrammar), "g.g");
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(A.empty());
+}
+
+// Satellite: DiagnosticEngine::str() renders sorted by (line, col,
+// severity) regardless of emission order; diagnostics() keeps emission
+// order for callers that care.
+TEST(Lint, DiagnosticEngineSortedRendering) {
+  DiagnosticEngine Diags;
+  Diags.warning(SourceLocation(5, 2), "later");
+  Diags.error(SourceLocation(1, 0), "first");
+  Diags.note(SourceLocation(5, 2), "tied note");
+  Diags.error(SourceLocation(5, 2), "tied error");
+  EXPECT_EQ(Diags.str(), "error: 1:0: first\n"
+                         "error: 5:2: tied error\n"
+                         "warning: 5:2: later\n"
+                         "note: 5:2: tied note\n");
+  // Emission order preserved in diagnostics().
+  EXPECT_EQ(Diags.diagnostics().front().Message, "later");
+}
+
+// Satellite: analysis ambiguity warnings now carry the decision's source
+// location instead of no location.
+TEST(Lint, AnalysisAmbiguityWarningHasLocation) {
+  DiagnosticEngine Diags;
+  auto AG = analyzeWithDiags(AmbiguityGrammar, Diags);
+  ASSERT_TRUE(AG);
+  bool Found = false;
+  for (const Diagnostic &D : Diags.diagnostics())
+    if (D.Message.find("ambiguous") != std::string::npos) {
+      Found = true;
+      EXPECT_TRUE(D.Loc.isValid()) << D.str();
+      EXPECT_EQ(D.Loc.Line, 2u);
+    }
+  EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
+// Witness validation across the corpus
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, CorpusWitnessesReplayCorrectly) {
+  namespace fs = std::filesystem;
+  // The fuzz corpus plus the witnessed fixtures from this file: every
+  // witness a lint run emits must replay through its decision's DFA to the
+  // advertised outcome.
+  std::vector<std::pair<std::string, std::string>> Inputs = {
+      {"<shadowed-alt fixture>", ShadowedAltGrammar},
+      {"<ambiguity fixture>", AmbiguityGrammar},
+      {"<non-ll-regular fixture>", "grammar t;\n"
+                                   "s : A s A | A s B | C ;\n"
+                                   "A : 'a' ;\n"
+                                   "B : 'b' ;\n"
+                                   "C : 'c' ;\n"}};
+  fs::path Corpus = fs::path(LLSTAR_SOURCE_DIR) / "tests" / "corpus";
+  for (const auto &Entry : fs::directory_iterator(Corpus)) {
+    if (Entry.path().extension() != ".g")
+      continue;
+    std::ifstream In(Entry.path());
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Inputs.emplace_back(Entry.path().string(), Buffer.str());
+  }
+  ASSERT_GT(Inputs.size(), 3u);
+
+  int Witnesses = 0;
+  for (const auto &[Name, Text] : Inputs) {
+    DiagnosticEngine Diags;
+    auto AG = analyzeGrammarText(Text, Diags);
+    ASSERT_TRUE(AG && !Diags.hasErrors()) << Name;
+    LintResult R = LintEngine().run(*AG, Text);
+    for (const LintDiagnostic &D : R.Diagnostics) {
+      if (D.WitnessTypes.empty() || D.Decision < 0)
+        continue;
+      ++Witnesses;
+      int32_t Predicted = AG->dfa(D.Decision).simulate(D.WitnessTypes);
+      if (D.Id == "shadowed-alt") {
+        // The witness demonstrates an earlier alternative stealing the
+        // shadowed one's input.
+        EXPECT_GE(Predicted, 1) << Name << ": " << D.str();
+        EXPECT_LT(Predicted, D.Alt) << Name << ": " << D.str();
+      } else if (D.Id == "ambiguity" && Predicted > 0) {
+        EXPECT_EQ(Predicted, D.Alt) << Name << ": " << D.str();
+      }
+    }
+  }
+  EXPECT_GE(Witnesses, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Zero false positives on shipped grammars
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, ShippedGrammarsLintClean) {
+  namespace fs = std::filesystem;
+  for (const char *Dir : {"grammars", "examples/grammars"}) {
+    fs::path Root = fs::path(LLSTAR_SOURCE_DIR) / Dir;
+    for (const auto &Entry : fs::directory_iterator(Root)) {
+      if (Entry.path().extension() != ".g")
+        continue;
+      std::ifstream In(Entry.path());
+      std::ostringstream Buffer;
+      Buffer << In.rdbuf();
+      DiagnosticEngine Diags;
+      auto AG = analyzeGrammarText(Buffer.str(), Diags);
+      ASSERT_TRUE(AG && !Diags.hasErrors()) << Entry.path();
+      LintResult R = LintEngine().run(*AG, Buffer.str());
+      EXPECT_EQ(R.warningCount(), 0)
+          << Entry.path() << ":\n"
+          << renderLintText(R, Entry.path().filename().string());
+      EXPECT_EQ(R.errorCount(), 0) << Entry.path();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Renderers: text, JSON, SARIF
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, TextRenderingIncludesWitness) {
+  LintResult R = lint(ShadowedAltGrammar);
+  std::string Text = renderLintText(R, "shadow.g");
+  EXPECT_NE(Text.find("shadow.g:2:8: warning: "), std::string::npos) << Text;
+  EXPECT_NE(Text.find("[shadowed-alt]"), std::string::npos);
+  EXPECT_NE(Text.find("    witness: 'a'\n"), std::string::npos);
+}
+
+TEST(Lint, JsonRenderingEscapesAndStructure) {
+  LintResult R = lint(ShadowedAltGrammar);
+  std::string Json = renderLintJson(R, "dir/shadow.g");
+  EXPECT_NE(Json.find("\"file\": \"dir/shadow.g\""), std::string::npos);
+  EXPECT_NE(Json.find("\"id\": \"shadowed-alt\""), std::string::npos);
+  EXPECT_NE(Json.find("\"line\": 2"), std::string::npos);
+  EXPECT_NE(Json.find("\"witness\": [\"'a'\"]"), std::string::npos) << Json;
+
+  EXPECT_EQ(jsonQuote("a\"b\\c\nd\te"), "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(jsonQuote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(Lint, SarifIsValidJsonPerOwnJsonGrammar) {
+  // Parse the SARIF output with the repo's own JSON grammar: a structural
+  // well-formedness check with zero external dependencies.
+  std::string JsonGrammar = readRepoFile("grammars/json.g");
+  auto JsonAG = analyzeOrFail(JsonGrammar);
+  ASSERT_TRUE(JsonAG);
+
+  for (const char *Fixture :
+       {ShadowedAltGrammar, AmbiguityGrammar, DeadSymbolsGrammar}) {
+    LintResult R = lint(Fixture);
+    std::string Sarif = renderSarif(R, "fixture.g");
+    EXPECT_TRUE(parses(*JsonAG, Sarif, "json"))
+        << "SARIF output is not well-formed JSON:\n"
+        << Sarif;
+  }
+  // An empty result is still a complete, parseable SARIF log.
+  LintResult Empty;
+  EXPECT_TRUE(parses(*JsonAG, renderSarif(Empty, "clean.g"), "json"));
+}
+
+TEST(Lint, SarifSchemaRequiredFields) {
+  LintResult R = lint(ShadowedAltGrammar);
+  std::string S = renderSarif(R, "shadow.g");
+  // SARIF 2.1.0 schema-required properties of a minimal log with results.
+  for (const char *Needle :
+       {"\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\"",
+        "\"version\": \"2.1.0\"", "\"runs\": [", "\"tool\": {",
+        "\"driver\": {", "\"name\": \"llstar\"", "\"rules\": [",
+        "\"results\": [", "\"ruleId\": \"shadowed-alt\"", "\"ruleIndex\": 0",
+        "\"level\": \"warning\"", "\"message\": {\"text\": ",
+        "\"locations\": [{\"physicalLocation\": ",
+        "\"artifactLocation\": {\"uri\": \"shadow.g\"}",
+        "\"region\": {\"startLine\": 2, \"startColumn\": 9}",
+        "\"witness\": [\"'a'\"]"})
+    EXPECT_NE(S.find(Needle), std::string::npos)
+        << "missing " << Needle << " in:\n"
+        << S;
+  // Every catalog rule appears in the driver's rules array.
+  for (const LintRuleInfo &Info : lintRuleCatalog())
+    EXPECT_NE(S.find("{\"id\": \"" + std::string(Info.Id) + "\""),
+              std::string::npos)
+        << Info.Id;
+}
+
+TEST(Lint, SarifGoldenSnapshot) {
+  // Exact golden for a minimal clean grammar: pins the SARIF envelope
+  // byte-for-byte so accidental format drift is visible in review.
+  LintResult R = lint("grammar t;\ns : A ;\nA : 'a' ;\n");
+  ASSERT_TRUE(R.empty());
+  std::string S = renderSarif(R, "clean.g");
+  std::ostringstream Expected;
+  Expected
+      << "{\n"
+         "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"llstar\",\n"
+         "          \"informationUri\": "
+         "\"https://www.antlr.org/papers/LL-star-PLDI11.pdf\",\n"
+         "          \"version\": \"0.4.0\",\n"
+         "          \"rules\": [";
+  const auto &Catalog = lintRuleCatalog();
+  for (size_t I = 0; I < Catalog.size(); ++I) {
+    Expected << (I ? ",\n            " : "\n            ");
+    const char *Level = Catalog[I].DefaultSeverity == DiagSeverity::Note
+                            ? "note"
+                            : "warning";
+    Expected << "{\"id\": " << jsonQuote(Catalog[I].Id)
+             << ", \"shortDescription\": {\"text\": "
+             << jsonQuote(Catalog[I].Summary)
+             << "}, \"defaultConfiguration\": {\"level\": " << jsonQuote(Level)
+             << "}}";
+  }
+  Expected << "\n          ]\n"
+              "        }\n"
+              "      },\n"
+              "      \"columnKind\": \"utf16CodeUnits\",\n"
+              "      \"results\": []\n"
+              "    }\n"
+              "  ]\n"
+              "}\n";
+  EXPECT_EQ(S, Expected.str());
+}
+
+//===----------------------------------------------------------------------===//
+// DFA witness helpers
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, DfaShortestPathAndSimulate) {
+  auto AG = analyzeOrFail(DeepLookaheadGrammar);
+  ASSERT_TRUE(AG);
+  const LookaheadDfa &Dfa = AG->dfa(0);
+  // Both alternatives are predictable...
+  std::set<int32_t> Alts = Dfa.reachableAlts();
+  EXPECT_TRUE(Alts.count(1));
+  EXPECT_TRUE(Alts.count(2));
+  // ...and the shortest path to alternative 2 is A A A C, which simulate()
+  // replays to the same prediction.
+  std::vector<TokenType> Path;
+  ASSERT_TRUE(Dfa.shortestPathToAlt(2, Path));
+  EXPECT_EQ(Path.size(), 4u);
+  EXPECT_EQ(Dfa.simulate(Path), 2);
+  // No path to a nonexistent alternative.
+  EXPECT_FALSE(Dfa.shortestPathToAlt(7, Path));
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# CI lint gate for the llstar repo.
+#
+#   tools/lint_gate.sh <llstar-binary> <repo-root> <artifact-dir>
+#
+# Policy:
+#  - grammars/*.g and examples/grammars/*.g must lint clean under --werror
+#    (real findings there are fixed or suppressed in-grammar);
+#  - tests/corpus/*.g are fuzz-generated and legitimately trigger
+#    diagnostics (dead rules, unhoisted predicates, ...); they are gated
+#    against tests/lint-baseline.txt instead — any diagnostic not in the
+#    baseline fails the job, so new findings surface without freezing the
+#    corpus. Regenerate the baseline with:
+#      tools/lint_gate.sh <llstar> <root> <dir> --update-baseline
+#  - a SARIF 2.1.0 log per linted grammar is written to <artifact-dir> for
+#    upload.
+set -u
+
+LLSTAR=$1
+ROOT=$2
+ARTIFACTS=$3
+UPDATE=${4:-}
+
+mkdir -p "$ARTIFACTS"
+BASELINE="$ROOT/tests/lint-baseline.txt"
+STATUS=0
+
+sarif_name() {
+  echo "$ARTIFACTS/$(echo "$1" | sed 's|/|_|g').sarif"
+}
+
+# --- strict set: must be clean under --werror ---------------------------
+for g in "$ROOT"/grammars/*.g "$ROOT"/examples/grammars/*.g; do
+  rel=${g#"$ROOT"/}
+  "$LLSTAR" lint "$g" --format=sarif -o "$(sarif_name "$rel")" || true
+  if ! "$LLSTAR" lint "$g" --werror >/dev/null 2>&1; then
+    echo "FAIL (lint --werror): $rel"
+    "$LLSTAR" lint "$g" 2>&1 | sed 's/^/    /'
+    STATUS=1
+  fi
+done
+
+# --- corpus: baseline-gated ---------------------------------------------
+CURRENT=$(mktemp)
+for g in "$ROOT"/tests/corpus/*.g; do
+  rel=${g#"$ROOT"/}
+  "$LLSTAR" lint "$g" --format=sarif -o "$(sarif_name "$rel")" || true
+  # One line per finding: <relpath>:<line>:<col>:<id> (message text is not
+  # part of the key, so rewording a diagnostic does not churn the baseline).
+  "$LLSTAR" lint "$g" 2>/dev/null |
+    sed -n 's|^.*/\([^/]*\.g\):\([0-9]*\):\([0-9]*\): [a-z]*: .* \[\([a-z-]*\)\]$|tests/corpus/\1:\2:\3:\4|p'
+done | sort >"$CURRENT"
+
+if [ "$UPDATE" = "--update-baseline" ]; then
+  cp "$CURRENT" "$BASELINE"
+  echo "baseline updated: $(wc -l <"$BASELINE") findings"
+  rm -f "$CURRENT"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "FAIL: missing $BASELINE (run with --update-baseline)"
+  rm -f "$CURRENT"
+  exit 1
+fi
+
+NEW=$(comm -13 <(sort "$BASELINE") "$CURRENT")
+if [ -n "$NEW" ]; then
+  echo "FAIL: new lint diagnostics not in tests/lint-baseline.txt:"
+  echo "$NEW" | sed 's/^/    /'
+  STATUS=1
+fi
+rm -f "$CURRENT"
+
+exit $STATUS

@@ -10,7 +10,8 @@
 //   llstar-fuzz [--seed N] [--iters K] [--sentences S] [--mutations M]
 //               [--max-rules R] [--no-minimize] [--no-grammar-checks]
 //               [--no-leftrec] [--no-preds] [--no-blocks]
-//               [--dump-dir DIR] [--emit-corpus DIR COUNT] [--quiet]
+//               [--dump-dir DIR] [--emit-corpus DIR COUNT]
+//               [--lint-smoke] [--quiet]
 //
 // Exit status: 0 when every check passed, 1 on any oracle failure, 2 on
 // usage errors. Runs are deterministic: the same flags and seed replay
@@ -19,6 +20,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzzer.h"
+#include "lint/Lint.h"
+#include "lint/SarifWriter.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +53,9 @@ int usage() {
       "  --emit-corpus DIR COUNT\n"
       "                      generate COUNT valid grammars into DIR and "
       "exit\n"
+      "  --lint-smoke        lint each generated grammar instead of the\n"
+      "                      differential checks: asserts the lint engine\n"
+      "                      never crashes and is run-to-run deterministic\n"
       "  --quiet             suppress progress output\n");
   return 2;
 }
@@ -95,12 +101,59 @@ int emitCorpus(const FuzzConfig &Config, const std::string &Dir, int Count) {
   return Written == Count ? 0 : 1;
 }
 
+// --lint-smoke: generate grammars and push each through the full lint
+// pipeline (all passes + all three renderers) twice, asserting the two
+// runs render identically. Crashes surface as a nonzero exit from the
+// harness; nondeterminism fails here.
+int lintSmoke(const FuzzConfig &Config, bool Quiet) {
+  int Failures = 0;
+  int Linted = 0;
+  for (int I = 0; I < Config.Iterations; ++I) {
+    uint64_t SubSeed = FuzzRng::mix(Config.Seed, uint64_t(I));
+    GrammarGenerator Gen(Config.Envelope, SubSeed);
+    GeneratedGrammar G = Gen.generate();
+    std::string Text = G.text();
+    DiagnosticEngine Diags;
+    auto AG = analyzeGrammarText(Text, Diags);
+    if (!AG || Diags.hasErrors())
+      continue; // generator emitted an invalid grammar; other modes report it
+    ++Linted;
+    LintOptions Opts;
+    Opts.Profile = true;       // exercise every pass
+    Opts.LookaheadBudget = 1;  // and both budget checks
+    Opts.DfaStateBudget = 4;
+    LintEngine Engine(Opts);
+    auto RenderAll = [&](const LintResult &R) {
+      return renderLintText(R, "fuzz.g") + renderLintJson(R, "fuzz.g") +
+             renderSarif(R, "fuzz.g");
+    };
+    std::string First = RenderAll(Engine.run(*AG, Text));
+    std::string Second = RenderAll(Engine.run(*AG, Text));
+    if (First != Second) {
+      ++Failures;
+      std::printf("=== lint nondeterminism (seed %llu) ===\n--- grammar "
+                  "---\n%s--- first ---\n%s--- second ---\n%s\n",
+                  (unsigned long long)SubSeed, Text.c_str(), First.c_str(),
+                  Second.c_str());
+    }
+    if (!Quiet && Config.Iterations >= 20 &&
+        (I + 1) % (Config.Iterations / 10) == 0)
+      std::printf("[%d/%d] linted %d grammars, %d failures\n", I + 1,
+                  Config.Iterations, Linted, Failures);
+  }
+  std::printf("lint smoke done: seed %llu, %d/%d grammars linted, "
+              "%d failure%s\n",
+              (unsigned long long)Config.Seed, Linted, Config.Iterations,
+              Failures, Failures == 1 ? "" : "s");
+  return Failures ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   FuzzConfig Config;
   Config.Iterations = 1000;
-  bool Quiet = false;
+  bool Quiet = false, LintSmoke = false;
   std::string DumpDir, CorpusDir;
   int CorpusCount = 0;
 
@@ -156,6 +209,8 @@ int main(int Argc, char **Argv) {
         return usage();
       CorpusDir = D;
       CorpusCount = std::atoi(C);
+    } else if (Args[I] == "--lint-smoke") {
+      LintSmoke = true;
     } else if (Args[I] == "--quiet") {
       Quiet = true;
     } else {
@@ -165,6 +220,8 @@ int main(int Argc, char **Argv) {
 
   if (!CorpusDir.empty())
     return emitCorpus(Config, CorpusDir, CorpusCount);
+  if (LintSmoke)
+    return lintSmoke(Config, Quiet);
 
   Fuzzer F(Config);
   if (!Quiet) {

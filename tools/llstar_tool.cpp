@@ -9,6 +9,12 @@
 //   llstar parse   <grammar.g> <input> [--start <rule>] [--tree]
 //                  [--stats] [--stats-json] [--peg] [--no-memoize]
 //   llstar compile <grammar.g> -o <out.llb>
+//   llstar lint    <grammar.g> [--format=text|json|sarif] [--werror]
+//                  [--budget <k>] [--dfa-budget <n>] [--profile]
+//                  [--disable <id>[,id...]] [-o <file>]
+//
+// Exit codes (all commands): 0 clean, 1 warnings under --werror, 2 errors
+// (unreadable files, grammar errors, failed parses), 3 usage errors.
 //
 // Semantic predicates evaluate as `true` with a warning (bind real
 // callbacks through the C++ API when your grammar needs them).
@@ -20,6 +26,8 @@
 #include "codegen/Serializer.h"
 #include "lexer/Lexer.h"
 #include "lexer/TokenStream.h"
+#include "lint/Lint.h"
+#include "lint/SarifWriter.h"
 #include "peg/PackratParser.h"
 #include "runtime/LLStarParser.h"
 #include "support/StringUtils.h"
@@ -35,6 +43,14 @@
 using namespace llstar;
 
 namespace {
+
+/// Exit codes shared by every subcommand; documented in usage() and README.
+enum ExitCode {
+  ExitClean = 0,    ///< no findings (or warnings without --werror)
+  ExitWarnings = 1, ///< warnings under --werror
+  ExitErrors = 2,   ///< errors: unreadable files, bad grammars, failed parses
+  ExitUsage = 3,    ///< bad command line
+};
 
 int usage() {
   std::fprintf(
@@ -55,8 +71,14 @@ int usage() {
       "      llstar-batch and the ParseService load without re-analysis\n"
       "  generate <grammar.g> <ClassName> [-o <dir>]\n"
       "      emit <dir>/<ClassName>.h/.cpp embedding the precompiled\n"
-      "      grammar tables (link against the llstar runtime)\n");
-  return 2;
+      "      grammar tables (link against the llstar runtime)\n"
+      "  lint <grammar.g> [--format=text|json|sarif] [--werror]\n"
+      "       [--budget <k>] [--dfa-budget <n>] [--profile]\n"
+      "       [--disable <id>[,id...]] [-o <file>]\n"
+      "      run the grammar static-analysis passes; --werror promotes\n"
+      "      warnings to a failing exit code\n"
+      "exit codes: 0 clean, 1 warnings under --werror, 2 errors, 3 usage\n");
+  return ExitUsage;
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -74,7 +96,8 @@ void printDiags(const DiagnosticEngine &Diags) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
 }
 
-std::unique_ptr<AnalyzedGrammar> loadGrammar(const std::string &Path) {
+std::unique_ptr<AnalyzedGrammar> loadGrammar(const std::string &Path,
+                                             unsigned *WarningsOut = nullptr) {
   std::string Text;
   if (!readFile(Path, Text)) {
     std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
@@ -83,6 +106,8 @@ std::unique_ptr<AnalyzedGrammar> loadGrammar(const std::string &Path) {
   DiagnosticEngine Diags;
   auto AG = analyzeGrammarText(Text, Diags);
   printDiags(Diags);
+  if (WarningsOut)
+    *WarningsOut = Diags.warningCount();
   return AG;
 }
 
@@ -101,11 +126,12 @@ const char *className(DecisionClass C) {
 int cmdAnalyze(const std::vector<std::string> &Args) {
   if (Args.empty())
     return usage();
-  auto AG = loadGrammar(Args[0]);
+  unsigned Warnings = 0;
+  auto AG = loadGrammar(Args[0], &Warnings);
   if (!AG)
-    return 1;
+    return ExitErrors;
 
-  bool ShowDfa = false, ShowAtn = false;
+  bool ShowDfa = false, ShowAtn = false, WError = false;
   std::string DfaRule;
   int32_t DotDecision = -1;
   for (size_t I = 1; I < Args.size(); ++I) {
@@ -115,6 +141,8 @@ int cmdAnalyze(const std::vector<std::string> &Args) {
         DfaRule = Args[++I];
     } else if (Args[I] == "--atn") {
       ShowAtn = true;
+    } else if (Args[I] == "--werror") {
+      WError = true;
     } else if (Args[I] == "--dot" && I + 1 < Args.size()) {
       DotDecision = std::atoi(Args[++I].c_str());
     } else {
@@ -142,7 +170,7 @@ int cmdAnalyze(const std::vector<std::string> &Args) {
     std::printf("\n%s", AG->dfa(DotDecision).dot(AG->atn()).c_str());
   if (ShowAtn)
     std::printf("\n%s", AG->atn().str().c_str());
-  return 0;
+  return WError && Warnings ? ExitWarnings : ExitClean;
 }
 
 int cmdTokens(const std::vector<std::string> &Args) {
@@ -150,11 +178,11 @@ int cmdTokens(const std::vector<std::string> &Args) {
     return usage();
   auto AG = loadGrammar(Args[0]);
   if (!AG)
-    return 1;
+    return ExitErrors;
   std::string Input;
   if (!readFile(Args[1], Input)) {
     std::fprintf(stderr, "error: cannot read %s\n", Args[1].c_str());
-    return 1;
+    return ExitErrors;
   }
   DiagnosticEngine Diags;
   Lexer L(AG->grammar().lexerSpec(), Diags);
@@ -164,24 +192,25 @@ int cmdTokens(const std::vector<std::string> &Args) {
     std::printf("%5lld %-16s %s  @%s\n", (long long)T.Index,
                 AG->grammar().vocabulary().name(T.Type).c_str(),
                 escapeString(T.Text).c_str(), T.Loc.str().c_str());
-  return Diags.hasErrors() ? 1 : 0;
+  return Diags.hasErrors() ? ExitErrors : ExitClean;
 }
 
 int cmdParse(const std::vector<std::string> &Args) {
   if (Args.size() < 2)
     return usage();
-  auto AG = loadGrammar(Args[0]);
+  unsigned GrammarWarnings = 0;
+  auto AG = loadGrammar(Args[0], &GrammarWarnings);
   if (!AG)
-    return 1;
+    return ExitErrors;
   std::string Input;
   if (!readFile(Args[1], Input)) {
     std::fprintf(stderr, "error: cannot read %s\n", Args[1].c_str());
-    return 1;
+    return ExitErrors;
   }
 
   std::string Start;
   bool ShowTree = false, ShowStats = false, StatsJson = false,
-       UsePeg = false, Memoize = true;
+       UsePeg = false, Memoize = true, WError = false;
   for (size_t I = 2; I < Args.size(); ++I) {
     if (Args[I] == "--start" && I + 1 < Args.size())
       Start = Args[++I];
@@ -195,6 +224,8 @@ int cmdParse(const std::vector<std::string> &Args) {
       UsePeg = true;
     else if (Args[I] == "--no-memoize")
       Memoize = false;
+    else if (Args[I] == "--werror")
+      WError = true;
     else
       return usage();
   }
@@ -204,7 +235,7 @@ int cmdParse(const std::vector<std::string> &Args) {
   TokenStream Stream(L.tokenize(Input, LexDiags));
   printDiags(LexDiags);
   if (LexDiags.hasErrors())
-    return 1;
+    return ExitErrors;
 
   DiagnosticEngine Diags;
   auto Start0 = std::chrono::steady_clock::now();
@@ -245,34 +276,42 @@ int cmdParse(const std::vector<std::string> &Args) {
   }
   if (StatsJson && !UsePeg)
     std::printf("%s\n", Stats.json(/*IncludeDecisions=*/true).c_str());
-  return Ok ? 0 : 1;
+  if (!Ok)
+    return ExitErrors;
+  unsigned Warnings =
+      GrammarWarnings + LexDiags.warningCount() + Diags.warningCount();
+  return WError && Warnings ? ExitWarnings : ExitClean;
 }
 
 int cmdCompile(const std::vector<std::string> &Args) {
   if (Args.empty())
     return usage();
   std::string OutPath;
+  bool WError = false;
   for (size_t I = 1; I < Args.size(); ++I) {
     if (Args[I] == "-o" && I + 1 < Args.size())
       OutPath = Args[++I];
+    else if (Args[I] == "--werror")
+      WError = true;
     else
       return usage();
   }
   if (OutPath.empty())
     return usage();
-  auto AG = loadGrammar(Args[0]);
+  unsigned Warnings = 0;
+  auto AG = loadGrammar(Args[0], &Warnings);
   if (!AG)
-    return 1;
+    return ExitErrors;
   std::string Bundle = writeBundle(*AG);
   std::ofstream Out(OutPath, std::ios::binary);
   if (!Out) {
     std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
-    return 1;
+    return ExitErrors;
   }
   Out << Bundle;
   std::printf("wrote %s (%zu bytes, format v%lld)\n", OutPath.c_str(),
               Bundle.size(), (long long)BundleFormatVersion);
-  return 0;
+  return WError && Warnings ? ExitWarnings : ExitClean;
 }
 
 int cmdGenerate(const std::vector<std::string> &Args) {
@@ -280,7 +319,7 @@ int cmdGenerate(const std::vector<std::string> &Args) {
     return usage();
   auto AG = loadGrammar(Args[0]);
   if (!AG)
-    return 1;
+    return ExitErrors;
   std::string ClassName = Args[1];
   std::string Dir = ".";
   for (size_t I = 2; I < Args.size(); ++I) {
@@ -296,12 +335,98 @@ int cmdGenerate(const std::vector<std::string> &Args) {
     std::ofstream Out(Path);
     if (!Out) {
       std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
-      return 1;
+      return ExitErrors;
     }
     Out << *Contents;
     std::printf("wrote %s (%zu bytes)\n", Path.c_str(), Contents->size());
   }
-  return 0;
+  return ExitClean;
+}
+
+int cmdLint(const std::vector<std::string> &Args) {
+  if (Args.empty())
+    return usage();
+  std::string Format = "text", OutPath;
+  bool WError = false;
+  LintOptions Opts;
+  for (size_t I = 1; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    if (A.rfind("--format=", 0) == 0)
+      Format = A.substr(9);
+    else if (A == "--format" && I + 1 < Args.size())
+      Format = Args[++I];
+    else if (A == "--werror")
+      WError = true;
+    else if (A == "--profile")
+      Opts.Profile = true;
+    else if (A == "--budget" && I + 1 < Args.size())
+      Opts.LookaheadBudget = std::atoi(Args[++I].c_str());
+    else if (A == "--dfa-budget" && I + 1 < Args.size())
+      Opts.DfaStateBudget = std::atoi(Args[++I].c_str());
+    else if (A == "--disable" && I + 1 < Args.size()) {
+      std::string Ids = Args[++I];
+      size_t Pos = 0;
+      while (Pos <= Ids.size()) {
+        size_t Comma = Ids.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = Ids.size();
+        if (Comma > Pos)
+          Opts.Disabled.insert(Ids.substr(Pos, Comma - Pos));
+        Pos = Comma + 1;
+      }
+    } else if (A == "-o" && I + 1 < Args.size())
+      OutPath = Args[++I];
+    else
+      return usage();
+  }
+  if (Format != "text" && Format != "json" && Format != "sarif")
+    return usage();
+
+  std::string Source;
+  if (!readFile(Args[0], Source)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Args[0].c_str());
+    return ExitErrors;
+  }
+  DiagnosticEngine Diags;
+  auto AG = analyzeGrammarText(Source, Diags);
+  if (!AG || Diags.hasErrors()) {
+    // Grammar does not even build: report the front end's errors directly.
+    printDiags(Diags);
+    return ExitErrors;
+  }
+  // Analysis warnings (ambiguity etc.) are not printed here: the lint
+  // passes re-derive them as structured diagnostics with witnesses.
+
+  LintEngine Engine(Opts);
+  LintResult R = Engine.run(*AG, Source);
+
+  std::string Rendered;
+  if (Format == "sarif")
+    Rendered = renderSarif(R, Args[0]);
+  else if (Format == "json")
+    Rendered = renderLintJson(R, Args[0]);
+  else
+    Rendered = renderLintText(R, Args[0]);
+
+  if (!OutPath.empty()) {
+    std::ofstream Out(OutPath, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+      return ExitErrors;
+    }
+    Out << Rendered;
+  } else {
+    std::printf("%s", Rendered.c_str());
+  }
+  if (Format == "text") {
+    std::fprintf(stderr, "%d error(s), %d warning(s), %d suppressed\n",
+                 R.errorCount(), R.warningCount(), R.NumSuppressed);
+  }
+  if (R.errorCount())
+    return ExitErrors;
+  if (WError && R.warningCount())
+    return ExitWarnings;
+  return ExitClean;
 }
 
 } // namespace
@@ -322,5 +447,7 @@ int main(int Argc, char **Argv) {
     return cmdCompile(Args);
   if (Cmd == "generate")
     return cmdGenerate(Args);
+  if (Cmd == "lint")
+    return cmdLint(Args);
   return usage();
 }
