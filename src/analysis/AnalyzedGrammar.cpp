@@ -33,6 +33,7 @@ AnalyzedGrammar::analyze(std::unique_ptr<Grammar> G, DiagnosticEngine &Diags) {
         analyzeDecision(*AG->M, int32_t(D), Opts, Diags, &AG->Reports[D]));
 
   AG->computeStats();
+  AG->Recovery = RecoverySets::compute(*AG->M);
   // Freeze lazy grammar caches so concurrent const use (the parse service
   // sharing one analysis result across workers) never writes.
   AG->G->freeze();
@@ -44,13 +45,16 @@ AnalyzedGrammar::analyze(std::unique_ptr<Grammar> G, DiagnosticEngine &Diags) {
 
 std::unique_ptr<AnalyzedGrammar>
 AnalyzedGrammar::fromParts(std::unique_ptr<Grammar> G, std::unique_ptr<Atn> M,
-                           std::vector<std::unique_ptr<LookaheadDfa>> Dfas) {
+                           std::vector<std::unique_ptr<LookaheadDfa>> Dfas,
+                           std::unique_ptr<RecoverySets> Recovery) {
   auto AG = std::unique_ptr<AnalyzedGrammar>(new AnalyzedGrammar());
   AG->G = std::move(G);
   AG->M = std::move(M);
   AG->Dfas = std::move(Dfas);
   AG->Reports.resize(AG->Dfas.size());
   AG->computeStats();
+  AG->Recovery =
+      Recovery ? std::move(Recovery) : RecoverySets::compute(*AG->M);
   AG->G->freeze();
   return AG;
 }

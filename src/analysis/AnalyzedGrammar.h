@@ -27,6 +27,7 @@
 #include "atn/ATN.h"
 #include "dfa/LookaheadDFA.h"
 #include "grammar/Grammar.h"
+#include "recover/RecoverySets.h"
 #include "support/Diagnostics.h"
 
 #include <map>
@@ -67,10 +68,13 @@ public:
                                                   DiagnosticEngine &Diags);
 
   /// Assembles from already-built parts (the deserializer's entry point;
-  /// see codegen/Serializer.h). Recomputes the static statistics.
+  /// see codegen/Serializer.h). Recomputes the static statistics. \p
+  /// Recovery carries deserialized recovery tables; pass null to recompute
+  /// them from the ATN.
   static std::unique_ptr<AnalyzedGrammar>
   fromParts(std::unique_ptr<Grammar> G, std::unique_ptr<Atn> M,
-            std::vector<std::unique_ptr<LookaheadDfa>> Dfas);
+            std::vector<std::unique_ptr<LookaheadDfa>> Dfas,
+            std::unique_ptr<RecoverySets> Recovery = nullptr);
 
   const Grammar &grammar() const { return *G; }
   const Atn &atn() const { return *M; }
@@ -89,6 +93,9 @@ public:
 
   const StaticStats &stats() const { return Stats; }
 
+  /// Per-state follow/recovery tables for the error-recovering runtime.
+  const RecoverySets &recovery() const { return *Recovery; }
+
   /// Renders the Table-1-style one-line summary for this grammar.
   std::string summary() const;
 
@@ -101,6 +108,7 @@ private:
   std::vector<std::unique_ptr<LookaheadDfa>> Dfas;
   std::vector<DecisionReport> Reports;
   StaticStats Stats;
+  std::unique_ptr<RecoverySets> Recovery;
 };
 
 /// Convenience: parse + analyze grammar text. Returns null on error.

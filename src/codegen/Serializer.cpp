@@ -428,6 +428,24 @@ std::string llstar::serializeGrammar(const AnalyzedGrammar &AG) {
     W.num(L.types()[I]);
   }
   W.nl();
+
+  // Per-ATN-state recovery tables (follow sets + end reachability), one
+  // state per line: <reachesEnd> <numIntervals> {<lo> <hi>}...
+  const RecoverySets &RS = AG.recovery();
+  W.word("recover");
+  W.num(int64_t(RS.numStates()));
+  W.nl();
+  for (size_t S = 0; S < RS.numStates(); ++S) {
+    W.num(RS.reachesEnd(int32_t(S)) ? 1 : 0);
+    const IntervalSet &F = RS.follow(int32_t(S));
+    W.num(int64_t(F.intervals().size()));
+    for (const Interval &I : F.intervals()) {
+      W.num(I.Lo);
+      W.num(I.Hi);
+    }
+    W.nl();
+  }
+
   W.word("end");
   W.nl();
   return W.Out;
@@ -649,6 +667,36 @@ llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
     Actions.push_back(LexerAction(Action));
     Types.push_back(TokenType(R.num()));
   }
+
+  if (!R.word("recover"))
+    return nullptr;
+  int64_t NumRecStates = R.num();
+  if (!R.failed() && NumRecStates != int64_t(M->numStates()))
+    R.fail("recovery table size does not match the ATN");
+  std::vector<IntervalSet> Follow;
+  std::vector<uint8_t> ReachesEnd;
+  const int64_t MaxTok = int64_t(G->vocabulary().maxTokenType());
+  for (int64_t S = 0; S < NumRecStates && !R.failed(); ++S) {
+    int64_t End = R.num();
+    if (End != 0 && End != 1) {
+      R.fail("recovery end-reachability flag out of range");
+      break;
+    }
+    ReachesEnd.push_back(uint8_t(End));
+    int64_t NumIntervals = R.num();
+    IntervalSet F;
+    for (int64_t I = 0; I < NumIntervals && !R.failed(); ++I) {
+      int64_t Lo = R.num();
+      int64_t Hi = R.num();
+      if (Lo > Hi || Lo < int64_t(TokenEof) || Hi > MaxTok) {
+        R.fail("recovery follow interval out of range");
+        break;
+      }
+      F.add(int32_t(Lo), int32_t(Hi));
+    }
+    Follow.push_back(std::move(F));
+  }
+
   if (!R.word("end") || R.failed())
     return nullptr;
 
@@ -660,8 +708,9 @@ llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
   Result->LexerDfa = regex::CharDfa::fromTables(std::move(LexStates));
   Result->LexerActions = std::move(Actions);
   Result->LexerTypes = std::move(Types);
-  Result->AG =
-      AnalyzedGrammar::fromParts(std::move(G), std::move(M), std::move(Dfas));
+  Result->AG = AnalyzedGrammar::fromParts(
+      std::move(G), std::move(M), std::move(Dfas),
+      RecoverySets::fromTables(std::move(Follow), std::move(ReachesEnd)));
   return Result;
 }
 

@@ -68,7 +68,8 @@ std::unique_ptr<CompiledGrammar> deserializeGrammar(std::string_view Text,
 // clean diagnostic before touching the payload parser.
 
 /// Version stamped into bundle headers written by \ref writeBundle.
-constexpr int64_t BundleFormatVersion = 1;
+/// v2 added the `recover` payload section (per-state recovery tables).
+constexpr int64_t BundleFormatVersion = 2;
 
 /// Serializes \p AG and wraps it in the versioned bundle container.
 std::string writeBundle(const AnalyzedGrammar &AG);

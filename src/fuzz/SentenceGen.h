@@ -1,0 +1,78 @@
+//===- fuzz/SentenceGen.h - Decision-guided minimal sentences ---*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic minimal-sentence generation guided by the LL(*) analysis:
+/// for each (decision, alternative) whose lookahead DFA actually reaches an
+/// accept state for that alternative (\ref LookaheadDfa::shortestPathToAlt),
+/// derive one short valid sentence of the whole grammar that steers the
+/// parse through that alternative.
+///
+/// Unlike \ref SentenceSampler (random bounded derivation over the grammar
+/// object model), SentenceGen walks the ATN with a precomputed minimal
+/// token-cost table, so its output is reproducible without a seed and
+/// biased toward the shortest witnesses. The recovery fuzz oracle mutates
+/// these seeds; tests use them as a per-decision conformance corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_FUZZ_SENTENCEGEN_H
+#define LLSTAR_FUZZ_SENTENCEGEN_H
+
+#include "analysis/AnalyzedGrammar.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llstar {
+namespace fuzz {
+
+/// Derives minimal valid sentences per lookahead decision.
+class SentenceGen {
+public:
+  explicit SentenceGen(const AnalyzedGrammar &AG);
+
+  /// Derives one sentence (token texts) from the grammar's start rule that
+  /// reaches \p Decision and takes its 1-based \p Alt there. Returns false
+  /// when no bounded derivation exists (unreachable decision, budget
+  /// exhausted, or a non-terminating alternative).
+  bool sentenceFor(int32_t Decision, int32_t Alt,
+                   std::vector<std::string> &Out) const;
+
+  /// Deterministic seed corpus: one sentence per (decision, alternative)
+  /// pair whose DFA can predict that alternative, deduplicated by rendered
+  /// text and capped at \p MaxSeeds. Each candidate is lexed back with the
+  /// grammar's real lexer and dropped unless the token texts round-trip to
+  /// the intended token-type sequence.
+  std::vector<std::vector<std::string>> seeds(size_t MaxSeeds = 64) const;
+
+private:
+  /// The guided ATN walk behind \ref sentenceFor; also records the intended
+  /// token type of every emitted text (for the seeds() lex-back check).
+  bool walk(int32_t Decision, int32_t Alt, std::vector<std::string> &Texts,
+            std::vector<TokenType> &Types) const;
+  /// States from which \p Target is reachable in the call-collapsed ATN
+  /// graph (rule transitions contribute both the entry edge and, for
+  /// terminating rules, the return edge).
+  std::vector<uint8_t> reachable(int32_t Target) const;
+
+  /// Deterministic text for one token (no RNG; mirrors the sampler's
+  /// conventions so seed corpora lex identically).
+  std::string tokenText(TokenType Type) const;
+
+  const AnalyzedGrammar &AG;
+  /// Minimal tokens from a state to its own rule's stop state (Inf when
+  /// the suffix cannot terminate).
+  std::vector<int64_t> StateCost;
+  /// Reverse adjacency of the call-collapsed graph, built once.
+  std::vector<std::vector<int32_t>> Rev;
+};
+
+} // namespace fuzz
+} // namespace llstar
+
+#endif // LLSTAR_FUZZ_SENTENCEGEN_H

@@ -1,0 +1,72 @@
+//===- recover/ErrorStrategy.h - Pluggable repair policy --------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repair-policy seam of the error-recovering runtime. When the LL(*)
+/// parser hits a mismatched token outside speculation, it packages the
+/// local facts (current/next token, expected set, the viable-follow set
+/// past the expected token, the combined rule-stack recovery set) into a
+/// \ref RepairContext and asks the strategy what to do:
+///
+///   - DeleteToken:   drop the current token as spurious and re-match,
+///   - InsertToken:   conjure the expected token and continue without
+///                    consuming,
+///   - SyncAndReturn: give up locally; the enclosing rule consumes to its
+///                    recovery set and returns (panic mode).
+///
+/// The base class implements the classic ANTLR default (deletion when
+/// LA(2) matches, insertion when LA(1) is viable after the repair, panic
+/// otherwise); override \ref onMismatch to customize. Strategies must be
+/// stateless or externally synchronized — one parser instance calls them
+/// from one thread, but a strategy object may be shared across parsers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_RECOVER_ERRORSTRATEGY_H
+#define LLSTAR_RECOVER_ERRORSTRATEGY_H
+
+#include "lexer/Token.h"
+#include "support/IntervalSet.h"
+
+#include <cstdint>
+
+namespace llstar {
+
+/// What the parser should do about one mismatched token.
+enum class RepairAction : uint8_t {
+  Fail,          ///< No repair; propagate failure (recovery disabled).
+  DeleteToken,   ///< Consume the offending token and re-match.
+  InsertToken,   ///< Conjure the expected token; do not consume.
+  SyncAndReturn, ///< Panic: sync the enclosing rule to its recovery set.
+};
+
+/// Everything a strategy may consult for one mismatch event.
+struct RepairContext {
+  TokenType Current = TokenInvalid; ///< LA(1), the offending token
+  TokenType Next = TokenInvalid;    ///< LA(2)
+  /// Token types the failed transition would have matched.
+  const IntervalSet &Expected;
+  /// Tokens viable after a successful match, chained through the dynamic
+  /// rule stack by nullability — the test for insertion repairs.
+  const IntervalSet &ViableAfter;
+  /// Conjured tokens since the last real consume; strategies should stop
+  /// inserting once this grows (the parser also hard-caps it).
+  int32_t InsertionsSinceConsume = 0;
+};
+
+/// The default single-token repair policy; subclass to customize.
+class ErrorStrategy {
+public:
+  virtual ~ErrorStrategy();
+
+  /// Decides the repair for one mismatched token. Never called while
+  /// speculating or with recovery disabled.
+  virtual RepairAction onMismatch(const RepairContext &Ctx);
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_RECOVER_ERRORSTRATEGY_H

@@ -1,0 +1,74 @@
+#include "recover/RecoverySets.h"
+
+using namespace llstar;
+
+std::unique_ptr<RecoverySets> RecoverySets::compute(const Atn &M) {
+  auto RS = std::unique_ptr<RecoverySets>(new RecoverySets());
+  const size_t N = M.numStates();
+  RS->Follow.resize(N);
+  RS->ReachesEnd.assign(N, 0);
+
+  std::vector<IntervalSet> &Follow = RS->Follow;
+  std::vector<uint8_t> &End = RS->ReachesEnd;
+
+  // Monotone fixpoint: both tables only grow, and IntervalSet::size is the
+  // member count, so a stable total size means a stable solution.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t S = 0; S < N; ++S) {
+      const AtnState &St = M.state(int32_t(S));
+      if (St.Kind == AtnStateKind::RuleStop) {
+        if (!End[S]) {
+          End[S] = 1;
+          Changed = true;
+        }
+        continue;
+      }
+      int64_t SizeBefore = Follow[S].size();
+      uint8_t EndBefore = End[S];
+      for (const AtnTransition &T : St.Transitions) {
+        switch (T.Kind) {
+        case AtnTransitionKind::Atom:
+          Follow[S].add(T.Label);
+          break;
+        case AtnTransitionKind::Set:
+          Follow[S].addSet(T.Labels);
+          break;
+        case AtnTransitionKind::Rule: {
+          // FIRST of the callee; when the callee is nullable, also what
+          // follows the call site.
+          int32_t Entry = M.ruleStart(T.RuleIndex);
+          Follow[S].addSet(Follow[size_t(Entry)]);
+          if (End[size_t(Entry)]) {
+            Follow[S].addSet(Follow[size_t(T.FollowState)]);
+            End[S] |= End[size_t(T.FollowState)];
+          }
+          break;
+        }
+        case AtnTransitionKind::Epsilon:
+        case AtnTransitionKind::SynPred:
+        case AtnTransitionKind::SemPred:
+        case AtnTransitionKind::Action:
+          // Predicates and actions consume nothing; treat as epsilon (a
+          // failed predicate falls back to panic recovery anyway).
+          Follow[S].addSet(Follow[size_t(T.Target)]);
+          End[S] |= End[size_t(T.Target)];
+          break;
+        }
+      }
+      if (Follow[S].size() != SizeBefore || End[S] != EndBefore)
+        Changed = true;
+    }
+  }
+  return RS;
+}
+
+std::unique_ptr<RecoverySets>
+RecoverySets::fromTables(std::vector<IntervalSet> Follow,
+                         std::vector<uint8_t> ReachesEnd) {
+  auto RS = std::unique_ptr<RecoverySets>(new RecoverySets());
+  RS->Follow = std::move(Follow);
+  RS->ReachesEnd = std::move(ReachesEnd);
+  return RS;
+}

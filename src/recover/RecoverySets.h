@@ -1,0 +1,80 @@
+//===- recover/RecoverySets.h - Follow/recovery set tables ------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-ATN-state synchronization tables for error recovery, computed once
+/// at analysis time (the generator-computed recovery tables of classic
+/// ANTLR, derived here from the ATN instead of grammar productions).
+///
+/// For every ATN state s two facts are derived by fixpoint:
+///
+///   - follow(s): the set of token types that can be consumed first on any
+///     path from s to the stop state of s's rule (a local FOLLOW/FIRST of
+///     the rule suffix starting at s), and
+///   - reachesEnd(s): whether s can reach the rule stop without consuming
+///     anything (nullability of that suffix).
+///
+/// At parse time the runtime combines follow(s) over the dynamic
+/// rule-invocation stack — the follow states pushed at each Rule
+/// transition — to form the panic-mode recovery set, and chains
+/// reachesEnd(s) through the stack to decide whether the current token is
+/// viable after a conjured (single-token-insertion) repair.
+///
+/// Tables are immutable after construction and safe to share across
+/// threads (the parse service shares one AnalyzedGrammar per bundle).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_RECOVER_RECOVERYSETS_H
+#define LLSTAR_RECOVER_RECOVERYSETS_H
+
+#include "atn/ATN.h"
+#include "support/IntervalSet.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace llstar {
+
+/// Immutable follow/recovery tables, one entry per ATN state.
+class RecoverySets {
+public:
+  /// Runs the fixpoint over \p M. O(states x tokens) per iteration; the
+  /// iteration count is bounded by the ATN's rule-call depth in practice.
+  static std::unique_ptr<RecoverySets> compute(const Atn &M);
+
+  /// Assembles from deserialized tables (the bundle loader's entry point).
+  /// Sizes must already be validated against the ATN.
+  static std::unique_ptr<RecoverySets>
+  fromTables(std::vector<IntervalSet> Follow, std::vector<uint8_t> ReachesEnd);
+
+  size_t numStates() const { return Follow.size(); }
+
+  /// Tokens consumable first on any path from \p State to its rule stop.
+  const IntervalSet &follow(int32_t State) const {
+    return Follow[size_t(State)];
+  }
+
+  /// True if \p State can reach its rule stop without consuming input.
+  bool reachesEnd(int32_t State) const {
+    return ReachesEnd[size_t(State)] != 0;
+  }
+
+  bool operator==(const RecoverySets &O) const {
+    return Follow == O.Follow && ReachesEnd == O.ReachesEnd;
+  }
+
+private:
+  RecoverySets() = default;
+
+  std::vector<IntervalSet> Follow;
+  std::vector<uint8_t> ReachesEnd;
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_RECOVER_RECOVERYSETS_H

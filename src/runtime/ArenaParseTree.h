@@ -23,6 +23,7 @@
 #include "grammar/Grammar.h"
 #include "lexer/TokenStream.h"
 #include "runtime/Arena.h"
+#include "runtime/ParseTree.h" // ErrorNodeKind
 
 #include <cstdint>
 #include <string>
@@ -44,8 +45,36 @@ public:
     N->TokenIdx = TokenIndex;
     return N;
   }
+  /// An error leaf for a real input token that recovery deleted or
+  /// panic-skipped; renders as `(error <text>)`.
+  static ArenaParseTree *errorNode(Arena &A, int64_t TokenIndex) {
+    ArenaParseTree *N = tokenNode(A, TokenIndex);
+    N->ErrKind = ErrorNodeKind::Skipped;
+    return N;
+  }
+  /// A conjured-token error leaf (single-token insertion): \p Missing is
+  /// the inserted type, \p AtTokenIndex the stream position of the repair
+  /// (its source span). Renders as `(error <missing X>)`.
+  static ArenaParseTree *missingNode(Arena &A, TokenType Missing,
+                                     int64_t AtTokenIndex) {
+    ArenaParseTree *N = tokenNode(A, AtTokenIndex);
+    N->ErrKind = ErrorNodeKind::Missing;
+    N->MissingTok = Missing;
+    return N;
+  }
+  /// A zero-width error marker at \p AtTokenIndex; renders as `(error)`.
+  static ArenaParseTree *markerNode(Arena &A, int64_t AtTokenIndex) {
+    ArenaParseTree *N = tokenNode(A, AtTokenIndex);
+    N->ErrKind = ErrorNodeKind::Marker;
+    return N;
+  }
 
   bool isToken() const { return IsToken; }
+  bool isError() const { return ErrKind != ErrorNodeKind::None; }
+  ErrorNodeKind errorKind() const { return ErrKind; }
+  /// The conjured token type of a Missing error leaf (TokenInvalid
+  /// otherwise).
+  TokenType missingToken() const { return MissingTok; }
   int32_t ruleIndex() const { return RuleIdx; }
   /// Index of this leaf's token in the request's TokenStream.
   int64_t tokenIndex() const { return TokenIdx; }
@@ -73,6 +102,14 @@ public:
     return N;
   }
 
+  /// Number of error leaves in this subtree.
+  size_t numErrorNodes() const {
+    size_t N = isError() ? 1 : 0;
+    for (const ArenaParseTree *C = FirstChild; C; C = C->NextSibling)
+      N += C->numErrorNodes();
+    return N;
+  }
+
   /// LISP-style rendering identical to ParseTree::str: `(rule child ...)`,
   /// token leaves as their text (looked up in \p Stream).
   std::string str(const Grammar &G, const TokenStream &Stream) const {
@@ -85,7 +122,19 @@ private:
   void render(const Grammar &G, const TokenStream &Stream,
               std::string &Out) const {
     if (IsToken) {
-      Out += Stream.at(TokenIdx).Text;
+      if (ErrKind == ErrorNodeKind::None) {
+        Out += Stream.at(TokenIdx).Text;
+      } else if (ErrKind == ErrorNodeKind::Marker) {
+        Out += "(error)";
+      } else if (ErrKind == ErrorNodeKind::Missing) {
+        Out += "(error <missing ";
+        Out += G.vocabulary().name(MissingTok);
+        Out += ">)";
+      } else {
+        Out += "(error ";
+        Out += Stream.at(TokenIdx).Text;
+        Out += ")";
+      }
       return;
     }
     Out += "(";
@@ -98,7 +147,9 @@ private:
   }
 
   bool IsToken = false;
+  ErrorNodeKind ErrKind = ErrorNodeKind::None;
   int32_t RuleIdx = -1;
+  TokenType MissingTok = TokenInvalid;
   int64_t TokenIdx = -1;
   ArenaParseTree *FirstChild = nullptr;
   ArenaParseTree *LastChild = nullptr;

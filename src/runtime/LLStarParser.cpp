@@ -6,6 +6,20 @@
 
 using namespace llstar;
 
+namespace {
+
+/// Smallest user-defined token type in \p S (the token conjured for a
+/// single-token insertion against a set edge). The strategy only requests
+/// insertion when one exists.
+TokenType firstUserToken(const IntervalSet &S) {
+  for (const Interval &I : S.intervals())
+    if (I.Hi >= TokenMinUserType)
+      return std::max(I.Lo, TokenMinUserType);
+  return TokenInvalid;
+}
+
+} // namespace
+
 LLStarParser::LLStarParser(const AnalyzedGrammar &AG, TokenStream &Stream,
                            SemanticEnv *Env, DiagnosticEngine &Diags)
     : LLStarParser(AG, Stream, Env, Diags, [&AG] {
@@ -34,6 +48,9 @@ std::unique_ptr<ParseTree> LLStarParser::parse(const std::string &RuleName) {
   ArenaRoot = nullptr;
   DeadlineHit = false;
   DeadlinePollCountdown = DeadlinePollInterval;
+  FollowStack.clear();
+  LastErrorIndex = -1;
+  InsertionsSinceConsume = 0;
 
   std::unique_ptr<ParseTree> HeapRoot;
   NodeRef Root;
@@ -49,6 +66,12 @@ std::unique_ptr<ParseTree> LLStarParser::parse(const std::string &RuleName) {
   }
   unsigned ErrorsBefore = Diags.errorCount();
   bool Ok = runStates(M.ruleStart(Rule), M.ruleStop(Rule), Root);
+  if (!Ok && canRecover()) {
+    // Top-level sync: the invocation stack is empty, so the recovery set is
+    // {EOF} and this drains the remaining input as error leaves.
+    syncAfterRuleFailure(Root);
+    Ok = true;
+  }
   LastParseOk = Ok && Diags.errorCount() == ErrorsBefore;
   return HeapRoot;
 }
@@ -90,6 +113,14 @@ bool LLStarParser::runRule(int32_t RuleIndex, int32_t Precedence,
   if (R.IsPrecedenceRule)
     PrecStack.pop_back();
 
+  if (!Ok && canRecover()) {
+    // Sync-and-return: pretend the rule completed, resynchronizing the
+    // input to a token some caller can match. The error was already
+    // reported; the skipped region survives as error leaves under Node.
+    syncAfterRuleFailure(Node);
+    Ok = true;
+  }
+
   if (UseMemo)
     Memo[Key] = Ok ? Stream.index() : -1;
   return Ok;
@@ -108,8 +139,16 @@ bool LLStarParser::runStates(int32_t From, int32_t Until, NodeRef Parent) {
 
     if (S.isDecision()) {
       int32_t Alt = adaptivePredict(S.Decision);
-      if (Alt < 0)
-        return false;
+      if (Alt < 0) {
+        // Panic recovery: drop tokens nobody can accept, then retry the
+        // prediction once if the resync token is matchable right here.
+        // A second failure unwinds to the rule-level sync in runRule.
+        if (!canRecover() || !recoverAtDecision(P, Parent))
+          return false;
+        Alt = adaptivePredict(S.Decision);
+        if (Alt < 0)
+          return false;
+      }
       bool IsLoop = S.Kind == AtnStateKind::StarLoopEntry ||
                     S.Kind == AtnStateKind::PlusLoopBack;
       if (IsLoop) {
@@ -149,16 +188,39 @@ bool LLStarParser::runStates(int32_t From, int32_t Until, NodeRef Parent) {
           return false;
         reportMismatch(T.Kind == AtnTransitionKind::Atom ? T.Label
                                                          : TokenInvalid);
-        // Single-token-deletion recovery: if the next token matches, treat
-        // the current one as spurious.
-        bool NextMatches = T.Kind == AtnTransitionKind::Atom
-                               ? Stream.LA(2) == T.Label
-                               : (Stream.LA(2) != TokenEof &&
-                                  T.Labels.contains(Stream.LA(2)));
-        if (Opts.Recover && NextMatches) {
-          Stream.consume(); // drop the offending token
-        } else {
+        if (!canRecover())
           return false;
+        IntervalSet Expected = T.Kind == AtnTransitionKind::Atom
+                                   ? IntervalSet::of(T.Label)
+                                   : T.Labels;
+        RepairContext Ctx{Stream.LA(1), Stream.LA(2), Expected,
+                          viableAfter(T.Target), InsertionsSinceConsume};
+        RepairAction Act = strategy().onMismatch(Ctx);
+        if (Act == RepairAction::DeleteToken) {
+          // The next token matches: the current one is spurious.
+          Diags.note(Stream.LT(1).Loc,
+                     "deleted '" + Stream.LT(1).Text + "' to recover");
+          skipTokenAsError(Parent);
+          ++Stats.TokensDeleted;
+          // Fall through to match the token now at the front.
+        } else if (Act == RepairAction::InsertToken) {
+          // Conjure the expected token: the parse continues as if it were
+          // present, leaving a zero-width Missing error leaf.
+          TokenType Conjured =
+              T.Kind == AtnTransitionKind::Atom
+                  ? T.Label
+                  : firstUserToken(Expected);
+          Diags.note(Stream.LT(1).Loc,
+                     "inserted missing " +
+                         AG.grammar().vocabulary().name(Conjured) +
+                         " to recover");
+          addMissingTokenChild(Parent, Conjured);
+          ++Stats.TokensInserted;
+          ++InsertionsSinceConsume;
+          P = T.Target;
+          break;
+        } else {
+          return false; // unwind to the rule-level sync
         }
       }
       if (Parent && !speculating())
@@ -167,14 +229,19 @@ bool LLStarParser::runStates(int32_t From, int32_t Until, NodeRef Parent) {
         SpecMaxIndex = Stream.index() + 1;
       Stream.consume();
       ++Stats.TokensConsumed;
+      InsertionsSinceConsume = 0;
       P = T.Target;
       break;
     }
-    case AtnTransitionKind::Rule:
-      if (!runRule(T.RuleIndex, T.Precedence, Parent))
+    case AtnTransitionKind::Rule: {
+      FollowStack.push_back(T.FollowState);
+      bool Ok = runRule(T.RuleIndex, T.Precedence, Parent);
+      FollowStack.pop_back();
+      if (!Ok)
         return false;
       P = T.FollowState;
       break;
+    }
     case AtnTransitionKind::SemPred:
       if (!evalNamedPredicate(T.PredIndex)) {
         if (!speculating()) {
@@ -213,6 +280,43 @@ void LLStarParser::addTokenChild(NodeRef Parent) {
   else if (Parent.InArena)
     Parent.InArena->addChild(
         ArenaParseTree::tokenNode(*Opts.TreeArena, Stream.index()));
+}
+
+void LLStarParser::addErrorTokenChild(NodeRef Parent) {
+  if (Parent.Heap)
+    Parent.Heap->addChild(
+        ParseTree::errorNode(Stream.LT(1), ErrorNodeKind::Skipped));
+  else if (Parent.InArena)
+    Parent.InArena->addChild(
+        ArenaParseTree::errorNode(*Opts.TreeArena, Stream.index()));
+}
+
+void LLStarParser::addMissingTokenChild(NodeRef Parent, TokenType Missing) {
+  if (Parent.Heap) {
+    // Borrow the span of the token at the repair point; the text marks the
+    // leaf as synthetic.
+    Token Tok = Stream.LT(1);
+    Tok.Type = Missing;
+    Tok.Text = "<missing " + AG.grammar().vocabulary().name(Missing) + ">";
+    Parent.Heap->addChild(
+        ParseTree::errorNode(std::move(Tok), ErrorNodeKind::Missing));
+  } else if (Parent.InArena) {
+    Parent.InArena->addChild(
+        ArenaParseTree::missingNode(*Opts.TreeArena, Missing, Stream.index()));
+  }
+}
+
+void LLStarParser::addMarkerChild(NodeRef Parent) {
+  if (Parent.Heap) {
+    Token Tok = Stream.LT(1);
+    Tok.Type = TokenInvalid;
+    Tok.Text.clear();
+    Parent.Heap->addChild(
+        ParseTree::errorNode(std::move(Tok), ErrorNodeKind::Marker));
+  } else if (Parent.InArena) {
+    Parent.InArena->addChild(
+        ArenaParseTree::markerNode(*Opts.TreeArena, Stream.index()));
+  }
 }
 
 bool LLStarParser::deadlineOk() {
@@ -381,4 +485,91 @@ void LLStarParser::reportNoViableAlt(int32_t Decision, int64_t DepthReached) {
       S.RuleIndex >= 0 ? AG.grammar().rule(S.RuleIndex).Name : "<none>";
   Diags.error(T.Loc, "no viable alternative at input '" + T.Text +
                          "' (rule " + RuleName + ")");
+}
+
+//===----------------------------------------------------------------------===//
+// Recovery
+//===----------------------------------------------------------------------===//
+
+IntervalSet LLStarParser::viableAfter(int32_t State) const {
+  const RecoverySets &RS = AG.recovery();
+  IntervalSet V = RS.follow(State);
+  // While the rule end is reachable without consuming, tokens viable at the
+  // pending return sites are viable here too.
+  bool Open = RS.reachesEnd(State);
+  for (auto It = FollowStack.rbegin(); Open && It != FollowStack.rend();
+       ++It) {
+    V.addSet(RS.follow(*It));
+    Open = RS.reachesEnd(*It);
+  }
+  if (Open)
+    V.add(TokenEof);
+  return V;
+}
+
+IntervalSet LLStarParser::recoverySet() const {
+  const RecoverySets &RS = AG.recovery();
+  IntervalSet R;
+  for (int32_t F : FollowStack)
+    R.addSet(RS.follow(F));
+  // EOF always synchronizes; with an empty invocation stack it is the only
+  // member, so a top-level sync drains the input.
+  R.add(TokenEof);
+  return R;
+}
+
+void LLStarParser::skipTokenAsError(NodeRef Parent) {
+  addErrorTokenChild(Parent);
+  Stream.consume();
+  InsertionsSinceConsume = 0;
+}
+
+void LLStarParser::syncAfterRuleFailure(NodeRef Node) {
+  ++Stats.PanicSyncs;
+  size_t Skipped = 0;
+  // Failing twice at the same position means the recovery set itself is
+  // not parsable here; force one token of progress so recovery terminates.
+  if (Stream.index() == LastErrorIndex && Stream.LA(1) != TokenEof) {
+    skipTokenAsError(Node);
+    ++Skipped;
+  }
+  IntervalSet R = recoverySet();
+  while (Stream.LA(1) != TokenEof && !R.contains(Stream.LA(1))) {
+    skipTokenAsError(Node);
+    ++Skipped;
+  }
+  LastErrorIndex = Stream.index();
+  if (Skipped == 0) {
+    // Nothing consumed: leave a zero-width marker so every reported error
+    // still has at least one error leaf in the tree.
+    addMarkerChild(Node);
+  } else {
+    Diags.note(Stream.LT(1).Loc,
+               "skipped " + std::to_string(Skipped) +
+                   (Skipped == 1 ? " token" : " tokens") +
+                   " to resynchronize");
+  }
+}
+
+bool LLStarParser::recoverAtDecision(int32_t State, NodeRef Parent) {
+  const RecoverySets &RS = AG.recovery();
+  const IntervalSet &Here = RS.follow(State);
+  IntervalSet R = recoverySet();
+  size_t Skipped = 0;
+  while (Stream.LA(1) != TokenEof && !Here.contains(Stream.LA(1)) &&
+         !R.contains(Stream.LA(1))) {
+    skipTokenAsError(Parent);
+    ++Skipped;
+  }
+  if (Skipped) {
+    ++Stats.PanicSyncs;
+    Diags.note(Stream.LT(1).Loc,
+               "skipped " + std::to_string(Skipped) +
+                   (Skipped == 1 ? " token" : " tokens") +
+                   " to resynchronize");
+  }
+  // Retry only when we made progress and landed on a token this decision
+  // can start with; otherwise unwind to the rule-level sync.
+  return Skipped > 0 && Stream.LA(1) != TokenEof &&
+         Here.contains(Stream.LA(1));
 }

@@ -25,6 +25,7 @@
 
 #include "analysis/AnalyzedGrammar.h"
 #include "lexer/TokenStream.h"
+#include "recover/ErrorStrategy.h"
 #include "runtime/Arena.h"
 #include "runtime/ArenaParseTree.h"
 #include "runtime/ParseTree.h"
@@ -50,8 +51,16 @@ struct ParserOptions {
   bool BuildTree = true;
   /// Collect per-decision statistics (Tables 3-4).
   bool CollectStats = true;
-  /// Attempt single-token-deletion recovery on mismatched tokens.
+  /// Recover from syntax errors instead of failing fast: single-token
+  /// deletion and insertion at mismatched tokens (consulting \ref Strategy)
+  /// and follow-set synchronization after unrecoverable failures. Recovered
+  /// regions appear in the parse tree as error leaves (\ref ErrorNodeKind);
+  /// \ref LLStarParser::ok still reports false when any error was reported.
   bool Recover = true;
+  /// Repair policy consulted at mismatched tokens. Null uses the built-in
+  /// default (\ref ErrorStrategy base behavior). Not owned; must be safe
+  /// for concurrent use if the parser instances sharing it are.
+  ErrorStrategy *Strategy = nullptr;
   /// When non-null, parse trees are built as \ref ArenaParseTree nodes
   /// carved from this arena instead of heap ParseTree nodes. parse() then
   /// returns null; fetch the root with \ref LLStarParser::arenaTree. The
@@ -116,6 +125,11 @@ private:
   /// allocation mode is active.
   NodeRef addRuleChild(NodeRef Parent, int32_t RuleIndex);
   void addTokenChild(NodeRef Parent);
+  /// Error-leaf variants: the upcoming token as a Skipped leaf, a conjured
+  /// \p Missing token, or a zero-width marker.
+  void addErrorTokenChild(NodeRef Parent);
+  void addMissingTokenChild(NodeRef Parent, TokenType Missing);
+  void addMarkerChild(NodeRef Parent);
 
   /// Periodic deadline poll; returns false (once per parse reporting the
   /// error) after ParserOptions::Deadline passes.
@@ -135,10 +149,39 @@ private:
 
   bool speculating() const { return SpecDepth > 0; }
 
-  // Error handling ----------------------------------------------------------
+  // Error handling and recovery ---------------------------------------------
 
   void reportMismatch(TokenType Expected);
   void reportNoViableAlt(int32_t Decision, int64_t DepthReached);
+
+  /// Recovery is active only for real (non-speculative) parsing.
+  bool canRecover() const {
+    return Opts.Recover && !speculating() && !DeadlineHit;
+  }
+  ErrorStrategy &strategy() {
+    return Opts.Strategy ? *Opts.Strategy : DefaultStrategy;
+  }
+
+  /// Terminals that can follow a single conjured token at \p State: the
+  /// static follow set of \p State, chained through the dynamic invocation
+  /// stack while rule ends are reachable (plus EOF if the whole stack is).
+  IntervalSet viableAfter(int32_t State) const;
+  /// The panic-mode synchronization set: the union of the follow sets at
+  /// every return site on the dynamic invocation stack, plus EOF.
+  IntervalSet recoverySet() const;
+
+  /// Consumes the offending token as a Skipped error leaf.
+  void skipTokenAsError(NodeRef Parent);
+  /// Sync-and-return after a failed rule body: consumes to \ref recoverySet
+  /// as error leaves under \p Node (a zero-width marker when nothing is
+  /// consumed), with a force-consume of one token when no progress was made
+  /// since the previous sync (termination guard).
+  void syncAfterRuleFailure(NodeRef Node);
+  /// Panic recovery at a failed prediction: consumes tokens that neither
+  /// the decision nor the invocation stack can accept. Returns true when
+  /// the decision is worth retrying (progress was made and the next token
+  /// is matchable here).
+  bool recoverAtDecision(int32_t State, NodeRef Parent);
 
   // Memoization (speculative rule parses only) -------------------------------
 
@@ -155,6 +198,18 @@ private:
   DiagnosticEngine &Diags;
   ParserOptions Opts;
   ParserStats Stats;
+
+  /// Built-in repair policy used when ParserOptions::Strategy is null.
+  ErrorStrategy DefaultStrategy;
+  /// Follow states of the active rule invocations (innermost last); the
+  /// dynamic counterpart of the paper's rule-invocation stack, consulted by
+  /// \ref viableAfter and \ref recoverySet.
+  std::vector<int32_t> FollowStack;
+  /// Stream index of the previous sync-and-return; failing again there
+  /// forces one token of progress.
+  int64_t LastErrorIndex = -1;
+  /// Conjured tokens since the last real consume; caps runaway insertion.
+  int32_t InsertionsSinceConsume = 0;
 
   int32_t SpecDepth = 0;
   /// Highest stream index touched during the current speculation cascade;

@@ -23,6 +23,16 @@
 
 namespace llstar {
 
+/// How an error leaf came to be. Error leaves are emitted by the
+/// error-recovering runtime (src/recover) and render as `(error ...)`;
+/// ParseTree and ArenaParseTree produce byte-identical renderings.
+enum class ErrorNodeKind : uint8_t {
+  None,    ///< not an error node
+  Skipped, ///< a real input token deleted or panic-skipped during recovery
+  Missing, ///< a conjured token (single-token insertion)
+  Marker,  ///< zero-width marker: recovery re-synced without consuming
+};
+
 /// One parse-tree node.
 class ParseTree {
 public:
@@ -37,8 +47,21 @@ public:
     N->Tok = std::move(Tok);
     return N;
   }
+  /// An error leaf. \p Tok carries the exact source span: the skipped
+  /// token itself, or for Missing/Marker nodes the token at the repair
+  /// point (Missing nodes carry the conjured type and a synthetic
+  /// `<missing X>` text).
+  static std::unique_ptr<ParseTree> errorNode(Token Tok, ErrorNodeKind Kind) {
+    auto N = std::make_unique<ParseTree>();
+    N->IsToken = true;
+    N->ErrKind = Kind;
+    N->Tok = std::move(Tok);
+    return N;
+  }
 
   bool isToken() const { return IsToken; }
+  bool isError() const { return ErrKind != ErrorNodeKind::None; }
+  ErrorNodeKind errorKind() const { return ErrKind; }
   int32_t ruleIndex() const { return RuleIdx; }
   const Token &token() const { return Tok; }
 
@@ -70,20 +93,35 @@ public:
     return N;
   }
 
-  /// Number of token leaves in this subtree.
+  /// Number of token leaves in this subtree. Error leaves do not count:
+  /// they are repair artifacts, not matched input.
   size_t numTokens() const {
     if (IsToken)
-      return 1;
+      return isError() ? 0 : 1;
     size_t N = 0;
     for (const auto &C : Children)
       N += C->numTokens();
     return N;
   }
 
-  /// LISP-style rendering: `(rule child1 child2)`, token leaves as text.
+  /// Number of error leaves in this subtree.
+  size_t numErrorNodes() const {
+    size_t N = isError() ? 1 : 0;
+    for (const auto &C : Children)
+      N += C->numErrorNodes();
+    return N;
+  }
+
+  /// LISP-style rendering: `(rule child1 child2)`, token leaves as text,
+  /// error leaves as `(error <text>)` (`(error)` for zero-width markers).
   std::string str(const Grammar &G) const {
-    if (IsToken)
-      return Tok.Text;
+    if (IsToken) {
+      if (ErrKind == ErrorNodeKind::None)
+        return Tok.Text;
+      if (ErrKind == ErrorNodeKind::Marker)
+        return "(error)";
+      return "(error " + Tok.Text + ")";
+    }
     std::string Out = "(" + G.rule(RuleIdx).Name;
     for (const auto &C : Children) {
       Out += " ";
@@ -95,6 +133,7 @@ public:
 
 private:
   bool IsToken = false;
+  ErrorNodeKind ErrKind = ErrorNodeKind::None;
   int32_t RuleIdx = -1;
   Token Tok;
   std::vector<std::unique_ptr<ParseTree>> Children;

@@ -13,6 +13,9 @@ void ParserStats::merge(const ParserStats &O) {
   MemoMisses += O.MemoMisses;
   TokensConsumed += O.TokensConsumed;
   SyntaxErrors += O.SyntaxErrors;
+  TokensDeleted += O.TokensDeleted;
+  TokensInserted += O.TokensInserted;
+  PanicSyncs += O.PanicSyncs;
 }
 
 namespace {
@@ -57,6 +60,12 @@ std::string ParserStats::json(bool IncludeDecisions) const {
   appendNum(Out, "tokensConsumed", TokensConsumed);
   Out += ',';
   appendNum(Out, "syntaxErrors", SyntaxErrors);
+  Out += ',';
+  appendNum(Out, "tokensDeleted", TokensDeleted);
+  Out += ',';
+  appendNum(Out, "tokensInserted", TokensInserted);
+  Out += ',';
+  appendNum(Out, "panicSyncs", PanicSyncs);
   if (IncludeDecisions) {
     Out += ",\"decisions\":[";
     bool First = true;

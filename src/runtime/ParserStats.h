@@ -56,6 +56,9 @@ struct ParserStats {
   int64_t MemoMisses = 0;
   int64_t TokensConsumed = 0;
   int64_t SyntaxErrors = 0;
+  int64_t TokensDeleted = 0;  ///< single-token-deletion repairs
+  int64_t TokensInserted = 0; ///< single-token-insertion repairs
+  int64_t PanicSyncs = 0;     ///< sync-and-return recoveries
 
   void ensure(size_t NumDecisions) {
     if (Decisions.size() < NumDecisions)

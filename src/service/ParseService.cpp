@@ -13,6 +13,8 @@ const char *llstar::statusName(ParseStatus S) {
     return "ok";
   case ParseStatus::SyntaxError:
     return "syntax-error";
+  case ParseStatus::Recovered:
+    return "recovered";
   case ParseStatus::LexError:
     return "lex-error";
   case ParseStatus::DeadlineExceeded:
@@ -43,6 +45,7 @@ std::string ServiceMetrics::json(bool IncludeDecisions) const {
   Num("submitted", Submitted);
   Num("completed", Completed);
   Num("ok", Ok);
+  Num("recovered", Recovered);
   Num("syntaxErrors", SyntaxErrors);
   Num("lexErrors", LexErrors);
   Num("rejectedQueueFull", RejectedQueueFull);
@@ -184,6 +187,9 @@ void ParseService::workerLoop(WorkerState &State) {
       case ParseStatus::Ok:
         ++Ok;
         break;
+      case ParseStatus::Recovered:
+        ++Recovered;
+        break;
       case ParseStatus::SyntaxError:
         ++SyntaxErrors;
         break;
@@ -251,6 +257,7 @@ ParseResult ParseService::runJob(Job &J, WorkerState &State) {
   Opts.Memoize = AG.grammar().Options.Memoize;
   Opts.BuildTree = J.Req.WantTree;
   Opts.CollectStats = Config.CollectStats;
+  Opts.Recover = J.Req.Recover;
   Opts.TreeArena = &State.TreeArena;
   if (J.HasDeadline)
     Opts.Deadline = J.DeadlineAt;
@@ -264,9 +271,17 @@ ParseResult ParseService::runJob(Job &J, WorkerState &State) {
 
   if (P.deadlineExpired())
     R.Status = ParseStatus::DeadlineExceeded;
+  else if (P.ok())
+    R.Status = ParseStatus::Ok;
   else
-    R.Status = P.ok() ? ParseStatus::Ok : ParseStatus::SyntaxError;
+    R.Status =
+        J.Req.Recover ? ParseStatus::Recovered : ParseStatus::SyntaxError;
   R.DiagText = Diags.str();
+  if (R.Status == ParseStatus::Recovered ||
+      R.Status == ParseStatus::SyntaxError)
+    for (Diagnostic &D : Diags.sorted())
+      if (D.Severity == DiagSeverity::Error)
+        R.Errors.push_back(std::move(D));
   R.ParseMillis = Millis;
   if (J.Req.WantTree && P.arenaTree()) {
     R.TreeText = P.arenaTree()->str(AG.grammar(), Stream);
@@ -300,13 +315,14 @@ ServiceMetrics ParseService::metrics() const {
   {
     std::lock_guard<std::mutex> Lock(CountersMu);
     M.Ok = Ok;
+    M.Recovered = Recovered;
     M.SyntaxErrors = SyntaxErrors;
     M.LexErrors = LexErrors;
     M.RejectedTooManyTokens = RejectedTooManyTokens;
     M.DeadlineExceeded = DeadlineExceeded;
     M.RejectedShutdown += ShutdownDrained;
   }
-  M.Completed = M.Ok + M.SyntaxErrors + M.LexErrors;
+  M.Completed = M.Ok + M.Recovered + M.SyntaxErrors + M.LexErrors;
   for (const auto &State : WorkerStates) {
     std::lock_guard<std::mutex> Lock(State->Mu);
     M.Parser.merge(State->Stats);

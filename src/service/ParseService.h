@@ -31,6 +31,7 @@
 #include "runtime/Arena.h"
 #include "runtime/ParserStats.h"
 #include "service/GrammarBundleCache.h"
+#include "support/Diagnostics.h"
 
 #include <chrono>
 #include <condition_variable>
@@ -49,6 +50,7 @@ namespace llstar {
 enum class ParseStatus {
   Ok,               ///< Parsed without syntax errors.
   SyntaxError,      ///< Parsed; the input is not in the language.
+  Recovered,        ///< Syntax errors, but recovery produced a partial tree.
   LexError,         ///< Tokenization failed.
   DeadlineExceeded, ///< Deadline passed while queued or mid-parse.
   TooManyTokens,    ///< Input exceeds the configured token limit.
@@ -90,6 +92,10 @@ struct ParseRequest {
   std::chrono::milliseconds Deadline{0};
   /// Render the parse tree into ParseResult::TreeText.
   bool WantTree = false;
+  /// Parse with error recovery: syntax errors resolve to Recovered with a
+  /// partial tree and structured ParseResult::Errors instead of a bare
+  /// SyntaxError.
+  bool Recover = false;
 };
 
 struct ParseResult {
@@ -99,6 +105,9 @@ struct ParseResult {
   std::string TreeText;
   /// Rendered diagnostics (syntax errors, warnings), one per line.
   std::string DiagText;
+  /// Structured syntax errors (SyntaxError/Recovered results), sorted by
+  /// (line, column).
+  std::vector<Diagnostic> Errors;
   int64_t NumTokens = 0;
   /// Tree nodes built (arena mode); 0 when no tree was requested.
   int64_t TreeNodes = 0;
@@ -110,8 +119,9 @@ struct ParseResult {
 /// Aggregate service counters plus merged parser statistics.
 struct ServiceMetrics {
   int64_t Submitted = 0;
-  int64_t Completed = 0; ///< ran to Ok or SyntaxError/LexError
+  int64_t Completed = 0; ///< ran to Ok, Recovered, or SyntaxError/LexError
   int64_t Ok = 0;
+  int64_t Recovered = 0;
   int64_t SyntaxErrors = 0;
   int64_t LexErrors = 0;
   int64_t RejectedQueueFull = 0;
@@ -198,6 +208,7 @@ private:
   // Completion counters, guarded by CountersMu (workers update them).
   mutable std::mutex CountersMu;
   int64_t Ok = 0;
+  int64_t Recovered = 0;
   int64_t SyntaxErrors = 0;
   int64_t LexErrors = 0;
   int64_t RejectedTooManyTokens = 0;

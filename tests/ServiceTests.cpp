@@ -426,6 +426,92 @@ TEST(ParseServiceTest, CorpusIsByteIdenticalAcrossThreadCounts) {
             M8.Parser.json(/*IncludeDecisions=*/true));
 }
 
+//===----------------------------------------------------------------------===//
+// Error-recovering requests
+//===----------------------------------------------------------------------===//
+
+TEST(ParseServiceTest, RecoveredRequestsReturnPartialTreesAndErrors) {
+  GrammarBundleCache Cache;
+  auto Bundle = bundleOrFail(Cache, ExprGrammar);
+  ServiceConfig Config;
+  Config.Threads = 2;
+  ParseService Service(Config);
+
+  ParseRequest Req = makeReq(Bundle, "rec", "1 + + 2");
+  Req.Recover = true;
+  ParseResult R = Service.submit(std::move(Req)).get();
+  EXPECT_EQ(R.Status, ParseStatus::Recovered);
+  // A partial tree with error leaves came back, not an empty failure.
+  EXPECT_NE(R.TreeText.find("(error"), std::string::npos) << R.TreeText;
+  ASSERT_FALSE(R.Errors.empty());
+  for (const Diagnostic &D : R.Errors)
+    EXPECT_EQ(D.Severity, DiagSeverity::Error);
+  // Structured errors come sorted by source position.
+  for (size_t I = 1; I < R.Errors.size(); ++I) {
+    const SourceLocation &A = R.Errors[I - 1].Loc, &B = R.Errors[I].Loc;
+    EXPECT_TRUE(A.Line < B.Line || (A.Line == B.Line && A.Column <= B.Column));
+  }
+
+  // The identical input without Recover stays a plain failure.
+  ParseResult Strict = Service.submit(makeReq(Bundle, "syn", "1 + + 2")).get();
+  EXPECT_EQ(Strict.Status, ParseStatus::SyntaxError);
+
+  Service.shutdown();
+  ServiceMetrics M = Service.metrics();
+  EXPECT_EQ(M.Recovered, 1);
+  EXPECT_EQ(M.SyntaxErrors, 1);
+  EXPECT_EQ(M.Completed, 2);
+  EXPECT_NE(M.json().find("\"recovered\":1"), std::string::npos);
+}
+
+TEST(ParseServiceTest, RepairCountersMergeAcrossWorkers) {
+  GrammarBundleCache Cache;
+  auto Bundle = bundleOrFail(Cache, ExprGrammar);
+
+  // Ground truth: one single-threaded recovering parse per input, merged
+  // by hand with ParserStats::merge.
+  const char *Inputs[] = {"1 + + 2", "1 2",     "( 1",  "1 + 2 +",
+                          "* 3",     "1 + 2",   ") ) )", "( ( 1",
+                          "2 * * 2", "1 1 1 1", "(",     "3 - - 3"};
+  auto AG = analyzeOrFail(ExprGrammar);
+  ASSERT_TRUE(AG);
+  ParserStats Expected;
+  for (const char *Input : Inputs) {
+    TokenStream Stream = lexOrFail(*AG, Input);
+    DiagnosticEngine Diags;
+    ParserOptions Opts;
+    Opts.Memoize = AG->grammar().Options.Memoize;
+    Opts.Recover = true;
+    LLStarParser P(*AG, Stream, nullptr, Diags, Opts);
+    P.parse();
+    Expected.merge(P.stats());
+  }
+
+  // 8 workers chew the same inputs; merged repair counters must match the
+  // single-threaded totals exactly, whatever the scheduling.
+  ServiceConfig Config;
+  Config.Threads = 8;
+  ParseService Service(Config);
+  std::vector<std::future<ParseResult>> Futures;
+  for (const char *Input : Inputs) {
+    ParseRequest Req = makeReq(Bundle, Input, Input, /*WantTree=*/false);
+    Req.Recover = true;
+    Futures.push_back(Service.submit(std::move(Req)));
+  }
+  for (auto &F : Futures)
+    F.get();
+  Service.shutdown();
+
+  ServiceMetrics M = Service.metrics();
+  EXPECT_EQ(M.Parser.TokensDeleted, Expected.TokensDeleted);
+  EXPECT_EQ(M.Parser.TokensInserted, Expected.TokensInserted);
+  EXPECT_EQ(M.Parser.PanicSyncs, Expected.PanicSyncs);
+  EXPECT_EQ(M.Parser.SyntaxErrors, Expected.SyntaxErrors);
+  EXPECT_GT(Expected.TokensDeleted + Expected.TokensInserted +
+                Expected.PanicSyncs,
+            0);
+}
+
 TEST(ParseServiceTest, MetricsJsonIsWellFormed) {
   GrammarBundleCache Cache;
   auto Bundle = bundleOrFail(Cache, ExprGrammar);

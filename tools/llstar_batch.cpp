@@ -48,6 +48,9 @@ int usage() {
       "  --queue N         request-queue capacity (default 1024)\n"
       "  --start RULE      start rule (default: the grammar's first rule)\n"
       "  --trees           request parse trees (printed unless --quiet)\n"
+      "  --recover         parse with error recovery: syntax errors come\n"
+      "                    back as partial trees (status `recovered`, not\n"
+      "                    failures)\n"
       "  --json-metrics F  write merged service metrics JSON to F (- = stdout)\n"
       "  --quiet           per-input lines off; summary only\n");
   return 2;
@@ -103,6 +106,7 @@ struct Options {
   size_t Queue = 1024;
   std::string StartRule;
   bool Trees = false;
+  bool Recover = false;
   std::string JsonMetrics;
   bool Quiet = false;
 };
@@ -138,6 +142,8 @@ int main(int Argc, char **Argv) {
       O.StartRule = Args[++I];
     else if (A == "--trees")
       O.Trees = true;
+    else if (A == "--recover")
+      O.Recover = true;
     else if (A == "--json-metrics" && I + 1 < Args.size())
       O.JsonMetrics = Args[++I];
     else if (A == "--quiet")
@@ -258,6 +264,7 @@ int main(int Argc, char **Argv) {
     Req.Input = std::move(W.Input);
     Req.StartRule = O.StartRule;
     Req.WantTree = O.Trees;
+    Req.Recover = O.Recover;
     Inflight.push_back(Service.submit(std::move(Req)));
     if (Inflight.size() >= O.Queue)
       Drain(O.Queue / 2);
@@ -267,11 +274,16 @@ int main(int Argc, char **Argv) {
                        std::chrono::steady_clock::now() - Start)
                        .count();
 
-  int64_t CountOk = 0, Failed = 0, Rejected = 0, TotalTokens = 0;
+  int64_t CountOk = 0, CountRecovered = 0, Failed = 0, Rejected = 0,
+          TotalTokens = 0;
   for (const ParseResult &R : Results) {
     switch (R.Status) {
     case ParseStatus::Ok:
       ++CountOk;
+      break;
+    case ParseStatus::Recovered:
+      // Tolerated by --recover: a partial tree came back, not a failure.
+      ++CountRecovered;
       break;
     case ParseStatus::SyntaxError:
     case ParseStatus::LexError:
@@ -293,11 +305,12 @@ int main(int Argc, char **Argv) {
   }
 
   ServiceMetrics Metrics = Service.metrics();
-  std::printf("batch: %zu inputs, %lld ok, %lld failed, %lld rejected; "
-              "%lld tokens in %.3fs (%.0f tokens/s, %d threads)\n",
-              Results.size(), (long long)CountOk, (long long)Failed,
-              (long long)Rejected, (long long)TotalTokens, Seconds,
-              Seconds > 0 ? double(TotalTokens) / Seconds : 0,
+  std::printf("batch: %zu inputs, %lld ok, %lld recovered, %lld failed, "
+              "%lld rejected; %lld tokens in %.3fs (%.0f tokens/s, "
+              "%d threads)\n",
+              Results.size(), (long long)CountOk, (long long)CountRecovered,
+              (long long)Failed, (long long)Rejected, (long long)TotalTokens,
+              Seconds, Seconds > 0 ? double(TotalTokens) / Seconds : 0,
               Service.threads());
 
   if (!O.JsonMetrics.empty()) {

@@ -11,7 +11,7 @@
 //               [--max-rules R] [--no-minimize] [--no-grammar-checks]
 //               [--no-leftrec] [--no-preds] [--no-blocks]
 //               [--dump-dir DIR] [--emit-corpus DIR COUNT]
-//               [--lint-smoke] [--quiet]
+//               [--lint-smoke] [--recover-smoke] [--quiet]
 //
 // Exit status: 0 when every check passed, 1 on any oracle failure, 2 on
 // usage errors. Runs are deterministic: the same flags and seed replay
@@ -20,9 +20,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Fuzzer.h"
+#include "fuzz/SentenceGen.h"
+#include "fuzz/SentenceSampler.h"
+#include "lexer/Lexer.h"
+#include "lexer/TokenStream.h"
 #include "lint/Lint.h"
 #include "lint/SarifWriter.h"
+#include "peg/PackratParser.h"
+#include "runtime/LLStarParser.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -56,6 +63,11 @@ int usage() {
       "  --lint-smoke        lint each generated grammar instead of the\n"
       "                      differential checks: asserts the lint engine\n"
       "                      never crashes and is run-to-run deterministic\n"
+      "  --recover-smoke     mutate valid sentences and parse the mutants\n"
+      "                      with error recovery on: asserts recovery\n"
+      "                      terminates, reports >=1 error per rejected\n"
+      "                      mutant, keeps error spans sorted, and renders\n"
+      "                      heap and arena trees identically\n"
       "  --quiet             suppress progress output\n");
   return 2;
 }
@@ -148,12 +160,165 @@ int lintSmoke(const FuzzConfig &Config, bool Quiet) {
   return Failures ? 1 : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// --recover-smoke
+//===----------------------------------------------------------------------===//
+
+/// One mutant pushed through the error-recovering parser. Returns a
+/// non-empty failure detail when any recovery invariant breaks.
+std::string checkRecoverOnce(const AnalyzedGrammar &AG,
+                             const std::string &Input) {
+  // Lex once up front; a mutation cannot produce unlexable text (token
+  // texts are drawn from the grammar), but stay defensive.
+  DiagnosticEngine LexDiags;
+  Lexer L(AG.grammar().lexerSpec(), LexDiags);
+  std::vector<Token> Tokens = L.tokenize(Input, LexDiags);
+  if (LexDiags.hasErrors())
+    return "";
+
+  // Label the mutant with the packrat baseline: mutations may stay inside
+  // the language, in which case recovery must report nothing.
+  bool InLanguage;
+  {
+    TokenStream Stream{std::vector<Token>(Tokens)};
+    DiagnosticEngine Diags;
+    PackratParser::Options Opts;
+    PackratParser P(AG.grammar(), Stream, nullptr, Diags, Opts);
+    P.parse();
+    InLanguage = P.ok();
+  }
+
+  // Heap-tree recovering parse.
+  std::string HeapTree;
+  size_t HeapErrorNodes = 0;
+  size_t NumErrors = 0;
+  {
+    TokenStream Stream{std::vector<Token>(Tokens)};
+    DiagnosticEngine Diags;
+    ParserOptions Opts;
+    Opts.BuildTree = true;
+    Opts.Recover = true;
+    LLStarParser P(AG, Stream, nullptr, Diags, Opts);
+    auto Tree = P.parse();
+    NumErrors = Diags.errorCount();
+    if (!InLanguage && NumErrors == 0)
+      return "packrat rejects the mutant but the recovering parse "
+             "reported no syntax error";
+    if (InLanguage && NumErrors > 0)
+      return "packrat accepts the mutant but the recovering parse "
+             "reported " +
+             std::to_string(NumErrors) + " error(s)";
+    if (!Tree)
+      return "recovering parse returned no tree";
+    if (NumErrors > 0 && Tree->numErrorNodes() == 0)
+      return "syntax errors were reported but the partial tree has no "
+             "error nodes";
+    HeapTree = Tree->str(AG.grammar());
+    HeapErrorNodes = Tree->numErrorNodes();
+
+    // Error spans must come back sorted by source position.
+    SourceLocation Prev;
+    bool HavePrev = false;
+    for (const Diagnostic &D : Diags.sorted()) {
+      if (D.Severity != DiagSeverity::Error)
+        continue;
+      if (HavePrev && (D.Loc.Line < Prev.Line ||
+                       (D.Loc.Line == Prev.Line &&
+                        D.Loc.Column < Prev.Column)))
+        return "sorted error list is out of source order";
+      Prev = D.Loc;
+      HavePrev = true;
+    }
+  }
+
+  // Arena-tree recovering parse: byte-identical rendering, same repairs.
+  {
+    TokenStream Stream{std::vector<Token>(Tokens)};
+    DiagnosticEngine Diags;
+    Arena TreeArena;
+    ParserOptions Opts;
+    Opts.BuildTree = true;
+    Opts.Recover = true;
+    Opts.TreeArena = &TreeArena;
+    LLStarParser P(AG, Stream, nullptr, Diags, Opts);
+    P.parse();
+    if (!P.arenaTree())
+      return "arena recovering parse returned no tree";
+    if (Diags.errorCount() != NumErrors)
+      return "heap and arena parses disagree on the error count";
+    if (P.arenaTree()->numErrorNodes() != HeapErrorNodes)
+      return "heap and arena trees disagree on error-node count";
+    std::string ArenaTree = P.arenaTree()->str(AG.grammar(), Stream);
+    if (ArenaTree != HeapTree)
+      return "heap tree <" + HeapTree + "> != arena tree <" + ArenaTree +
+             ">";
+  }
+  return "";
+}
+
+// --recover-smoke: derive minimal valid sentences per decision (SentenceGen
+// seeds, sampler fallback), mutate each 1-3 times, and parse every mutant
+// with recovery enabled in both heap and arena tree modes. Crashes and
+// hangs surface through the harness; invariant breaks fail here.
+int recoverSmoke(const FuzzConfig &Config, bool Quiet) {
+  int Failures = 0;
+  int Tested = 0;
+  long long Mutants = 0;
+  for (int I = 0; I < Config.Iterations; ++I) {
+    uint64_t SubSeed = FuzzRng::mix(Config.Seed, uint64_t(I));
+    GrammarGenerator Gen(Config.Envelope, SubSeed);
+    GeneratedGrammar G = Gen.generate();
+    std::string Text = G.text();
+    DiagnosticEngine Diags;
+    auto AG = analyzeGrammarText(Text, Diags);
+    if (!AG || Diags.hasErrors())
+      continue; // generator emitted an invalid grammar; other modes report it
+    ++Tested;
+
+    SentenceGen SeedGen(*AG);
+    std::vector<std::vector<std::string>> Seeds =
+        SeedGen.seeds(size_t(std::max(Config.SentencesPerGrammar, 1)));
+    SentenceSampler Sampler(AG->grammar(), SubSeed);
+    while (Seeds.size() < size_t(std::max(Config.SentencesPerGrammar, 1)))
+      Seeds.push_back(Sampler.sample());
+
+    FuzzRng Rng(FuzzRng::mix(SubSeed, 0x5eed));
+    for (const std::vector<std::string> &Seed : Seeds) {
+      for (int M = 0; M < std::max(Config.MutationsPerSentence, 1); ++M) {
+        std::vector<std::string> Mutant = Seed;
+        int Edits = 1 + int(Rng.below(3));
+        for (int E = 0; E < Edits; ++E)
+          Mutant = Sampler.mutate(Mutant);
+        ++Mutants;
+        std::string Input = SentenceSampler::render(Mutant);
+        std::string Detail = checkRecoverOnce(*AG, Input);
+        if (!Detail.empty()) {
+          ++Failures;
+          std::printf("=== recover failure (seed %llu) ===\n%s\n"
+                      "--- grammar ---\n%s--- input ---\n%s\n",
+                      (unsigned long long)SubSeed, Detail.c_str(),
+                      Text.c_str(), Input.c_str());
+        }
+      }
+    }
+    if (!Quiet && Config.Iterations >= 20 &&
+        (I + 1) % (Config.Iterations / 10) == 0)
+      std::printf("[%d/%d] %d grammars, %lld mutants, %d failures\n", I + 1,
+                  Config.Iterations, Tested, Mutants, Failures);
+  }
+  std::printf("recover smoke done: seed %llu, %d/%d grammars, %lld mutants "
+              "recovered, %d failure%s\n",
+              (unsigned long long)Config.Seed, Tested, Config.Iterations,
+              Mutants, Failures, Failures == 1 ? "" : "s");
+  return Failures ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   FuzzConfig Config;
   Config.Iterations = 1000;
-  bool Quiet = false, LintSmoke = false;
+  bool Quiet = false, LintSmoke = false, RecoverSmoke = false;
   std::string DumpDir, CorpusDir;
   int CorpusCount = 0;
 
@@ -211,6 +376,8 @@ int main(int Argc, char **Argv) {
       CorpusCount = std::atoi(C);
     } else if (Args[I] == "--lint-smoke") {
       LintSmoke = true;
+    } else if (Args[I] == "--recover-smoke") {
+      RecoverSmoke = true;
     } else if (Args[I] == "--quiet") {
       Quiet = true;
     } else {
@@ -222,6 +389,8 @@ int main(int Argc, char **Argv) {
     return emitCorpus(Config, CorpusDir, CorpusCount);
   if (LintSmoke)
     return lintSmoke(Config, Quiet);
+  if (RecoverSmoke)
+    return recoverSmoke(Config, Quiet);
 
   Fuzzer F(Config);
   if (!Quiet) {

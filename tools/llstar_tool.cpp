@@ -8,6 +8,7 @@
 //   llstar tokens  <grammar.g> <input>
 //   llstar parse   <grammar.g> <input> [--start <rule>] [--tree]
 //                  [--stats] [--stats-json] [--peg] [--no-memoize]
+//                  [--recover]
 //   llstar compile <grammar.g> -o <out.llb>
 //   llstar lint    <grammar.g> [--format=text|json|sarif] [--werror]
 //                  [--budget <k>] [--dfa-budget <n>] [--profile]
@@ -15,6 +16,10 @@
 //
 // Exit codes (all commands): 0 clean, 1 warnings under --werror, 2 errors
 // (unreadable files, grammar errors, failed parses), 3 usage errors.
+// `parse --recover` tolerates syntax errors: the recovered parse lists its
+// diagnostics and exits 0 (1 under --werror, which treats a recovered
+// parse as strictly as a warning); without --recover a failed parse stays
+// exit 2.
 //
 // Semantic predicates evaluate as `true` with a warning (bind real
 // callbacks through the C++ API when your grammar needs them).
@@ -63,9 +68,11 @@ int usage() {
       "  tokens <grammar.g> <input>\n"
       "      tokenize an input file with the grammar's lexer rules\n"
       "  parse <grammar.g> <input> [--start <rule>] [--tree] [--stats]\n"
-      "        [--stats-json] [--peg] [--no-memoize]\n"
+      "        [--stats-json] [--peg] [--no-memoize] [--recover]\n"
       "      parse an input file; --peg uses the packrat baseline;\n"
-      "      --stats-json prints the full ParserStats as JSON\n"
+      "      --stats-json prints the full ParserStats as JSON;\n"
+      "      --recover repairs syntax errors (error leaves in the tree,\n"
+      "      sorted diagnostics) and exits 0 instead of 2 (1 with --werror)\n"
       "  compile <grammar.g> -o <out.llb>\n"
       "      analyze once and write a versioned grammar bundle that\n"
       "      llstar-batch and the ParseService load without re-analysis\n"
@@ -210,7 +217,7 @@ int cmdParse(const std::vector<std::string> &Args) {
 
   std::string Start;
   bool ShowTree = false, ShowStats = false, StatsJson = false,
-       UsePeg = false, Memoize = true, WError = false;
+       UsePeg = false, Memoize = true, WError = false, Recover = false;
   for (size_t I = 2; I < Args.size(); ++I) {
     if (Args[I] == "--start" && I + 1 < Args.size())
       Start = Args[++I];
@@ -226,9 +233,13 @@ int cmdParse(const std::vector<std::string> &Args) {
       Memoize = false;
     else if (Args[I] == "--werror")
       WError = true;
+    else if (Args[I] == "--recover")
+      Recover = true;
     else
       return usage();
   }
+  if (Recover && UsePeg)
+    return usage(); // the packrat baseline has no error recovery
 
   DiagnosticEngine LexDiags;
   Lexer L(AG->grammar().lexerSpec(), LexDiags);
@@ -252,6 +263,7 @@ int cmdParse(const std::vector<std::string> &Args) {
   } else {
     ParserOptions Opts;
     Opts.Memoize = Memoize;
+    Opts.Recover = Recover;
     LLStarParser P(*AG, Stream, nullptr, Diags, Opts);
     Tree = P.parse(Start);
     Ok = P.ok();
@@ -260,10 +272,15 @@ int cmdParse(const std::vector<std::string> &Args) {
   double Seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - Start0)
                        .count();
+  // printDiags renders DiagnosticEngine::str(): diagnostics sorted by
+  // (line, column), so a recovered parse lists its errors in source order.
   printDiags(Diags);
-  std::printf("%s in %.3f ms (%lld tokens)\n",
-              Ok ? "parse succeeded" : "parse FAILED", Seconds * 1000,
-              (long long)(Stream.size() - 1));
+  std::string Verdict = Ok ? "parse succeeded" : "parse FAILED";
+  if (!Ok && Recover)
+    Verdict = "parse recovered (" + std::to_string(Diags.errorCount()) +
+              (Diags.errorCount() == 1 ? " error)" : " errors)");
+  std::printf("%s in %.3f ms (%lld tokens)\n", Verdict.c_str(),
+              Seconds * 1000, (long long)(Stream.size() - 1));
   if (ShowTree && Tree)
     std::printf("%s\n", Tree->str(AG->grammar()).c_str());
   if (ShowStats && !UsePeg) {
@@ -276,11 +293,12 @@ int cmdParse(const std::vector<std::string> &Args) {
   }
   if (StatsJson && !UsePeg)
     std::printf("%s\n", Stats.json(/*IncludeDecisions=*/true).c_str());
-  if (!Ok)
+  if (!Ok && !Recover)
     return ExitErrors;
   unsigned Warnings =
       GrammarWarnings + LexDiags.warningCount() + Diags.warningCount();
-  return WError && Warnings ? ExitWarnings : ExitClean;
+  // --werror strictness treats a recovered parse like a warning: exit 1.
+  return WError && (Warnings || !Ok) ? ExitWarnings : ExitClean;
 }
 
 int cmdCompile(const std::vector<std::string> &Args) {
