@@ -222,11 +222,17 @@ int main(int Argc, char **Argv) {
              ",\n     \"scaling\": [";
       for (size_t I = 0; I < R.Scaling.size(); ++I) {
         const ScalingRow &Row = R.Scaling[I];
+        // Rows running more workers than the machine has hardware threads
+        // measure scheduler contention, not scaling; flag them so baseline
+        // comparisons can discount those points.
+        bool Oversubscribed =
+            unsigned(Row.Threads) > std::thread::hardware_concurrency();
         std::snprintf(Buf, sizeof(Buf),
                       "%s{\"threads\": %d, \"seconds\": %.4f, "
-                      "\"tokensPerSec\": %.0f, \"speedup\": %.2f}",
+                      "\"tokensPerSec\": %.0f, \"speedup\": %.2f%s}",
                       I ? ", " : "", Row.Threads, Row.Seconds,
-                      Row.TokensPerSec, Row.Speedup);
+                      Row.TokensPerSec, Row.Speedup,
+                      Oversubscribed ? ", \"oversubscribed\": true" : "");
         Out += Buf;
       }
       std::snprintf(Buf, sizeof(Buf),

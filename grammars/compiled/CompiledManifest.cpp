@@ -1,0 +1,25 @@
+#include "CompiledManifest.h"
+
+#include "compiled/CompiledRegistry.h"
+
+namespace llstar {
+namespace compiled {
+
+// Defined in the generated <grammar>_compiled.cpp modules alongside.
+extern const CompiledGrammarModule kModule_Csv;
+extern const CompiledGrammarModule kModule_Dot;
+extern const CompiledGrammarModule kModule_Ini;
+extern const CompiledGrammarModule kModule_Json;
+extern const CompiledGrammarModule kModule_Lambda;
+extern const CompiledGrammarModule kModule_Lua;
+extern const CompiledGrammarModule kModule_Sexpr;
+
+void registerShippedGrammars() {
+  for (const CompiledGrammarModule *M :
+       {&kModule_Csv, &kModule_Dot, &kModule_Ini, &kModule_Json,
+        &kModule_Lambda, &kModule_Lua, &kModule_Sexpr})
+    registerCompiledModule(*M);
+}
+
+} // namespace compiled
+} // namespace llstar

@@ -1,0 +1,35 @@
+//===- CompiledManifest.h - Shipped compiled-grammar registry ---*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registers the checked-in compiled modules (one per shipped grammar in
+/// grammars/) with the compiled-grammar registry. Hand-written on purpose:
+/// static self-registration inside an archive member gets dropped by the
+/// linker when nothing references the member, so tools opt in explicitly.
+///
+/// Regenerating a module:
+///   build/tools/llstar compile grammars/<g>.g --emit-cpp
+///       -o grammars/compiled/<g>_compiled.cpp
+/// (one command line), then add its kModule_<Name> symbol here if the
+/// grammar is new. CI
+/// regenerates every module and fails on any diff, so the checked-in
+/// tables can never silently drift from the grammar sources.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_GRAMMARS_COMPILED_COMPILEDMANIFEST_H
+#define LLSTAR_GRAMMARS_COMPILED_COMPILEDMANIFEST_H
+
+namespace llstar {
+namespace compiled {
+
+/// Registers every shipped compiled-grammar module (idempotent).
+void registerShippedGrammars();
+
+} // namespace compiled
+} // namespace llstar
+
+#endif // LLSTAR_GRAMMARS_COMPILED_COMPILEDMANIFEST_H

@@ -27,44 +27,69 @@ std::vector<Token> Lexer::tokenize(std::string_view Input,
                                    DiagnosticEngine &Diags,
                                    std::vector<Token> *HiddenOut) const {
   std::vector<Token> Result;
+  const std::vector<regex::CharDfaState> &States = Dfa.states();
   size_t Pos = 0;
   uint32_t Line = 1, Column = 0;
 
-  auto Advance = [&](size_t Len) {
-    for (size_t I = 0; I < Len; ++I) {
-      if (Input[Pos + I] == '\n') {
+  while (Pos < Input.size()) {
+    // One fused pass per token: the maximal-munch DFA walk (see
+    // CharDfa::matchLongestPrefix) with line/column tracking folded in.
+    // The walk may overshoot the last accept before dying, so the
+    // position is snapshotted at every accept and restored from the
+    // snapshot instead of re-walking the matched bytes.
+    int32_t State = 0;
+    int32_t Tag = States[0].AcceptTag;
+    int64_t BestLen = Tag >= 0 ? 0 : -1;
+    uint32_t BestLine = Line, BestCol = Column;
+    uint32_t CurLine = Line, CurCol = Column;
+    for (size_t I = Pos; I < Input.size(); ++I) {
+      State = States[size_t(State)].Next[static_cast<unsigned char>(Input[I])];
+      if (State < 0)
+        break;
+      if (Input[I] == '\n') {
+        ++CurLine;
+        CurCol = 0;
+      } else {
+        ++CurCol;
+      }
+      int32_t Accept = States[size_t(State)].AcceptTag;
+      if (Accept >= 0) {
+        BestLen = int64_t(I - Pos) + 1;
+        Tag = Accept;
+        BestLine = CurLine;
+        BestCol = CurCol;
+      }
+    }
+    if (BestLen <= 0) {
+      Diags.error(SourceLocation(Line, Column),
+                  "unrecognized character '" + escapeChar(Input[Pos]) + "'");
+      if (Input[Pos] == '\n') {
         ++Line;
         Column = 0;
       } else {
         ++Column;
       }
-    }
-    Pos += Len;
-  };
-
-  while (Pos < Input.size()) {
-    int32_t Tag = -1;
-    int64_t Len = Dfa.matchLongestPrefix(Input.substr(Pos), Tag);
-    if (Len <= 0) {
-      Diags.error(SourceLocation(Line, Column),
-                  "unrecognized character '" + escapeChar(Input[Pos]) + "'");
-      Advance(1);
+      ++Pos;
       continue;
     }
     LexerAction Action = Actions[size_t(Tag)];
     if (Action == LexerAction::Emit) {
-      Token T(Types[size_t(Tag)], std::string(Input.substr(Pos, size_t(Len))),
+      Token T(Types[size_t(Tag)],
+              std::string(Input.substr(Pos, size_t(BestLen))),
               SourceLocation(Line, Column));
       Result.push_back(std::move(T));
     } else if (Action == LexerAction::Hidden && HiddenOut) {
-      Token T(Types[size_t(Tag)], std::string(Input.substr(Pos, size_t(Len))),
+      Token T(Types[size_t(Tag)],
+              std::string(Input.substr(Pos, size_t(BestLen))),
               SourceLocation(Line, Column));
       T.Channel = TokenChannel::Hidden;
       HiddenOut->push_back(std::move(T));
     }
     // Hidden and Skip tokens are both invisible to the parsers; hidden
     // ones are preserved in HiddenOut for trivia-aware tooling.
-    Advance(size_t(Len));
+    Pos += size_t(BestLen);
+    Line = BestLine;
+    Column = BestCol;
   }
 
   Token Eof(TokenEof, "<EOF>", SourceLocation(Line, Column));

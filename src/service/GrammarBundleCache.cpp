@@ -39,6 +39,15 @@ llstar::makeGrammarBundle(std::string_view Bytes, DiagnosticEngine &Diags) {
   return Bundle;
 }
 
+const compiled::CompiledResolution &GrammarBundle::compiledTables() const {
+  std::call_once(CompiledOnce, [this] {
+    // The serialized payload keys the module-registry hash gate; one
+    // serialization per bundle, amortized over every request.
+    Compiled = compiled::resolveCompiledTables(*AG, serializeGrammar(*AG));
+  });
+  return Compiled;
+}
+
 std::shared_ptr<const GrammarBundle>
 GrammarBundleCache::get(std::string_view Bytes, DiagnosticEngine &Diags) {
   uint64_t Key = hashBytes(Bytes);

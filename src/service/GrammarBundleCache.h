@@ -30,6 +30,7 @@
 #define LLSTAR_SERVICE_GRAMMARBUNDLECACHE_H
 
 #include "analysis/AnalyzedGrammar.h"
+#include "compiled/CompiledRegistry.h"
 #include "lexer/Lexer.h"
 #include "support/Diagnostics.h"
 
@@ -62,6 +63,11 @@ public:
   uint64_t contentHash() const { return Hash; }
   const std::string &name() const { return AG->grammar().Name; }
 
+  /// Dense-table fast path for this grammar: a hash-matched registered
+  /// module, or tables flattened from the analysis on first request.
+  /// Thread-safe; every later call returns the same resolution.
+  const compiled::CompiledResolution &compiledTables() const;
+
 private:
   friend class GrammarBundleCache;
   friend std::shared_ptr<const GrammarBundle>
@@ -72,6 +78,8 @@ private:
   std::unique_ptr<AnalyzedGrammar> AG;
   std::unique_ptr<Lexer> Lex;
   uint64_t Hash = 0;
+  mutable std::once_flag CompiledOnce;
+  mutable compiled::CompiledResolution Compiled;
 };
 
 /// Builds a bundle from grammar source text or `llstarbundle` bytes

@@ -77,6 +77,10 @@ struct ServiceConfig {
   /// Start workers in the constructor. Tests set this false to fill the
   /// queue deterministically, then call start().
   bool AutoStart = true;
+  /// Parse with the compiled fast path (dense tables / generated
+  /// predictors; see compiled/CompiledParser.h). Results are contractually
+  /// identical to the interpreter; only throughput changes.
+  bool UseCompiled = false;
 };
 
 /// One unit of work: parse Input against Bundle.

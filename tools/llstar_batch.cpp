@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "CompiledManifest.h"
 #include "fuzz/SentenceSampler.h"
 #include "service/ParseService.h"
 #include "support/StringUtils.h"
@@ -51,6 +52,9 @@ int usage() {
       "  --recover         parse with error recovery: syntax errors come\n"
       "                    back as partial trees (status `recovered`, not\n"
       "                    failures)\n"
+      "  --compiled        parse with the compiled fast path (checked-in\n"
+      "                    dense-table modules when available; identical\n"
+      "                    results, higher throughput)\n"
       "  --json-metrics F  write merged service metrics JSON to F (- = stdout)\n"
       "  --quiet           per-input lines off; summary only\n");
   return 2;
@@ -107,6 +111,7 @@ struct Options {
   std::string StartRule;
   bool Trees = false;
   bool Recover = false;
+  bool UseCompiled = false;
   std::string JsonMetrics;
   bool Quiet = false;
 };
@@ -144,6 +149,8 @@ int main(int Argc, char **Argv) {
       O.Trees = true;
     else if (A == "--recover")
       O.Recover = true;
+    else if (A == "--compiled")
+      O.UseCompiled = true;
     else if (A == "--json-metrics" && I + 1 < Args.size())
       O.JsonMetrics = Args[++I];
     else if (A == "--quiet")
@@ -243,6 +250,9 @@ int main(int Argc, char **Argv) {
   Config.QueueCapacity = O.Queue;
   Config.MaxTokens = O.MaxTokens;
   Config.DefaultDeadline = std::chrono::milliseconds(O.DeadlineMs);
+  Config.UseCompiled = O.UseCompiled;
+  if (O.UseCompiled)
+    compiled::registerShippedGrammars();
   ParseService Service(Config);
 
   auto Start = std::chrono::steady_clock::now();

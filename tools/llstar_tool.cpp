@@ -27,8 +27,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AnalyzedGrammar.h"
+#include "codegen/CompiledModuleEmitter.h"
 #include "codegen/CppGenerator.h"
 #include "codegen/Serializer.h"
+#include "compiled/CompiledParser.h"
+#include "compiled/CompiledRegistry.h"
+#include "CompiledManifest.h"
 #include "lexer/Lexer.h"
 #include "lexer/TokenStream.h"
 #include "lint/Lint.h"
@@ -69,13 +73,21 @@ int usage() {
       "      tokenize an input file with the grammar's lexer rules\n"
       "  parse <grammar.g> <input> [--start <rule>] [--tree] [--stats]\n"
       "        [--stats-json] [--peg] [--no-memoize] [--recover]\n"
+      "        [--compiled]\n"
       "      parse an input file; --peg uses the packrat baseline;\n"
+      "      --compiled runs the dense-table fast path (a checked-in\n"
+      "      compiled module when its payload hash matches, else tables\n"
+      "      flattened at load time) with identical output and exit codes;\n"
       "      --stats-json prints the full ParserStats as JSON;\n"
       "      --recover repairs syntax errors (error leaves in the tree,\n"
       "      sorted diagnostics) and exits 0 instead of 2 (1 with --werror)\n"
       "  compile <grammar.g> -o <out.llb>\n"
       "      analyze once and write a versioned grammar bundle that\n"
       "      llstar-batch and the ParseService load without re-analysis\n"
+      "  compile <grammar.g> --emit-cpp -o <out.cpp>\n"
+      "      emit a self-contained C++ module: dense dispatch tables and\n"
+      "      switch predictors feeding the compiled parser fast path\n"
+      "      (see grammars/compiled/ for the checked-in registry)\n"
       "  generate <grammar.g> <ClassName> [-o <dir>]\n"
       "      emit <dir>/<ClassName>.h/.cpp embedding the precompiled\n"
       "      grammar tables (link against the llstar runtime)\n"
@@ -217,7 +229,8 @@ int cmdParse(const std::vector<std::string> &Args) {
 
   std::string Start;
   bool ShowTree = false, ShowStats = false, StatsJson = false,
-       UsePeg = false, Memoize = true, WError = false, Recover = false;
+       UsePeg = false, Memoize = true, WError = false, Recover = false,
+       UseCompiled = false;
   for (size_t I = 2; I < Args.size(); ++I) {
     if (Args[I] == "--start" && I + 1 < Args.size())
       Start = Args[++I];
@@ -235,15 +248,34 @@ int cmdParse(const std::vector<std::string> &Args) {
       WError = true;
     else if (Args[I] == "--recover")
       Recover = true;
+    else if (Args[I] == "--compiled")
+      UseCompiled = true;
     else
       return usage();
   }
   if (Recover && UsePeg)
     return usage(); // the packrat baseline has no error recovery
+  if (UseCompiled && UsePeg)
+    return usage(); // the fast path accelerates the LL(*) engine only
+
+  compiled::CompiledResolution Compiled;
+  if (UseCompiled) {
+    compiled::registerShippedGrammars();
+    Compiled = compiled::resolveCompiledTables(*AG, serializeGrammar(*AG));
+  }
 
   DiagnosticEngine LexDiags;
-  Lexer L(AG->grammar().lexerSpec(), LexDiags);
-  TokenStream Stream(L.tokenize(Input, LexDiags));
+  std::vector<Token> Toks;
+  if (Compiled.fromModule()) {
+    // Hash-matched module: tokenize with its embedded lexer tables (same
+    // DFA the spec compiles to; exercises the generated data end to end).
+    Toks = compiled::makeModuleLexer(*Compiled.Module)
+               ->tokenize(Input, LexDiags);
+  } else {
+    Lexer L(AG->grammar().lexerSpec(), LexDiags);
+    Toks = L.tokenize(Input, LexDiags);
+  }
+  TokenStream Stream(std::move(Toks));
   printDiags(LexDiags);
   if (LexDiags.hasErrors())
     return ExitErrors;
@@ -260,6 +292,15 @@ int cmdParse(const std::vector<std::string> &Args) {
     PackratParser P(AG->grammar(), Stream, nullptr, Diags, Opts);
     Tree = P.parse(Start);
     Ok = P.ok();
+  } else if (UseCompiled) {
+    ParserOptions Opts;
+    Opts.Memoize = Memoize;
+    Opts.Recover = Recover;
+    compiled::CompiledParser P(*AG, Compiled.View, Stream, nullptr, Diags,
+                               Opts, Compiled.Native, Compiled.Rules);
+    Tree = P.parse(Start);
+    Ok = P.ok();
+    Stats = P.stats();
   } else {
     ParserOptions Opts;
     Opts.Memoize = Memoize;
@@ -305,12 +346,14 @@ int cmdCompile(const std::vector<std::string> &Args) {
   if (Args.empty())
     return usage();
   std::string OutPath;
-  bool WError = false;
+  bool WError = false, EmitCpp = false;
   for (size_t I = 1; I < Args.size(); ++I) {
     if (Args[I] == "-o" && I + 1 < Args.size())
       OutPath = Args[++I];
     else if (Args[I] == "--werror")
       WError = true;
+    else if (Args[I] == "--emit-cpp")
+      EmitCpp = true;
     else
       return usage();
   }
@@ -320,6 +363,22 @@ int cmdCompile(const std::vector<std::string> &Args) {
   auto AG = loadGrammar(Args[0], &Warnings);
   if (!AG)
     return ExitErrors;
+  if (EmitCpp) {
+    EmittedCompiledModule Module = emitCompiledModule(*AG);
+    std::ofstream Out(OutPath, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+      return ExitErrors;
+    }
+    Out << Module.Source;
+    std::printf("wrote %s (%zu bytes, %s, %d/%d decisions native, "
+                "%d/%d rules native, %zu table bytes)\n",
+                OutPath.c_str(), Module.Source.size(),
+                Module.SymbolName.c_str(), Module.NumNativePredictors,
+                Module.NumDecisions, Module.NumNativeRules, Module.NumRules,
+                Module.TableBytes);
+    return WError && Warnings ? ExitWarnings : ExitClean;
+  }
   std::string Bundle = writeBundle(*AG);
   std::ofstream Out(OutPath, std::ios::binary);
   if (!Out) {
