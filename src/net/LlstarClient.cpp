@@ -1,0 +1,215 @@
+#include "net/LlstarClient.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+using namespace llstar;
+using namespace llstar::net;
+using namespace llstar::wire;
+
+LlstarClient::LlstarClient() = default;
+
+LlstarClient::~LlstarClient() { close(); }
+
+bool LlstarClient::fillError(std::string *Err, const std::string &What) {
+  if (Err)
+    *Err = What;
+  return false;
+}
+
+bool LlstarClient::connect(const std::string &Host, uint16_t Port,
+                           std::string *Err) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return fillError(Err, std::string("socket: ") + std::strerror(errno));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    close();
+    return fillError(Err, "bad address '" + Host + "'");
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::string What = std::string("connect: ") + std::strerror(errno);
+    close();
+    return fillError(Err, What);
+  }
+  // Small request/reply exchanges benefit from immediate sends.
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  setRecvTimeout(std::chrono::minutes(2));
+  Ra = RecordReassembler();
+  Arrived.clear();
+  return true;
+}
+
+void LlstarClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void LlstarClient::setRecvTimeout(std::chrono::milliseconds Timeout) {
+  if (Fd < 0)
+    return;
+  timeval Tv{};
+  Tv.tv_sec = Timeout.count() / 1000;
+  Tv.tv_usec = (Timeout.count() % 1000) * 1000;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+}
+
+bool LlstarClient::sendAll(std::string_view Bytes, std::string *Err) {
+  if (Fd < 0)
+    return fillError(Err, "not connected");
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N =
+        ::send(Fd, Bytes.data() + Off, Bytes.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0)
+      return fillError(Err, std::string("send: ") + std::strerror(errno));
+    Off += size_t(N);
+  }
+  return true;
+}
+
+bool LlstarClient::sendRaw(std::string_view Bytes, std::string *Err) {
+  return sendAll(Bytes, Err);
+}
+
+bool LlstarClient::sendRecord(std::string_view Record, std::string *Err) {
+  std::string Out;
+  frameRecord(Out, Record);
+  return sendAll(Out, Err);
+}
+
+bool LlstarClient::readReply(Message &Out, std::string *Err) {
+  if (Fd < 0)
+    return fillError(Err, "not connected");
+  std::string Record;
+  char Buf[64 * 1024];
+  while (true) {
+    RecordReassembler::Status St = Ra.next(Record);
+    if (St == RecordReassembler::Status::Record) {
+      std::string DecodeErr;
+      if (!decodeReply(Record, Out, DecodeErr))
+        return fillError(Err, "bad reply: " + DecodeErr);
+      return true;
+    }
+    if (St == RecordReassembler::Status::Error)
+      return fillError(Err, "bad framing from server: " + Ra.error());
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N == 0)
+      return fillError(Err, "server closed the connection");
+    if (N < 0)
+      return fillError(Err, std::string("recv: ") + std::strerror(errno));
+    Ra.feed(std::string_view(Buf, size_t(N)));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pipelined API
+//===----------------------------------------------------------------------===//
+
+uint64_t LlstarClient::submitParse(const ParseArgs &Args, bool Recover,
+                                   std::string *Err) {
+  uint64_t Id = NextId++;
+  if (!sendRecord(encodeParseArgs(Id, Args, Recover), Err))
+    return 0;
+  return Id;
+}
+
+bool LlstarClient::wait(uint64_t RequestId, Message &Out, std::string *Err) {
+  while (true) {
+    for (size_t I = 0; I < Arrived.size(); ++I) {
+      if (Arrived[I].Hdr.RequestId == RequestId) {
+        Out = std::move(Arrived[I]);
+        Arrived.erase(Arrived.begin() + long(I));
+        return true;
+      }
+    }
+    Message Next;
+    if (!readReply(Next, Err))
+      return false;
+    Arrived.push_back(std::move(Next));
+  }
+}
+
+bool LlstarClient::waitAny(Message &Out, std::string *Err) {
+  if (!Arrived.empty()) {
+    Out = std::move(Arrived.front());
+    Arrived.pop_front();
+    return true;
+  }
+  return readReply(Out, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Synchronous RPC
+//===----------------------------------------------------------------------===//
+
+bool LlstarClient::loadBundle(std::string_view Bytes, LoadBundleReply &Out,
+                              std::string *Err) {
+  uint64_t Id = NextId++;
+  if (!sendRecord(encodeLoadBundleArgs(Id, Bytes), Err))
+    return false;
+  Message Reply;
+  if (!wait(Id, Reply, Err))
+    return false;
+  if (Reply.Hdr.Op == Opcode::ErrorReply)
+    return fillError(Err, std::string(wireErrorName(Reply.Error.Code)) + ": " +
+                              Reply.Error.Message);
+  if (Reply.Hdr.Op != Opcode::LoadBundleReply)
+    return fillError(Err, "unexpected reply opcode");
+  Out = std::move(Reply.Load);
+  return true;
+}
+
+bool LlstarClient::parse(const ParseArgs &Args, bool Recover, Message &Out,
+                         std::string *Err) {
+  uint64_t Id = submitParse(Args, Recover, Err);
+  if (Id == 0)
+    return false;
+  return wait(Id, Out, Err);
+}
+
+bool LlstarClient::stats(bool IncludeDecisions, std::string &JsonOut,
+                         std::string *Err) {
+  uint64_t Id = NextId++;
+  if (!sendRecord(encodeStatsArgs(Id, IncludeDecisions), Err))
+    return false;
+  Message Reply;
+  if (!wait(Id, Reply, Err))
+    return false;
+  if (Reply.Hdr.Op == Opcode::ErrorReply)
+    return fillError(Err, std::string(wireErrorName(Reply.Error.Code)) + ": " +
+                              Reply.Error.Message);
+  if (Reply.Hdr.Op != Opcode::StatsReply)
+    return fillError(Err, "unexpected reply opcode");
+  JsonOut = std::move(Reply.StatsJson);
+  return true;
+}
+
+bool LlstarClient::drain(std::string *Err) {
+  uint64_t Id = NextId++;
+  if (!sendRecord(encodeDrainArgs(Id), Err))
+    return false;
+  Message Reply;
+  if (!wait(Id, Reply, Err))
+    return false;
+  if (Reply.Hdr.Op == Opcode::ErrorReply)
+    return fillError(Err, std::string(wireErrorName(Reply.Error.Code)) + ": " +
+                              Reply.Error.Message);
+  if (Reply.Hdr.Op != Opcode::DrainReply)
+    return fillError(Err, "unexpected reply opcode");
+  return true;
+}

@@ -1,0 +1,128 @@
+//===- net/LlstarClient.h - llstard client library --------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin blocking client for the llstard wire protocol: one socket, the
+/// WireFormat codec on both ends, and just enough bookkeeping to expose
+/// pipelining. Two usage styles:
+///
+///   - synchronous RPC: parse()/loadBundle()/stats()/drain() send one
+///     request and block for its reply;
+///   - pipelined: submitParse() assigns a request id and returns without
+///     reading, wait(id) collects a specific reply (buffering others that
+///     arrive first — the daemon completes out of submission order).
+///
+/// The client is single-threaded by design: the load generator runs one
+/// client per connection-thread, and tests drive it deterministically.
+/// sendRaw() exists for the over-the-wire fuzz tests, which need to write
+/// bytes no well-behaved encoder would produce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_NET_LLSTARCLIENT_H
+#define LLSTAR_NET_LLSTARCLIENT_H
+
+#include "net/WireFormat.h"
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace llstar {
+namespace net {
+
+class LlstarClient {
+public:
+  LlstarClient();
+  ~LlstarClient();
+
+  LlstarClient(const LlstarClient &) = delete;
+  LlstarClient &operator=(const LlstarClient &) = delete;
+
+  /// Connects to \p Host:\p Port. Returns false with \p Err set on
+  /// failure. A receive timeout (default 2 minutes) bounds every blocking
+  /// read so a wedged server cannot hang the caller forever.
+  bool connect(const std::string &Host, uint16_t Port,
+               std::string *Err = nullptr);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  void setRecvTimeout(std::chrono::milliseconds Timeout);
+
+  //===--------------------------------------------------------------------===//
+  // Synchronous RPC
+  //===--------------------------------------------------------------------===//
+
+  /// Loads grammar text / .llb bytes on the server; fills \p Out with the
+  /// assigned content hash. Returns false (with \p Err) on transport or
+  /// protocol errors, including an ErrorReply.
+  bool loadBundle(std::string_view Bytes, wire::LoadBundleReply &Out,
+                  std::string *Err = nullptr);
+
+  /// One parse round-trip. \p Out.Hdr.Op distinguishes a ParseReply from
+  /// an ErrorReply; transport failures return false.
+  bool parse(const wire::ParseArgs &Args, bool Recover, wire::Message &Out,
+             std::string *Err = nullptr);
+
+  /// Fetches the service metrics JSON.
+  bool stats(bool IncludeDecisions, std::string &JsonOut,
+             std::string *Err = nullptr);
+
+  /// Asks the daemon to drain (finish in-flight work, refuse new work).
+  bool drain(std::string *Err = nullptr);
+
+  //===--------------------------------------------------------------------===//
+  // Pipelined API
+  //===--------------------------------------------------------------------===//
+
+  /// Sends a parse request without waiting; returns the assigned request
+  /// id (0 on send failure).
+  uint64_t submitParse(const wire::ParseArgs &Args, bool Recover,
+                       std::string *Err = nullptr);
+
+  /// Blocks until the reply for \p RequestId arrives, buffering replies
+  /// to other ids (they remain claimable by their own wait() calls).
+  bool wait(uint64_t RequestId, wire::Message &Out, std::string *Err = nullptr);
+
+  /// Blocks for the next reply in arrival order — how tests observe
+  /// out-of-order completion.
+  bool waitAny(wire::Message &Out, std::string *Err = nullptr);
+
+  /// Replies received but not yet claimed by wait()/waitAny().
+  size_t pendingReplies() const { return Arrived.size(); }
+
+  //===--------------------------------------------------------------------===//
+  // Raw access (fuzzing)
+  //===--------------------------------------------------------------------===//
+
+  /// Writes \p Bytes to the socket verbatim — no framing, no validation.
+  bool sendRaw(std::string_view Bytes, std::string *Err = nullptr);
+
+  /// Frames and sends an already-encoded record.
+  bool sendRecord(std::string_view Record, std::string *Err = nullptr);
+
+  /// Reads one reply record off the socket (or the reassembly buffer).
+  bool readReply(wire::Message &Out, std::string *Err = nullptr);
+
+  /// The id the next submitParse()/RPC call will use.
+  uint64_t nextRequestId() const { return NextId; }
+
+private:
+  bool sendAll(std::string_view Bytes, std::string *Err);
+  bool fillError(std::string *Err, const std::string &What);
+
+  int Fd = -1;
+  uint64_t NextId = 1;
+  wire::RecordReassembler Ra;
+  std::deque<wire::Message> Arrived; ///< replies not yet claimed
+};
+
+} // namespace net
+} // namespace llstar
+
+#endif // LLSTAR_NET_LLSTARCLIENT_H

@@ -1,0 +1,465 @@
+#include "net/WireFormat.h"
+
+#include <cstring>
+
+using namespace llstar;
+using namespace llstar::wire;
+
+const char *wire::wireErrorName(WireError E) {
+  switch (E) {
+  case WireError::None:
+    return "none";
+  case WireError::BadMagic:
+    return "bad-magic";
+  case WireError::BadVersion:
+    return "bad-version";
+  case WireError::BadOpcode:
+    return "bad-opcode";
+  case WireError::BadBody:
+    return "bad-body";
+  case WireError::UnknownBundle:
+    return "unknown-bundle";
+  case WireError::DuplicateRequestId:
+    return "duplicate-request-id";
+  case WireError::BadBundle:
+    return "bad-bundle";
+  case WireError::Draining:
+    return "draining";
+  case WireError::FrameTooLarge:
+    return "frame-too-large";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-level primitives
+//===----------------------------------------------------------------------===//
+
+void wire::putU8(std::string &Out, uint8_t V) { Out.push_back(char(V)); }
+
+void wire::putU16(std::string &Out, uint16_t V) {
+  Out.push_back(char(V >> 8));
+  Out.push_back(char(V));
+}
+
+void wire::putU32(std::string &Out, uint32_t V) {
+  Out.push_back(char(V >> 24));
+  Out.push_back(char(V >> 16));
+  Out.push_back(char(V >> 8));
+  Out.push_back(char(V));
+}
+
+void wire::putU64(std::string &Out, uint64_t V) {
+  putU32(Out, uint32_t(V >> 32));
+  putU32(Out, uint32_t(V));
+}
+
+void wire::putI64(std::string &Out, int64_t V) { putU64(Out, uint64_t(V)); }
+
+void wire::putF64(std::string &Out, double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V));
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  putU64(Out, Bits);
+}
+
+void wire::putStr(std::string &Out, std::string_view V) {
+  putU32(Out, uint32_t(V.size()));
+  Out.append(V);
+}
+
+bool ByteReader::take(size_t N, const char *&P) {
+  if (Failed || Bytes.size() - Pos < N) {
+    Failed = true;
+    return false;
+  }
+  P = Bytes.data() + Pos;
+  Pos += N;
+  return true;
+}
+
+bool ByteReader::u8(uint8_t &V) {
+  const char *P;
+  if (!take(1, P))
+    return false;
+  V = uint8_t(P[0]);
+  return true;
+}
+
+bool ByteReader::u16(uint16_t &V) {
+  const char *P;
+  if (!take(2, P))
+    return false;
+  V = uint16_t(uint8_t(P[0])) << 8 | uint8_t(P[1]);
+  return true;
+}
+
+bool ByteReader::u32(uint32_t &V) {
+  const char *P;
+  if (!take(4, P))
+    return false;
+  V = uint32_t(uint8_t(P[0])) << 24 | uint32_t(uint8_t(P[1])) << 16 |
+      uint32_t(uint8_t(P[2])) << 8 | uint32_t(uint8_t(P[3]));
+  return true;
+}
+
+bool ByteReader::u64(uint64_t &V) {
+  uint32_t Hi, Lo;
+  if (!u32(Hi) || !u32(Lo))
+    return false;
+  V = uint64_t(Hi) << 32 | Lo;
+  return true;
+}
+
+bool ByteReader::i64(int64_t &V) {
+  uint64_t U;
+  if (!u64(U))
+    return false;
+  V = int64_t(U);
+  return true;
+}
+
+bool ByteReader::f64(double &V) {
+  uint64_t Bits;
+  if (!u64(Bits))
+    return false;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return true;
+}
+
+bool ByteReader::str(std::string &V) {
+  uint32_t Len;
+  if (!u32(Len))
+    return false;
+  const char *P;
+  // An oversized length prefix fails here instead of allocating: take()
+  // bounds it against the bytes actually present in the record.
+  if (!take(Len, P))
+    return false;
+  V.assign(P, Len);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Record marking
+//===----------------------------------------------------------------------===//
+
+static constexpr uint32_t LastFragmentBit = 0x80000000u;
+
+void wire::frameRecord(std::string &Out, std::string_view Record,
+                       size_t MaxFragment) {
+  if (MaxFragment == 0 || MaxFragment > 0x7FFFFFFFu)
+    MaxFragment = 0x7FFFFFFFu;
+  size_t Off = 0;
+  do {
+    size_t Len = std::min(MaxFragment, Record.size() - Off);
+    bool Last = Off + Len == Record.size();
+    putU32(Out, uint32_t(Len) | (Last ? LastFragmentBit : 0));
+    Out.append(Record.substr(Off, Len));
+    Off += Len;
+  } while (Off < Record.size());
+}
+
+void RecordReassembler::feed(std::string_view Bytes) {
+  if (Failed)
+    return;
+  // Compact the consumed prefix before it dominates the buffer.
+  if (Pos > 4096 && Pos * 2 > Buffer.size()) {
+    Buffer.erase(0, Pos);
+    Pos = 0;
+  }
+  Buffer.append(Bytes);
+}
+
+RecordReassembler::Status RecordReassembler::fail(std::string Message) {
+  Failed = true;
+  Err = std::move(Message);
+  return Status::Error;
+}
+
+RecordReassembler::Status RecordReassembler::next(std::string &Record) {
+  if (Failed)
+    return Status::Error;
+  while (true) {
+    if (Buffer.size() - Pos < 4)
+      return Status::NeedMore;
+    uint32_t Word = uint32_t(uint8_t(Buffer[Pos])) << 24 |
+                    uint32_t(uint8_t(Buffer[Pos + 1])) << 16 |
+                    uint32_t(uint8_t(Buffer[Pos + 2])) << 8 |
+                    uint32_t(uint8_t(Buffer[Pos + 3]));
+    bool Last = Word & LastFragmentBit;
+    size_t Len = Word & ~LastFragmentBit;
+    if (Len > MaxFragment)
+      return fail("fragment of " + std::to_string(Len) +
+                  " bytes exceeds the " + std::to_string(MaxFragment) +
+                  "-byte limit");
+    if (Partial.size() + Len > MaxRecord)
+      return fail("record exceeds the " + std::to_string(MaxRecord) +
+                  "-byte limit");
+    if (Buffer.size() - Pos - 4 < Len)
+      return Status::NeedMore;
+    Partial.append(Buffer, Pos + 4, Len);
+    Pos += 4 + Len;
+    if (Last) {
+      Record = std::move(Partial);
+      Partial.clear();
+      return Status::Record;
+    }
+    // Non-final fragment: keep accumulating (zero-length fragments are
+    // legal and simply contribute nothing).
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Header
+//===----------------------------------------------------------------------===//
+
+static void putHeader(std::string &Out, Opcode Op, uint64_t RequestId,
+                      uint8_t Flags = 0) {
+  putU32(Out, Magic);
+  putU16(Out, ProtocolVersion);
+  putU8(Out, uint8_t(Op));
+  putU8(Out, Flags);
+  putU64(Out, RequestId);
+}
+
+static bool validOpcode(uint8_t Op) {
+  switch (Opcode(Op)) {
+  case Opcode::Parse:
+  case Opcode::ParseRecover:
+  case Opcode::LoadBundle:
+  case Opcode::Stats:
+  case Opcode::Drain:
+  case Opcode::ParseReply:
+  case Opcode::ParseRecoverReply:
+  case Opcode::LoadBundleReply:
+  case Opcode::StatsReply:
+  case Opcode::DrainReply:
+  case Opcode::ErrorReply:
+    return true;
+  }
+  return false;
+}
+
+WireError wire::decodeHeader(ByteReader &R, MessageHeader &Hdr) {
+  uint32_t Mag;
+  uint8_t Op;
+  if (!R.u32(Mag) || !R.u16(Hdr.Version) || !R.u8(Op) || !R.u8(Hdr.Flags) ||
+      !R.u64(Hdr.RequestId))
+    return WireError::BadMagic; // too short to even be a header
+  if (Mag != Magic)
+    return WireError::BadMagic;
+  if (!validOpcode(Op))
+    return WireError::BadOpcode;
+  Hdr.Op = Opcode(Op);
+  // Version is checked after the opcode so the error reply can echo the
+  // request id of a future-versioned but well-formed request.
+  if (Hdr.Version != ProtocolVersion)
+    return WireError::BadVersion;
+  return WireError::None;
+}
+
+//===----------------------------------------------------------------------===//
+// Bodies
+//===----------------------------------------------------------------------===//
+
+std::string wire::encodeParseArgs(uint64_t RequestId, const ParseArgs &Args,
+                                  bool Recover) {
+  std::string Out;
+  putHeader(Out, Recover ? Opcode::ParseRecover : Opcode::Parse, RequestId,
+            Args.WantTree ? FlagWantTree : 0);
+  putU64(Out, Args.BundleHash);
+  putU32(Out, Args.DeadlineMs);
+  putStr(Out, Args.StartRule);
+  putStr(Out, Args.Input);
+  return Out;
+}
+
+bool wire::decodeParseArgs(ByteReader &R, uint8_t Flags, ParseArgs &Args) {
+  Args.WantTree = Flags & FlagWantTree;
+  return R.u64(Args.BundleHash) && R.u32(Args.DeadlineMs) &&
+         R.str(Args.StartRule) && R.str(Args.Input) && R.done();
+}
+
+std::string wire::encodeParseReply(uint64_t RequestId, const ParseReply &Reply,
+                                   bool Recover) {
+  std::string Out;
+  putHeader(Out, Recover ? Opcode::ParseRecoverReply : Opcode::ParseReply,
+            RequestId);
+  putU8(Out, Reply.Status);
+  putI64(Out, Reply.NumTokens);
+  putI64(Out, Reply.TreeNodes);
+  putF64(Out, Reply.ParseMillis);
+  putStr(Out, Reply.TreeText);
+  putStr(Out, Reply.DiagText);
+  putU32(Out, uint32_t(Reply.Errors.size()));
+  for (const WireDiagnostic &D : Reply.Errors) {
+    putU8(Out, D.Severity);
+    putU32(Out, D.Line);
+    putU32(Out, D.Column);
+    putStr(Out, D.Message);
+  }
+  return Out;
+}
+
+bool wire::decodeParseReply(ByteReader &R, ParseReply &Reply) {
+  if (!R.u8(Reply.Status) || !R.i64(Reply.NumTokens) ||
+      !R.i64(Reply.TreeNodes) || !R.f64(Reply.ParseMillis) ||
+      !R.str(Reply.TreeText) || !R.str(Reply.DiagText))
+    return false;
+  if (Reply.Status > uint8_t(ParseStatus::BadRequest))
+    return false;
+  uint32_t N;
+  if (!R.u32(N))
+    return false;
+  // Each error is at least 13 bytes; an absurd count fails before any
+  // allocation instead of after.
+  if (N > R.remaining() / 13)
+    return false;
+  Reply.Errors.resize(N);
+  for (WireDiagnostic &D : Reply.Errors) {
+    if (!R.u8(D.Severity) || !R.u32(D.Line) || !R.u32(D.Column) ||
+        !R.str(D.Message))
+      return false;
+    if (D.Severity > 2)
+      return false;
+  }
+  return R.done();
+}
+
+std::string wire::encodeLoadBundleArgs(uint64_t RequestId,
+                                       std::string_view Bytes) {
+  std::string Out;
+  putHeader(Out, Opcode::LoadBundle, RequestId);
+  putStr(Out, Bytes);
+  return Out;
+}
+
+bool wire::decodeLoadBundleArgs(ByteReader &R, std::string &Bytes) {
+  return R.str(Bytes) && R.done();
+}
+
+std::string wire::encodeLoadBundleReply(uint64_t RequestId,
+                                        const LoadBundleReply &Reply) {
+  std::string Out;
+  putHeader(Out, Opcode::LoadBundleReply, RequestId);
+  putU64(Out, Reply.Hash);
+  putU8(Out, Reply.Cached);
+  putStr(Out, Reply.Name);
+  return Out;
+}
+
+bool wire::decodeLoadBundleReply(ByteReader &R, LoadBundleReply &Reply) {
+  return R.u64(Reply.Hash) && R.u8(Reply.Cached) && R.str(Reply.Name) &&
+         R.done() && Reply.Cached <= 1;
+}
+
+std::string wire::encodeStatsArgs(uint64_t RequestId, bool IncludeDecisions) {
+  std::string Out;
+  putHeader(Out, Opcode::Stats, RequestId,
+            IncludeDecisions ? FlagIncludeDecisions : 0);
+  return Out;
+}
+
+bool wire::decodeStatsArgs(ByteReader &R) { return R.done(); }
+
+std::string wire::encodeStatsReply(uint64_t RequestId, std::string_view Json) {
+  std::string Out;
+  putHeader(Out, Opcode::StatsReply, RequestId);
+  putStr(Out, Json);
+  return Out;
+}
+
+bool wire::decodeStatsReply(ByteReader &R, std::string &Json) {
+  return R.str(Json) && R.done();
+}
+
+std::string wire::encodeDrainArgs(uint64_t RequestId) {
+  std::string Out;
+  putHeader(Out, Opcode::Drain, RequestId);
+  return Out;
+}
+
+std::string wire::encodeDrainReply(uint64_t RequestId) {
+  std::string Out;
+  putHeader(Out, Opcode::DrainReply, RequestId);
+  return Out;
+}
+
+bool wire::decodeDrainBody(ByteReader &R) { return R.done(); }
+
+std::string wire::encodeErrorReply(uint64_t RequestId, WireError Code,
+                                   std::string_view Message) {
+  std::string Out;
+  putHeader(Out, Opcode::ErrorReply, RequestId);
+  putU16(Out, uint16_t(Code));
+  putStr(Out, Message);
+  return Out;
+}
+
+bool wire::decodeErrorReply(ByteReader &R, ErrorReply &Reply) {
+  uint16_t Code;
+  if (!R.u16(Code) || !R.str(Reply.Message) || !R.done())
+    return false;
+  // Unknown codes are preserved, not rejected: a newer server may grow
+  // codes this client has no name for.
+  Reply.Code = WireError(Code);
+  return true;
+}
+
+bool wire::decodeReply(std::string_view Record, Message &Out,
+                       std::string &Err) {
+  ByteReader R(Record);
+  WireError HdrErr = decodeHeader(R, Out.Hdr);
+  if (HdrErr != WireError::None) {
+    Err = std::string("bad reply header: ") + wireErrorName(HdrErr);
+    return false;
+  }
+  bool Ok = false;
+  switch (Out.Hdr.Op) {
+  case Opcode::ParseReply:
+  case Opcode::ParseRecoverReply:
+    Ok = decodeParseReply(R, Out.Parse);
+    break;
+  case Opcode::LoadBundleReply:
+    Ok = decodeLoadBundleReply(R, Out.Load);
+    break;
+  case Opcode::StatsReply:
+    Ok = decodeStatsReply(R, Out.StatsJson);
+    break;
+  case Opcode::DrainReply:
+    Ok = decodeDrainBody(R);
+    break;
+  case Opcode::ErrorReply:
+    Ok = decodeErrorReply(R, Out.Error);
+    break;
+  default:
+    Err = "expected a reply opcode, got a request";
+    return false;
+  }
+  if (!Ok) {
+    Err = "malformed reply body (opcode " +
+          std::to_string(unsigned(Out.Hdr.Op)) + ")";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ParseResult bridging
+//===----------------------------------------------------------------------===//
+
+ParseReply wire::makeParseReply(const ParseResult &R) {
+  ParseReply Reply;
+  Reply.Status = uint8_t(R.Status);
+  Reply.NumTokens = R.NumTokens;
+  Reply.TreeNodes = R.TreeNodes;
+  Reply.ParseMillis = R.ParseMillis;
+  Reply.TreeText = R.TreeText;
+  Reply.DiagText = R.DiagText;
+  Reply.Errors.reserve(R.Errors.size());
+  for (const Diagnostic &D : R.Errors)
+    Reply.Errors.push_back({uint8_t(D.Severity), D.Loc.Line, D.Loc.Column,
+                            D.Message});
+  return Reply;
+}

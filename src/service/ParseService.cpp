@@ -115,10 +115,21 @@ void ParseService::shutdown() {
     ParseResult R;
     R.Id = J.Req.Id;
     R.Status = ParseStatus::ShuttingDown;
-    J.Promise.set_value(std::move(R));
+    J.Done(std::move(R));
     std::lock_guard<std::mutex> Lock(CountersMu);
     ++ShutdownDrained;
   }
+  // A drain() racing with shutdown may be waiting on the queue we just
+  // resolved by hand.
+  IdleCv.notify_all();
+}
+
+void ParseService::drain() {
+  // Queued work can only drain through workers; a never-started service
+  // (AutoStart=false) would otherwise wait forever.
+  start();
+  std::unique_lock<std::mutex> Lock(QueueMu);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && Active == 0; });
 }
 
 size_t ParseService::queueDepth() const {
@@ -131,6 +142,17 @@ size_t ParseService::queueDepth() const {
 //===----------------------------------------------------------------------===//
 
 std::future<ParseResult> ParseService::submit(ParseRequest Req) {
+  // std::function must be copyable, so the move-only promise rides behind
+  // a shared_ptr.
+  auto Promise = std::make_shared<std::promise<ParseResult>>();
+  std::future<ParseResult> Future = Promise->get_future();
+  submitAsync(std::move(Req), [Promise](ParseResult R) {
+    Promise->set_value(std::move(R));
+  });
+  return Future;
+}
+
+void ParseService::submitAsync(ParseRequest Req, ParseCallback Done) {
   Job J;
   std::chrono::milliseconds Deadline =
       Req.Deadline.count() > 0 ? Req.Deadline : Config.DefaultDeadline;
@@ -139,7 +161,7 @@ std::future<ParseResult> ParseService::submit(ParseRequest Req) {
     J.DeadlineAt = std::chrono::steady_clock::now() + Deadline;
   }
   J.Req = std::move(Req);
-  std::future<ParseResult> Future = J.Promise.get_future();
+  J.Done = std::move(Done);
 
   ParseStatus Reject;
   {
@@ -154,15 +176,14 @@ std::future<ParseResult> ParseService::submit(ParseRequest Req) {
     } else {
       Queue.push_back(std::move(J));
       QueueCv.notify_one();
-      return Future;
+      return;
     }
   }
 
   ParseResult R;
   R.Id = J.Req.Id;
   R.Status = Reject;
-  J.Promise.set_value(std::move(R));
-  return Future;
+  J.Done(std::move(R));
 }
 
 //===----------------------------------------------------------------------===//
@@ -179,6 +200,7 @@ void ParseService::workerLoop(WorkerState &State) {
         return; // Stopping and drained.
       J = std::move(Queue.front());
       Queue.pop_front();
+      ++Active; // drain() must wait for this job's callback too
     }
     ParseResult R = runJob(J, State);
 
@@ -207,7 +229,13 @@ void ParseService::workerLoop(WorkerState &State) {
         break;
       }
     }
-    J.Promise.set_value(std::move(R));
+    J.Done(std::move(R));
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      --Active;
+      if (Active == 0 && Queue.empty())
+        IdleCv.notify_all();
+    }
   }
 }
 

@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -143,6 +144,11 @@ struct ServiceMetrics {
   std::string json(bool IncludeDecisions = false) const;
 };
 
+/// Invoked exactly once per submitted request with its final result.
+/// Rejections (queue full, shutting down) run it inline on the submitting
+/// thread; completions run it on the worker that parsed the request.
+using ParseCallback = std::function<void(ParseResult)>;
+
 /// The batch parsing engine. Construct, submit, read futures, shutdown
 /// (or let the destructor drain).
 class ParseService {
@@ -161,6 +167,22 @@ public:
   /// ShuttingDown instead of blocking or throwing.
   std::future<ParseResult> submit(ParseRequest Req);
 
+  /// Callback form of \ref submit, for callers that complete requests
+  /// out of submission order (the network daemon). \p Done always runs
+  /// exactly once — inline for rejections, on a worker otherwise — and
+  /// must not block for long: it occupies the worker while it runs.
+  void submitAsync(ParseRequest Req, ParseCallback Done);
+
+  /// Blocks until every accepted request has finished *and its callback
+  /// (or future) has been resolved*: the queue is empty and no worker is
+  /// mid-job. Starts the worker pool if it was never started (otherwise
+  /// queued work could never drain). Unlike \ref shutdown the service
+  /// stays usable: workers keep running and later submissions are
+  /// accepted. Submissions racing with drain may or may not be waited
+  /// for; quiescence is only guaranteed for requests submitted before
+  /// the call.
+  void drain();
+
   /// Stops accepting work, finishes everything queued, joins workers.
   /// Safe to call repeatedly.
   void shutdown();
@@ -175,7 +197,7 @@ public:
 private:
   struct Job {
     ParseRequest Req;
-    std::promise<ParseResult> Promise;
+    ParseCallback Done;
     std::chrono::steady_clock::time_point DeadlineAt;
     bool HasDeadline = false;
   };
@@ -197,7 +219,13 @@ private:
 
   mutable std::mutex QueueMu;
   std::condition_variable QueueCv;
+  /// Signalled whenever the service goes idle (empty queue, no worker
+  /// mid-job); drain() waits on it.
+  std::condition_variable IdleCv;
   std::deque<Job> Queue;
+  /// Jobs popped from the queue whose callback has not yet returned;
+  /// guarded by QueueMu.
+  int64_t Active = 0;
   bool Stopping = false;
   bool Started = false;
 

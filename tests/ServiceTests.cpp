@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -343,6 +344,75 @@ TEST(ParseServiceTest, ShutdownDrainsQueuedWorkAndRejectsLateSubmits) {
   EXPECT_EQ(Service.submit(makeReq(Bundle, "late", "1")).get().Status,
             ParseStatus::ShuttingDown);
   EXPECT_EQ(Service.metrics().RejectedShutdown, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// submitAsync and drain
+//===----------------------------------------------------------------------===//
+
+TEST(ParseServiceTest, SubmitAsyncRejectionsRunTheCallbackInline) {
+  GrammarBundleCache Cache;
+  auto Bundle = bundleOrFail(Cache, ExprGrammar);
+  ServiceConfig Config;
+  Config.Threads = 1;
+  Config.QueueCapacity = 1;
+  Config.AutoStart = false; // nothing drains: overflow is deterministic
+  ParseService Service(Config);
+
+  bool FirstDone = false, SecondDone = false;
+  ParseResult Overflow;
+  Service.submitAsync(makeReq(Bundle, "a", "1"),
+                      [&](ParseResult) { FirstDone = true; });
+  Service.submitAsync(makeReq(Bundle, "b", "2"), [&](ParseResult R) {
+    SecondDone = true;
+    Overflow = std::move(R);
+  });
+  // The queue-full rejection resolved before submitAsync returned; the
+  // accepted request has not run (no workers yet).
+  EXPECT_FALSE(FirstDone);
+  EXPECT_TRUE(SecondDone);
+  EXPECT_EQ(Overflow.Status, ParseStatus::QueueFull);
+
+  Service.drain(); // starts the pool and waits for "a"
+  EXPECT_TRUE(FirstDone);
+}
+
+TEST(ParseServiceTest, DrainWaitsForQueuedAndInFlightCallbacks) {
+  GrammarBundleCache Cache;
+  auto Bundle = bundleOrFail(Cache, ExprGrammar);
+  ServiceConfig Config;
+  Config.Threads = 2;
+  Config.AutoStart = false; // queue everything first, then drain
+  ParseService Service(Config);
+
+  std::atomic<int> Done{0};
+  for (int I = 0; I < 16; ++I)
+    Service.submitAsync(makeReq(Bundle, std::to_string(I), "1 + 2 * 3"),
+                        [&](ParseResult R) {
+                          EXPECT_EQ(R.Status, ParseStatus::Ok);
+                          ++Done;
+                        });
+  EXPECT_EQ(Done.load(), 0);
+  Service.drain();
+  // Quiescence means *callbacks ran*, not merely "queue empty": every
+  // result was delivered before drain returned.
+  EXPECT_EQ(Done.load(), 16);
+
+  // Unlike shutdown, the service stays usable afterwards.
+  EXPECT_EQ(Service.submit(makeReq(Bundle, "after", "4 * 5")).get().Status,
+            ParseStatus::Ok);
+  Service.drain(); // idempotent on an idle service
+  EXPECT_EQ(Service.metrics().Ok, 17);
+}
+
+TEST(ParseServiceTest, DrainOnAnIdleOrFreshServiceReturnsImmediately) {
+  ParseService Service(ServiceConfig{.Threads = 1, .AutoStart = false});
+  Service.drain(); // never started, nothing queued: must not hang
+  Service.drain();
+  GrammarBundleCache Cache;
+  auto Bundle = bundleOrFail(Cache, ExprGrammar);
+  EXPECT_EQ(Service.submit(makeReq(Bundle, "x", "1")).get().Status,
+            ParseStatus::Ok);
 }
 
 //===----------------------------------------------------------------------===//

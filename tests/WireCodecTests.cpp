@@ -1,0 +1,472 @@
+//===- tests/WireCodecTests.cpp - llstard wire protocol codec -------------===//
+//
+// Coverage for src/net/WireFormat.h — the pure encode/decode layer of the
+// llstard protocol, exercised entirely offline (no sockets): round-trips
+// for every message type, record-marking reassembly under adversarial
+// fragmentation, size-limit enforcement, and a mangled-frame fuzz sweep in
+// the BundleTests idiom (1000 seeded corruptions, every one either decodes
+// or fails cleanly — never crashes, never over-allocates). The ASan/UBSan
+// CI job runs these with sanitizers on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/WireFormat.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace llstar;
+using namespace llstar::wire;
+
+namespace {
+
+/// Feeds \p Bytes to a fresh reassembler in chunks of \p ChunkSize and
+/// collects every complete record.
+std::vector<std::string> reassemble(std::string_view Bytes, size_t ChunkSize,
+                                    RecordReassembler &Ra) {
+  std::vector<std::string> Records;
+  for (size_t Off = 0; Off < Bytes.size(); Off += ChunkSize) {
+    Ra.feed(Bytes.substr(Off, ChunkSize));
+    std::string Record;
+    while (Ra.next(Record) == RecordReassembler::Status::Record)
+      Records.push_back(std::move(Record));
+  }
+  return Records;
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(WireCodecTest, ParseArgsRoundTrip) {
+  ParseArgs Args;
+  Args.BundleHash = 0xDEADBEEFCAFE1234ull;
+  Args.DeadlineMs = 1500;
+  Args.WantTree = true;
+  Args.StartRule = "expr";
+  Args.Input = "1 + 2 * (3 - 4)\n";
+  std::string Record = encodeParseArgs(7, Args, /*Recover=*/false);
+
+  ByteReader R(Record);
+  MessageHeader Hdr;
+  ASSERT_EQ(decodeHeader(R, Hdr), WireError::None);
+  EXPECT_EQ(Hdr.Op, Opcode::Parse);
+  EXPECT_EQ(Hdr.RequestId, 7u);
+  EXPECT_EQ(Hdr.Version, ProtocolVersion);
+  ParseArgs Back;
+  ASSERT_TRUE(decodeParseArgs(R, Hdr.Flags, Back));
+  EXPECT_EQ(Back.BundleHash, Args.BundleHash);
+  EXPECT_EQ(Back.DeadlineMs, Args.DeadlineMs);
+  EXPECT_EQ(Back.WantTree, true);
+  EXPECT_EQ(Back.StartRule, Args.StartRule);
+  EXPECT_EQ(Back.Input, Args.Input);
+
+  // The recover flavor differs only in opcode.
+  std::string Rec = encodeParseArgs(7, Args, /*Recover=*/true);
+  ByteReader R2(Rec);
+  ASSERT_EQ(decodeHeader(R2, Hdr), WireError::None);
+  EXPECT_EQ(Hdr.Op, Opcode::ParseRecover);
+}
+
+TEST(WireCodecTest, ParseReplyRoundTrip) {
+  ParseReply Reply;
+  Reply.Status = uint8_t(ParseStatus::Recovered);
+  Reply.NumTokens = 1234567;
+  Reply.TreeNodes = -1;
+  Reply.ParseMillis = 3.14159;
+  Reply.TreeText = "(s (expr (error)))";
+  Reply.DiagText = "2:5: error: no viable alternative\n";
+  Reply.Errors.push_back({2, 2, 5, "no viable alternative"});
+  Reply.Errors.push_back({2, 3, 1, "extraneous input"});
+
+  Message Out;
+  std::string Err;
+  ASSERT_TRUE(decodeReply(encodeParseReply(42, Reply, /*Recover=*/true), Out,
+                          Err))
+      << Err;
+  EXPECT_EQ(Out.Hdr.Op, Opcode::ParseRecoverReply);
+  EXPECT_EQ(Out.Hdr.RequestId, 42u);
+  EXPECT_EQ(Out.Parse.Status, Reply.Status);
+  EXPECT_EQ(Out.Parse.NumTokens, Reply.NumTokens);
+  EXPECT_EQ(Out.Parse.TreeNodes, Reply.TreeNodes);
+  EXPECT_EQ(Out.Parse.ParseMillis, Reply.ParseMillis);
+  EXPECT_EQ(Out.Parse.TreeText, Reply.TreeText);
+  EXPECT_EQ(Out.Parse.DiagText, Reply.DiagText);
+  ASSERT_EQ(Out.Parse.Errors.size(), 2u);
+  EXPECT_EQ(Out.Parse.Errors[0].Line, 2u);
+  EXPECT_EQ(Out.Parse.Errors[0].Column, 5u);
+  EXPECT_EQ(Out.Parse.Errors[1].Message, "extraneous input");
+}
+
+TEST(WireCodecTest, LoadBundleStatsDrainErrorRoundTrips) {
+  Message Out;
+  std::string Err;
+
+  std::string Bundle = std::string("grammar G;\ns : 'a' EOF ;\n") +
+                       std::string(1000, '#'); // binary-ish payload tail
+  std::string LoadRecord = encodeLoadBundleArgs(1, Bundle);
+  ByteReader R(LoadRecord);
+  MessageHeader Hdr;
+  ASSERT_EQ(decodeHeader(R, Hdr), WireError::None);
+  EXPECT_EQ(Hdr.Op, Opcode::LoadBundle);
+  std::string BackBytes;
+  ASSERT_TRUE(decodeLoadBundleArgs(R, BackBytes));
+  EXPECT_EQ(BackBytes, Bundle);
+
+  LoadBundleReply LR;
+  LR.Hash = 0x1122334455667788ull;
+  LR.Cached = 1;
+  LR.Name = "Json";
+  ASSERT_TRUE(decodeReply(encodeLoadBundleReply(2, LR), Out, Err)) << Err;
+  EXPECT_EQ(Out.Load.Hash, LR.Hash);
+  EXPECT_EQ(Out.Load.Cached, 1);
+  EXPECT_EQ(Out.Load.Name, "Json");
+
+  std::string StatsRecord = encodeStatsArgs(3, /*IncludeDecisions=*/true);
+  ByteReader SR(StatsRecord);
+  ASSERT_EQ(decodeHeader(SR, Hdr), WireError::None);
+  EXPECT_EQ(Hdr.Op, Opcode::Stats);
+  EXPECT_TRUE(Hdr.Flags & FlagIncludeDecisions);
+  EXPECT_TRUE(decodeStatsArgs(SR));
+
+  ASSERT_TRUE(decodeReply(encodeStatsReply(4, "{\"ok\":1}"), Out, Err));
+  EXPECT_EQ(Out.StatsJson, "{\"ok\":1}");
+
+  ASSERT_TRUE(decodeReply(encodeDrainReply(5), Out, Err));
+  EXPECT_EQ(Out.Hdr.Op, Opcode::DrainReply);
+
+  ASSERT_TRUE(decodeReply(
+      encodeErrorReply(6, WireError::UnknownBundle, "no bundle 99"), Out,
+      Err));
+  EXPECT_EQ(Out.Error.Code, WireError::UnknownBundle);
+  EXPECT_EQ(Out.Error.Message, "no bundle 99");
+  // Forward compatibility: unknown error codes decode, preserved verbatim.
+  ASSERT_TRUE(decodeReply(encodeErrorReply(7, WireError(999), "future"), Out,
+                          Err));
+  EXPECT_EQ(uint16_t(Out.Error.Code), 999);
+}
+
+//===----------------------------------------------------------------------===//
+// Record marking
+//===----------------------------------------------------------------------===//
+
+TEST(WireCodecTest, FragmentationIsTransparentAtEveryChunkSize) {
+  // A record big enough to need many fragments at MaxFragment=64.
+  std::string Record;
+  for (int I = 0; I < 1000; ++I)
+    Record += char(I * 31);
+  std::string Framed;
+  frameRecord(Framed, Record, /*MaxFragment=*/64);
+  EXPECT_GT(Framed.size(), Record.size() + 4 * (Record.size() / 64));
+
+  for (size_t Chunk : {size_t(1), size_t(3), size_t(64), Framed.size()}) {
+    RecordReassembler Ra;
+    auto Records = reassemble(Framed, Chunk, Ra);
+    ASSERT_EQ(Records.size(), 1u) << "chunk size " << Chunk;
+    EXPECT_EQ(Records[0], Record) << "chunk size " << Chunk;
+    EXPECT_EQ(Ra.bufferedBytes(), 0u);
+  }
+}
+
+TEST(WireCodecTest, MultipleRecordsInOneBuffer) {
+  std::string Stream;
+  frameRecord(Stream, "first", 3); // multi-fragment
+  frameRecord(Stream, "");        // empty record = single empty last-fragment
+  frameRecord(Stream, "third");
+  RecordReassembler Ra;
+  auto Records = reassemble(Stream, 7, Ra);
+  ASSERT_EQ(Records.size(), 3u);
+  EXPECT_EQ(Records[0], "first");
+  EXPECT_EQ(Records[1], "");
+  EXPECT_EQ(Records[2], "third");
+}
+
+TEST(WireCodecTest, ZeroLengthNonFinalFragmentsAreLegal) {
+  std::string Stream;
+  putU32(Stream, 0);                       // empty non-final fragment
+  putU32(Stream, 0);                       // another
+  putU32(Stream, 2 | 0x80000000u);         // final fragment "ab"
+  Stream += "ab";
+  RecordReassembler Ra;
+  Ra.feed(Stream);
+  std::string Record;
+  ASSERT_EQ(Ra.next(Record), RecordReassembler::Status::Record);
+  EXPECT_EQ(Record, "ab");
+}
+
+TEST(WireCodecTest, OversizedFragmentAndRecordLatchTheErrorState) {
+  {
+    RecordReassembler Ra(/*MaxRecord=*/1024, /*MaxFragment=*/16);
+    std::string Stream;
+    putU32(Stream, 17 | 0x80000000u); // one byte over the fragment cap
+    Ra.feed(Stream);
+    std::string Record;
+    EXPECT_EQ(Ra.next(Record), RecordReassembler::Status::Error);
+    EXPECT_NE(Ra.error().find("fragment"), std::string::npos);
+    // Latched: even well-formed input is refused after a framing error.
+    std::string Good;
+    frameRecord(Good, "ok");
+    Ra.feed(Good);
+    EXPECT_EQ(Ra.next(Record), RecordReassembler::Status::Error);
+  }
+  {
+    RecordReassembler Ra(/*MaxRecord=*/32, /*MaxFragment=*/16);
+    std::string Stream;
+    putU32(Stream, 16); // non-final, 16 bytes
+    Stream += std::string(16, 'x');
+    putU32(Stream, 16); // non-final, 16 more
+    Stream += std::string(16, 'x');
+    putU32(Stream, 1 | 0x80000000u); // would push the record past 32
+    Stream += "x";
+    Ra.feed(Stream);
+    std::string Record;
+    EXPECT_EQ(Ra.next(Record), RecordReassembler::Status::Error);
+    EXPECT_NE(Ra.error().find("record"), std::string::npos);
+  }
+  {
+    // A huge length prefix must fail at the cap check, not allocate.
+    RecordReassembler Ra;
+    std::string Stream;
+    putU32(Stream, 0x7FFFFFFFu);
+    Ra.feed(Stream);
+    std::string Record;
+    EXPECT_EQ(Ra.next(Record), RecordReassembler::Status::Error);
+  }
+}
+
+TEST(WireCodecTest, ReassemblerCompactsItsConsumedPrefix) {
+  // Many small records through one reassembler: the consumed prefix is
+  // compacted away instead of growing without bound.
+  RecordReassembler Ra;
+  std::string Framed;
+  frameRecord(Framed, std::string(100, 'r'));
+  std::string Record;
+  for (int I = 0; I < 1000; ++I) {
+    Ra.feed(Framed);
+    ASSERT_EQ(Ra.next(Record), RecordReassembler::Status::Record);
+    ASSERT_EQ(Ra.bufferedBytes(), 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Strictness
+//===----------------------------------------------------------------------===//
+
+TEST(WireCodecTest, HeaderValidationOrdersErrorsUsefully) {
+  ParseArgs Args;
+  Args.Input = "1";
+  std::string Good = encodeParseArgs(9, Args, false);
+  MessageHeader Hdr;
+
+  {
+    std::string Bad = Good;
+    Bad[0] = 'X'; // magic
+    ByteReader R(Bad);
+    EXPECT_EQ(decodeHeader(R, Hdr), WireError::BadMagic);
+  }
+  {
+    std::string Bad = Good;
+    Bad[5] = 99; // version — but id must still be recoverable
+    ByteReader R(Bad);
+    EXPECT_EQ(decodeHeader(R, Hdr), WireError::BadVersion);
+    EXPECT_EQ(Hdr.RequestId, 9u);
+  }
+  {
+    std::string Bad = Good;
+    Bad[6] = char(0x77); // opcode
+    ByteReader R(Bad);
+    EXPECT_EQ(decodeHeader(R, Hdr), WireError::BadOpcode);
+  }
+  {
+    ByteReader R(std::string_view(Good.data(), 10)); // truncated header
+    EXPECT_EQ(decodeHeader(R, Hdr), WireError::BadMagic);
+  }
+}
+
+TEST(WireCodecTest, BodyDecodersRejectTruncationAndTrailingBytes) {
+  ParseReply Reply;
+  Reply.Status = uint8_t(ParseStatus::Ok);
+  Reply.TreeText = "(s)";
+  std::string Good = encodeParseReply(1, Reply, false);
+
+  // Every strict prefix of the body fails cleanly.
+  for (size_t Len = HeaderBytes; Len < Good.size(); ++Len) {
+    ByteReader R(std::string_view(Good.data(), Len));
+    MessageHeader Hdr;
+    ASSERT_EQ(decodeHeader(R, Hdr), WireError::None);
+    ParseReply Back;
+    EXPECT_FALSE(decodeParseReply(R, Back)) << "prefix length " << Len;
+  }
+  // Trailing garbage fails too (decoders require full consumption).
+  {
+    std::string Padded = Good + "!";
+    ByteReader R(Padded);
+    MessageHeader Hdr;
+    ASSERT_EQ(decodeHeader(R, Hdr), WireError::None);
+    ParseReply Back;
+    EXPECT_FALSE(decodeParseReply(R, Back));
+  }
+  // Out-of-range enum values fail.
+  {
+    std::string Bad = Good;
+    Bad[HeaderBytes] = char(200); // status
+    ByteReader R(Bad);
+    MessageHeader Hdr;
+    ASSERT_EQ(decodeHeader(R, Hdr), WireError::None);
+    ParseReply Back;
+    EXPECT_FALSE(decodeParseReply(R, Back));
+  }
+}
+
+TEST(WireCodecTest, AbsurdCountsFailBeforeAllocating) {
+  // A ParseReply whose error count claims 500M entries in a 40-byte body:
+  // the decoder must reject it without resizing the vector.
+  std::string Record;
+  Record.reserve(64);
+  putU32(Record, Magic);
+  putU16(Record, ProtocolVersion);
+  putU8(Record, uint8_t(Opcode::ParseReply));
+  putU8(Record, 0);
+  putU64(Record, 1);
+  putU8(Record, 0);     // status
+  putI64(Record, 0);    // tokens
+  putI64(Record, 0);    // tree nodes
+  putF64(Record, 0);    // millis
+  putStr(Record, "");   // tree
+  putStr(Record, "");   // diags
+  putU32(Record, 500 * 1000 * 1000); // error count
+  Message Out;
+  std::string Err;
+  EXPECT_FALSE(decodeReply(Record, Out, Err));
+
+  // Same for a string length prefix pointing far past the record end.
+  std::string Record2;
+  putU32(Record2, Magic);
+  putU16(Record2, ProtocolVersion);
+  putU8(Record2, uint8_t(Opcode::StatsReply));
+  putU8(Record2, 0);
+  putU64(Record2, 2);
+  putU32(Record2, 0xFFFFFFF0u); // string "length"
+  Record2 += "tiny";
+  EXPECT_FALSE(decodeReply(Record2, Out, Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Mangled-frame fuzz (the BundleTests idiom, pointed at the codec)
+//===----------------------------------------------------------------------===//
+
+TEST(WireCodecTest, ThousandMangledFramesNeverCrashTheDecoder) {
+  // Seed corpus: one well-formed framed record of every message type.
+  ParseArgs Args;
+  Args.BundleHash = 77;
+  Args.StartRule = "s";
+  Args.Input = "x = [1, 2, 3];";
+  Args.WantTree = true;
+  ParseReply Reply;
+  Reply.Status = uint8_t(ParseStatus::Recovered);
+  Reply.TreeText = "(s (x))";
+  Reply.Errors.push_back({2, 1, 4, "oops"});
+  std::vector<std::string> Seeds;
+  for (const std::string &Record :
+       {encodeParseArgs(1, Args, false), encodeParseArgs(2, Args, true),
+        encodeParseReply(3, Reply, false), encodeLoadBundleArgs(4, "grammar"),
+        encodeLoadBundleReply(5, {99, 0, "G"}), encodeStatsArgs(6, true),
+        encodeStatsReply(7, "{\"a\":1}"), encodeDrainArgs(8),
+        encodeDrainReply(9),
+        encodeErrorReply(10, WireError::BadBody, "nope")}) {
+    std::string Framed;
+    frameRecord(Framed, Record, /*MaxFragment=*/24); // multi-fragment seeds
+    Seeds.push_back(Framed);
+  }
+
+  std::mt19937_64 Rng(0xC0DEC);
+  auto Byte = [&] { return char(Rng() & 0xFF); };
+  int CleanFailures = 0, Decoded = 0;
+  for (int Iter = 0; Iter < 1000; ++Iter) {
+    std::string Bytes = Seeds[Iter % Seeds.size()];
+    switch (Rng() % 6) {
+    case 0: // flip random bytes
+      for (int K = 0; K < 1 + int(Rng() % 8); ++K)
+        Bytes[Rng() % Bytes.size()] ^= char(1u << (Rng() % 8));
+      break;
+    case 1: // truncate
+      Bytes.resize(Rng() % Bytes.size());
+      break;
+    case 2: // splice a huge/zero length prefix over a fragment header
+      Bytes.resize(4);
+      Bytes[0] = char(Rng() % 2 ? 0x7F : 0x00);
+      Bytes[1] = Byte();
+      Bytes[2] = Byte();
+      Bytes[3] = Byte();
+      break;
+    case 3: // duplicate the frame back to back (duplicate request ids)
+      Bytes += Bytes;
+      break;
+    case 4: // prepend garbage
+      Bytes.insert(0, std::string(1 + Rng() % 32, Byte()));
+      break;
+    case 5: // pure noise
+      Bytes.assign(Rng() % 256, 0);
+      for (char &C : Bytes)
+        C = Byte();
+      break;
+    }
+
+    // Reassemble with tight limits, then decode whatever comes out, both
+    // as a server (header + args) and as a client (decodeReply). Every
+    // path must either succeed or fail cleanly — ASan/UBSan arbitrate.
+    RecordReassembler Ra(/*MaxRecord=*/4096, /*MaxFragment=*/512);
+    for (size_t Off = 0; Off < Bytes.size(); Off += 13)
+      Ra.feed(std::string_view(Bytes).substr(Off, 13));
+    std::string Record;
+    while (true) {
+      RecordReassembler::Status St = Ra.next(Record);
+      if (St == RecordReassembler::Status::Error) {
+        ++CleanFailures;
+        break;
+      }
+      if (St == RecordReassembler::Status::NeedMore)
+        break;
+      ByteReader R(Record);
+      MessageHeader Hdr;
+      if (decodeHeader(R, Hdr) != WireError::None) {
+        ++CleanFailures;
+        continue;
+      }
+      bool Ok = false;
+      switch (Hdr.Op) {
+      case Opcode::Parse:
+      case Opcode::ParseRecover: {
+        ParseArgs A;
+        Ok = decodeParseArgs(R, Hdr.Flags, A);
+        break;
+      }
+      case Opcode::LoadBundle: {
+        std::string B;
+        Ok = decodeLoadBundleArgs(R, B);
+        break;
+      }
+      case Opcode::Stats:
+        Ok = decodeStatsArgs(R);
+        break;
+      case Opcode::Drain:
+        Ok = decodeDrainBody(R);
+        break;
+      default: {
+        Message Out;
+        std::string Err;
+        Ok = decodeReply(Record, Out, Err);
+        break;
+      }
+      }
+      Ok ? ++Decoded : ++CleanFailures;
+    }
+  }
+  // The sweep must exercise both outcomes: mangles that survive decoding
+  // (e.g. duplicated frames) and mangles that are rejected.
+  EXPECT_GT(Decoded, 0);
+  EXPECT_GT(CleanFailures, 500);
+}
+
+} // namespace
