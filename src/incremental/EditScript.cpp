@@ -1,0 +1,409 @@
+#include "incremental/EditScript.h"
+
+#include <cctype>
+
+using namespace llstar;
+using namespace llstar::incremental;
+
+const char *incremental::editScriptErrorName(EditScriptError E) {
+  switch (E) {
+  case EditScriptError::None:
+    return "none";
+  case EditScriptError::BadJson:
+    return "bad-json";
+  case EditScriptError::MissingField:
+    return "missing-field";
+  case EditScriptError::BadFieldType:
+    return "bad-field-type";
+  case EditScriptError::NegativeValue:
+    return "negative-value";
+  case EditScriptError::Overlap:
+    return "overlap";
+  case EditScriptError::NonMonotonic:
+    return "non-monotonic";
+  case EditScriptError::OutOfRange:
+    return "out-of-range";
+  }
+  return "unknown";
+}
+
+EditScriptError incremental::validateEdit(const Edit &E, size_t TextSize) {
+  if (E.Offset < 0 || E.OldLen < 0)
+    return EditScriptError::NegativeValue;
+  if (uint64_t(E.Offset) > TextSize ||
+      uint64_t(E.OldLen) > TextSize - uint64_t(E.Offset))
+    return EditScriptError::OutOfRange;
+  return EditScriptError::None;
+}
+
+namespace {
+
+/// A recursive-descent parser for the JSON subset the schema needs:
+/// objects, arrays, strings (with the standard escapes), and integers.
+/// The parser never builds a generic value tree — it decodes straight
+/// into the EditScript, failing with a typed error at the first problem.
+class ScriptParser {
+public:
+  explicit ScriptParser(std::string_view In) : In(In) {}
+
+  EditScriptParseResult run() {
+    EditScriptParseResult R;
+    if (!parseTop(R.Script)) {
+      R.Error = Err;
+      R.Message = Msg;
+      return R;
+    }
+    skipWs();
+    if (Pos != In.size()) {
+      R.Error = EditScriptError::BadJson;
+      R.Message = at() + "trailing characters after the script object";
+      return R;
+    }
+    return R;
+  }
+
+private:
+  std::string_view In;
+  size_t Pos = 0;
+  EditScriptError Err = EditScriptError::None;
+  std::string Msg;
+
+  bool fail(EditScriptError E, std::string M) {
+    // Keep the first (deepest) failure; callers propagate false upward.
+    if (Err == EditScriptError::None) {
+      Err = E;
+      Msg = at() + std::move(M);
+    }
+    return false;
+  }
+
+  std::string at() const { return "at byte " + std::to_string(Pos) + ": "; }
+
+  void skipWs() {
+    while (Pos < In.size() && (In[Pos] == ' ' || In[Pos] == '\t' ||
+                               In[Pos] == '\n' || In[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < In.size() && In[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skipWs();
+    return Pos < In.size() ? In[Pos] : '\0';
+  }
+
+  bool parseString(std::string &Out) {
+    skipWs();
+    if (Pos >= In.size() || In[Pos] != '"')
+      return fail(EditScriptError::BadJson, "expected a string");
+    ++Pos;
+    Out.clear();
+    while (Pos < In.size()) {
+      char C = In[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= In.size())
+        break;
+      char E = In[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > In.size())
+          return fail(EditScriptError::BadJson, "truncated \\u escape");
+        uint32_t V = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = In[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= uint32_t(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= uint32_t(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= uint32_t(H - 'A' + 10);
+          else
+            return fail(EditScriptError::BadJson, "bad \\u escape digit");
+        }
+        // UTF-8 encode; edits are byte-oriented so multi-byte escapes
+        // simply contribute their encoded bytes.
+        if (V < 0x80) {
+          Out += char(V);
+        } else if (V < 0x800) {
+          Out += char(0xC0 | (V >> 6));
+          Out += char(0x80 | (V & 0x3F));
+        } else {
+          Out += char(0xE0 | (V >> 12));
+          Out += char(0x80 | ((V >> 6) & 0x3F));
+          Out += char(0x80 | (V & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail(EditScriptError::BadJson, "unknown string escape");
+      }
+    }
+    return fail(EditScriptError::BadJson, "unterminated string");
+  }
+
+  bool parseInt(int64_t &Out) {
+    skipWs();
+    size_t Start = Pos;
+    bool Neg = false;
+    if (Pos < In.size() && In[Pos] == '-') {
+      Neg = true;
+      ++Pos;
+    }
+    int64_t V = 0;
+    size_t Digits = 0;
+    while (Pos < In.size() && std::isdigit(static_cast<unsigned char>(In[Pos]))) {
+      if (V > (INT64_MAX - 9) / 10)
+        return fail(EditScriptError::BadJson, "integer overflow");
+      V = V * 10 + (In[Pos] - '0');
+      ++Pos;
+      ++Digits;
+    }
+    if (Digits == 0) {
+      Pos = Start;
+      return fail(EditScriptError::BadJson, "expected an integer");
+    }
+    if (Pos < In.size() && (In[Pos] == '.' || In[Pos] == 'e' || In[Pos] == 'E'))
+      return fail(EditScriptError::BadFieldType,
+                  "expected an integer, found a fraction/exponent");
+    Out = Neg ? -V : V;
+    return true;
+  }
+
+  /// Skips any JSON value (for unknown keys, tolerated for forward
+  /// compatibility of traces).
+  bool skipValue() {
+    char C = peek();
+    if (C == '"') {
+      std::string Tmp;
+      return parseString(Tmp);
+    }
+    if (C == '{') {
+      ++Pos;
+      if (eat('}'))
+        return true;
+      do {
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        if (!eat(':'))
+          return fail(EditScriptError::BadJson, "expected ':'");
+        if (!skipValue())
+          return false;
+      } while (eat(','));
+      if (!eat('}'))
+        return fail(EditScriptError::BadJson, "expected '}'");
+      return true;
+    }
+    if (C == '[') {
+      ++Pos;
+      if (eat(']'))
+        return true;
+      do {
+        if (!skipValue())
+          return false;
+      } while (eat(','));
+      if (!eat(']'))
+        return fail(EditScriptError::BadJson, "expected ']'");
+      return true;
+    }
+    if (C == 't' && In.substr(Pos, 4) == "true") {
+      Pos += 4;
+      return true;
+    }
+    if (C == 'f' && In.substr(Pos, 5) == "false") {
+      Pos += 5;
+      return true;
+    }
+    if (C == 'n' && In.substr(Pos, 4) == "null") {
+      Pos += 4;
+      return true;
+    }
+    if (C == '-' || std::isdigit(static_cast<unsigned char>(C))) {
+      ++Pos;
+      while (Pos < In.size() &&
+             (std::isdigit(static_cast<unsigned char>(In[Pos])) ||
+              In[Pos] == '.' || In[Pos] == 'e' || In[Pos] == 'E' ||
+              In[Pos] == '+' || In[Pos] == '-'))
+        ++Pos;
+      return true;
+    }
+    return fail(EditScriptError::BadJson, "expected a value");
+  }
+
+  bool parseEdit(Edit &E) {
+    if (!eat('{'))
+      return fail(EditScriptError::BadFieldType,
+                  "an edit must be a JSON object");
+    bool HaveOffset = false, HaveOldLen = false, HaveNewText = false;
+    if (!eat('}')) {
+      do {
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        if (!eat(':'))
+          return fail(EditScriptError::BadJson, "expected ':'");
+        if (Key == "offset") {
+          if (peek() == '"' || peek() == '{' || peek() == '[' || peek() == 't' ||
+              peek() == 'f' || peek() == 'n')
+            return fail(EditScriptError::BadFieldType,
+                        "\"offset\" must be an integer");
+          if (!parseInt(E.Offset))
+            return false;
+          HaveOffset = true;
+        } else if (Key == "oldLen") {
+          if (peek() == '"' || peek() == '{' || peek() == '[' || peek() == 't' ||
+              peek() == 'f' || peek() == 'n')
+            return fail(EditScriptError::BadFieldType,
+                        "\"oldLen\" must be an integer");
+          if (!parseInt(E.OldLen))
+            return false;
+          HaveOldLen = true;
+        } else if (Key == "newText") {
+          if (peek() != '"')
+            return fail(EditScriptError::BadFieldType,
+                        "\"newText\" must be a string");
+          if (!parseString(E.NewText))
+            return false;
+          HaveNewText = true;
+        } else if (!skipValue()) {
+          return false;
+        }
+      } while (eat(','));
+      if (!eat('}'))
+        return fail(EditScriptError::BadJson, "expected '}'");
+    }
+    if (!HaveOffset)
+      return fail(EditScriptError::MissingField, "edit lacks \"offset\"");
+    if (!HaveOldLen)
+      return fail(EditScriptError::MissingField, "edit lacks \"oldLen\"");
+    if (!HaveNewText)
+      return fail(EditScriptError::MissingField, "edit lacks \"newText\"");
+    if (E.Offset < 0 || E.OldLen < 0)
+      return fail(EditScriptError::NegativeValue,
+                  "offset and oldLen must be non-negative");
+    return true;
+  }
+
+  bool parseBatch(std::vector<Edit> &Batch) {
+    char C = peek();
+    if (C == '\0') // truncated document, not a type error
+      return fail(EditScriptError::BadJson, "unexpected end of input");
+    if (C == '{') {
+      Edit E;
+      if (!parseEdit(E))
+        return false;
+      Batch.push_back(std::move(E));
+      return true;
+    }
+    if (C != '[')
+      return fail(EditScriptError::BadFieldType,
+                  "an \"edits\" entry must be an edit object or an array");
+    ++Pos;
+    if (eat(']'))
+      return true;
+    do {
+      Edit E;
+      if (!parseEdit(E))
+        return false;
+      Batch.push_back(std::move(E));
+    } while (eat(','));
+    if (!eat(']'))
+      return fail(EditScriptError::BadJson, "expected ']'");
+    // Batch edits share one snapshot of the text: require strictly
+    // increasing, non-overlapping spans so the batch is unambiguous.
+    for (size_t I = 1; I < Batch.size(); ++I) {
+      if (Batch[I].Offset <= Batch[I - 1].Offset)
+        return fail(EditScriptError::NonMonotonic,
+                    "batch offsets must be strictly increasing");
+      if (Batch[I - 1].Offset + Batch[I - 1].OldLen > Batch[I].Offset)
+        return fail(EditScriptError::Overlap, "batch spans overlap");
+    }
+    return true;
+  }
+
+  bool parseTop(EditScript &S) {
+    if (!eat('{'))
+      return fail(EditScriptError::BadJson,
+                  "an edit script must be a JSON object");
+    bool HaveEdits = false;
+    if (!eat('}')) {
+      do {
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        if (!eat(':'))
+          return fail(EditScriptError::BadJson, "expected ':'");
+        if (Key == "initial") {
+          if (peek() != '"')
+            return fail(EditScriptError::BadFieldType,
+                        "\"initial\" must be a string");
+          if (!parseString(S.Initial))
+            return false;
+        } else if (Key == "edits") {
+          if (peek() != '[')
+            return fail(EditScriptError::BadFieldType,
+                        "\"edits\" must be an array");
+          ++Pos;
+          HaveEdits = true;
+          if (!eat(']')) {
+            do {
+              std::vector<Edit> Batch;
+              if (!parseBatch(Batch))
+                return false;
+              S.Batches.push_back(std::move(Batch));
+            } while (eat(','));
+            if (!eat(']'))
+              return fail(EditScriptError::BadJson, "expected ']'");
+          }
+        } else if (!skipValue()) {
+          return false;
+        }
+      } while (eat(','));
+      if (!eat('}'))
+        return fail(EditScriptError::BadJson, "expected '}'");
+    }
+    if (!HaveEdits)
+      return fail(EditScriptError::MissingField,
+                  "script lacks the \"edits\" array");
+    return true;
+  }
+};
+
+} // namespace
+
+EditScriptParseResult incremental::parseEditScript(std::string_view Json) {
+  return ScriptParser(Json).run();
+}

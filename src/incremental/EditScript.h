@@ -1,0 +1,100 @@
+//===- incremental/EditScript.h - Edit descriptions and traces --*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The edit vocabulary of the incremental subsystem: a single \ref Edit
+/// (replace `oldLen` bytes at `offset` with `newText`; insertions have
+/// `oldLen == 0`, deletions an empty `newText`), and \ref EditScript, a
+/// JSON-encoded trace of edits replayed by `llstar-batch --edit-script`
+/// and the conformance tests.
+///
+/// The JSON schema:
+///
+/// \code{.json}
+///   {
+///     "initial": "int x;\n",             // optional, default ""
+///     "edits": [
+///       {"offset": 4, "oldLen": 1, "newText": "y"},
+///       [ {"offset": 0, "oldLen": 0, "newText": "a"},
+///         {"offset": 6, "oldLen": 1, "newText": ""} ]
+///     ]
+///   }
+/// \endcode
+///
+/// Each entry of "edits" is either one edit or a batch (array) of edits
+/// that share one snapshot of the text: batch offsets must be strictly
+/// monotonic and the spans non-overlapping so the batch has a single
+/// well-defined meaning (it is applied back to front, keeping every
+/// offset valid). Parsing is strict: malformed JSON, missing or
+/// mistyped fields, negative values, overlapping or non-monotonic batch
+/// spans each map to a distinct \ref EditScriptError so tools can report
+/// precisely what was wrong. Out-of-range offsets depend on the text the
+/// script is applied to and are caught at apply time
+/// (\ref validateEdit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_INCREMENTAL_EDITSCRIPT_H
+#define LLSTAR_INCREMENTAL_EDITSCRIPT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llstar {
+namespace incremental {
+
+/// One text edit: replace the `OldLen` bytes at `Offset` with `NewText`.
+struct Edit {
+  int64_t Offset = 0;
+  int64_t OldLen = 0;
+  std::string NewText;
+};
+
+/// Everything that can be wrong with an edit script or a single edit.
+enum class EditScriptError {
+  None,
+  BadJson,       ///< not well-formed JSON (or trailing garbage)
+  MissingField,  ///< an edit lacks offset/oldLen/newText, or "edits" is absent
+  BadFieldType,  ///< a field is present but has the wrong JSON type
+  NegativeValue, ///< offset or oldLen is negative
+  Overlap,       ///< batch spans overlap: offset_i + oldLen_i > offset_{i+1}
+  NonMonotonic,  ///< batch offsets are not strictly increasing
+  OutOfRange,    ///< offset + oldLen exceeds the text the edit applies to
+};
+
+/// Stable identifier for an \ref EditScriptError ("overlap", ...).
+const char *editScriptErrorName(EditScriptError E);
+
+/// A parsed edit trace: optional initial text plus batches of edits. A
+/// single-edit entry parses as a batch of one.
+struct EditScript {
+  std::string Initial;
+  std::vector<std::vector<Edit>> Batches;
+};
+
+/// Result of \ref parseEditScript: either Error == None and Script is
+/// filled, or Error identifies the rejection and Message says where.
+struct EditScriptParseResult {
+  EditScriptError Error = EditScriptError::None;
+  std::string Message;
+  EditScript Script;
+
+  explicit operator bool() const { return Error == EditScriptError::None; }
+};
+
+/// Parses and validates \p Json as an edit script.
+EditScriptParseResult parseEditScript(std::string_view Json);
+
+/// Checks one edit against a text of \p TextSize bytes: returns
+/// NegativeValue or OutOfRange, or None when the edit applies.
+EditScriptError validateEdit(const Edit &E, size_t TextSize);
+
+} // namespace incremental
+} // namespace llstar
+
+#endif // LLSTAR_INCREMENTAL_EDITSCRIPT_H

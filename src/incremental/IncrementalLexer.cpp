@@ -1,0 +1,312 @@
+#include "incremental/IncrementalLexer.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace llstar;
+using namespace llstar::incremental;
+
+Lexeme IncrementalLexer::scanOne(std::string_view Text, int64_t Pos,
+                                 uint32_t &Line, uint32_t &Col) const {
+  // The same fused walk as Lexer::tokenize: maximal munch with the
+  // position snapshotted at every accept, line/column tracking folded in.
+  // The one addition is LookEnd — how far the walk actually read.
+  const std::vector<regex::CharDfaState> &States = Lex.dfa().states();
+  Lexeme L;
+  L.Off = Pos;
+  L.Line = Line;
+  L.Col = Col;
+
+  int32_t State = 0;
+  int32_t Tag = States[0].AcceptTag;
+  int64_t BestLen = Tag >= 0 ? 0 : -1;
+  uint32_t BestLine = Line, BestCol = Col;
+  uint32_t CurLine = Line, CurCol = Col;
+  // Unless the walk dies on a byte below, it ran off the end of input
+  // with a live state: appended bytes could change the match, so the
+  // walk is charged with having examined the end itself.
+  int64_t LookEnd = int64_t(Text.size()) + 1;
+  for (size_t I = size_t(Pos); I < Text.size(); ++I) {
+    State = States[size_t(State)].Next[static_cast<unsigned char>(Text[I])];
+    if (State < 0) {
+      LookEnd = int64_t(I) + 1;
+      break;
+    }
+    if (Text[I] == '\n') {
+      ++CurLine;
+      CurCol = 0;
+    } else {
+      ++CurCol;
+    }
+    int32_t Accept = States[size_t(State)].AcceptTag;
+    if (Accept >= 0) {
+      BestLen = int64_t(I) - Pos + 1;
+      Tag = Accept;
+      BestLine = CurLine;
+      BestCol = CurCol;
+    }
+  }
+  L.LookEnd = LookEnd;
+  if (BestLen <= 0) {
+    // Unrecognized byte: the batch lexer reports and skips exactly one.
+    L.Tag = -1;
+    L.Len = 1;
+    if (Text[size_t(Pos)] == '\n') {
+      ++Line;
+      Col = 0;
+    } else {
+      ++Col;
+    }
+    return L;
+  }
+  L.Tag = Tag;
+  L.Len = BestLen;
+  Line = BestLine;
+  Col = BestCol;
+  return L;
+}
+
+size_t IncrementalLexer::firstDamaged(int64_t Offset) const {
+  // MaxLook is non-decreasing, so the damaged region is a suffix.
+  auto It = std::lower_bound(
+      Lexemes.begin(), Lexemes.end(), Offset,
+      [](const Lexeme &L, int64_t Off) { return L.MaxLook <= Off; });
+  return size_t(It - Lexemes.begin());
+}
+
+size_t IncrementalLexer::lexemeAt(int64_t Off) const {
+  auto It = std::lower_bound(
+      Lexemes.begin(), Lexemes.end(), Off,
+      [](const Lexeme &L, int64_t O) { return L.Off < O; });
+  if (It == Lexemes.end() || It->Off != Off)
+    return SIZE_MAX;
+  return size_t(It - Lexemes.begin());
+}
+
+void IncrementalLexer::recomputeMaxLook(size_t From) {
+  int64_t Cum = From > 0 ? Lexemes[From - 1].MaxLook : 0;
+  for (size_t I = From; I < Lexemes.size(); ++I) {
+    Cum = std::max(Cum, Lexemes[I].LookEnd);
+    Lexemes[I].MaxLook = Cum;
+  }
+}
+
+void IncrementalLexer::lexAll(std::string_view Text) {
+  Lexemes.clear();
+  Toks.clear();
+  uint32_t Line = 1, Col = 0;
+  int64_t Pos = 0;
+  while (Pos < int64_t(Text.size())) {
+    Lexeme L = scanOne(Text, Pos, Line, Col);
+    Pos += L.Len;
+    Lexemes.push_back(L);
+  }
+  EndLine = Line;
+  EndCol = Col;
+  recomputeMaxLook(0);
+
+  const std::vector<LexerAction> &Actions = Lex.actions();
+  const std::vector<TokenType> &Types = Lex.types();
+  for (const Lexeme &L : Lexemes) {
+    if (L.Tag < 0 || Actions[size_t(L.Tag)] != LexerAction::Emit)
+      continue;
+    Token T(Types[size_t(L.Tag)],
+            std::string(Text.substr(size_t(L.Off), size_t(L.Len))),
+            SourceLocation(L.Line, L.Col));
+    T.Offset = L.Off;
+    Toks.push_back(std::move(T));
+  }
+  Token Eof(TokenEof, "<EOF>", SourceLocation(EndLine, EndCol));
+  Eof.Offset = int64_t(Text.size());
+  Toks.push_back(std::move(Eof));
+  for (size_t I = 0; I < Toks.size(); ++I)
+    Toks[I].Index = int64_t(I);
+}
+
+IncrementalLexer::Damage IncrementalLexer::relex(std::string_view NewText,
+                                                 int64_t Offset, int64_t OldLen,
+                                                 int64_t NewLen) {
+  const int64_t Delta = NewLen - OldLen;
+  const int64_t OldSize = int64_t(NewText.size()) - Delta;
+  assert(Offset >= 0 && OldLen >= 0 && Offset + OldLen <= OldSize &&
+         "edit must have been validated against the old text");
+
+  // Retained prefix: the longest prefix of lexemes in which no DFA walk
+  // examined a byte at or past the edit.
+  const size_t First = firstDamaged(Offset);
+
+  int64_t P;
+  uint32_t Line, Col;
+  if (First < Lexemes.size()) {
+    P = Lexemes[First].Off;
+    Line = Lexemes[First].Line;
+    Col = Lexemes[First].Col;
+  } else {
+    // Pure append past everything any walk examined.
+    P = OldSize;
+    Line = EndLine;
+    Col = EndCol;
+  }
+
+  // Walk the damaged window, probing each fresh boundary past the
+  // inserted text for an old lexeme start to resynchronize on.
+  const int64_t ResyncMin = Offset + NewLen;
+  std::vector<Lexeme> Fresh;
+  size_t OldSuffix = Lexemes.size();
+  bool Resynced = false;
+  while (P < int64_t(NewText.size())) {
+    if (P >= ResyncMin) {
+      size_t R = lexemeAt(P - Delta);
+      if (R != SIZE_MAX && R >= First) {
+        OldSuffix = R;
+        Resynced = true;
+        break;
+      }
+    }
+    Lexeme L = scanOne(NewText, P, Line, Col);
+    P += L.Len;
+    Fresh.push_back(L);
+  }
+
+  // Position shift for the retained suffix: lines move by the line delta
+  // at the resync point; columns move only on the resync lexeme's old
+  // line (later lines start fresh at column 0 either way).
+  int64_t LineDelta = 0, ColDelta = 0;
+  uint32_t OldResyncLine = 0;
+  if (Resynced) {
+    const Lexeme &R = Lexemes[OldSuffix];
+    OldResyncLine = R.Line;
+    LineDelta = int64_t(Line) - int64_t(R.Line);
+    ColDelta = int64_t(Col) - int64_t(R.Col);
+  }
+
+  // Token-space damage bounds, computed against the old vectors before
+  // any splicing. Tokens are sorted by offset (EOF last, at text size).
+  const int64_t OldTokCount = int64_t(Toks.size());
+  auto tokLowerBound = [&](int64_t Off) {
+    auto It = std::lower_bound(
+        Toks.begin(), Toks.end(), Off,
+        [](const Token &T, int64_t O) { return T.Offset < O; });
+    return int64_t(It - Toks.begin());
+  };
+  const int64_t FirstOff = First < Lexemes.size() ? Lexemes[First].Off : OldSize;
+  Damage D;
+  D.InvalidLo = tokLowerBound(FirstOff);
+  D.OldInvalidHi =
+      Resynced ? tokLowerBound(Lexemes[OldSuffix].Off) : OldTokCount;
+  D.Relexed = int64_t(Fresh.size());
+
+  const std::vector<LexerAction> &Actions = Lex.actions();
+  const std::vector<TokenType> &Types = Lex.types();
+
+  // In-place fast path: an edit that kept every downstream byte, line,
+  // column, lexeme, and token where it was (the overwhelmingly common
+  // overtype) only needs the damaged window overwritten — no vector
+  // rebuild, no suffix rewrite, and downstream consumers learn via
+  // SuffixIdentical that reused suffix subtrees need no token fix-up.
+  if (Resynced && Delta == 0 && LineDelta == 0 && ColDelta == 0 &&
+      Fresh.size() == OldSuffix - First) {
+    int64_t FreshEmitted = 0;
+    for (const Lexeme &L : Fresh)
+      if (L.Tag >= 0 && Actions[size_t(L.Tag)] == LexerAction::Emit)
+        ++FreshEmitted;
+    if (FreshEmitted == D.OldInvalidHi - D.InvalidLo) {
+      std::copy(Fresh.begin(), Fresh.end(), Lexemes.begin() + int64_t(First));
+      recomputeMaxLook(First);
+      int64_t TI = D.InvalidLo;
+      for (const Lexeme &L : Fresh) {
+        if (L.Tag < 0 || Actions[size_t(L.Tag)] != LexerAction::Emit)
+          continue;
+        Token T(Types[size_t(L.Tag)],
+                std::string(NewText.substr(size_t(L.Off), size_t(L.Len))),
+                SourceLocation(L.Line, L.Col));
+        T.Offset = L.Off;
+        T.Index = TI;
+        Toks[size_t(TI)] = std::move(T);
+        ++TI;
+      }
+      D.NewInvalidHi = D.OldInvalidHi;
+      D.TokenDelta = 0;
+      D.SuffixIdentical = true;
+      return D;
+    }
+  }
+
+  // Splice the lexeme index.
+  std::vector<Lexeme> NewLex;
+  NewLex.reserve(First + Fresh.size() + (Lexemes.size() - OldSuffix));
+  NewLex.insert(NewLex.end(), Lexemes.begin(), Lexemes.begin() + First);
+  NewLex.insert(NewLex.end(), Fresh.begin(), Fresh.end());
+  for (size_t I = OldSuffix; I < Lexemes.size(); ++I) {
+    Lexeme L = Lexemes[I];
+    L.Off += Delta;
+    L.LookEnd += Delta; // the end-of-input sentinel shifts with the size
+    if (L.Line == OldResyncLine)
+      L.Col = uint32_t(int64_t(L.Col) + ColDelta);
+    L.Line = uint32_t(int64_t(L.Line) + LineDelta);
+    NewLex.push_back(L);
+  }
+  Lexemes = std::move(NewLex);
+  recomputeMaxLook(First);
+
+  if (Resynced) {
+    if (EndLine == OldResyncLine)
+      EndCol = uint32_t(int64_t(EndCol) + ColDelta);
+    EndLine = uint32_t(int64_t(EndLine) + LineDelta);
+  } else {
+    EndLine = Line;
+    EndCol = Col;
+  }
+
+  // Splice the token vector: retained prefix, freshly lexed middle,
+  // shifted suffix (which includes EOF when we resynchronized).
+  std::vector<Token> NewToks;
+  NewToks.reserve(Toks.size() + size_t(std::max<int64_t>(Delta, 0)) + 1);
+  for (int64_t I = 0; I < D.InvalidLo; ++I)
+    NewToks.push_back(std::move(Toks[size_t(I)]));
+  for (const Lexeme &L : Fresh) {
+    if (L.Tag < 0 || Actions[size_t(L.Tag)] != LexerAction::Emit)
+      continue;
+    Token T(Types[size_t(L.Tag)],
+            std::string(NewText.substr(size_t(L.Off), size_t(L.Len))),
+            SourceLocation(L.Line, L.Col));
+    T.Offset = L.Off;
+    NewToks.push_back(std::move(T));
+  }
+  D.NewInvalidHi = int64_t(NewToks.size());
+  for (int64_t I = D.OldInvalidHi; I < OldTokCount; ++I) {
+    Token T = std::move(Toks[size_t(I)]);
+    T.Offset += Delta;
+    if (T.Loc.Line == OldResyncLine)
+      T.Loc.Column = uint32_t(int64_t(T.Loc.Column) + ColDelta);
+    T.Loc.Line = uint32_t(int64_t(T.Loc.Line) + LineDelta);
+    NewToks.push_back(std::move(T));
+  }
+  if (!Resynced) {
+    Token Eof(TokenEof, "<EOF>", SourceLocation(EndLine, EndCol));
+    Eof.Offset = int64_t(NewText.size());
+    NewToks.push_back(std::move(Eof));
+    // No old token survived the damage, so the fresh EOF belongs to the
+    // damaged window and both retained-suffix ranges are empty.
+    D.NewInvalidHi = int64_t(NewToks.size());
+  }
+  Toks = std::move(NewToks);
+  for (int64_t I = D.InvalidLo; I < int64_t(Toks.size()); ++I)
+    Toks[size_t(I)].Index = I;
+
+  D.TokenDelta = int64_t(Toks.size()) - OldTokCount;
+  D.SuffixIdentical = Resynced && Delta == 0 && LineDelta == 0 &&
+                      ColDelta == 0 && D.TokenDelta == 0;
+  return D;
+}
+
+void IncrementalLexer::emitLexDiagnostics(std::string_view Text,
+                                          DiagnosticEngine &Diags) const {
+  for (const Lexeme &L : Lexemes)
+    if (L.Tag < 0)
+      Diags.error(SourceLocation(L.Line, L.Col),
+                  "unrecognized character '" +
+                      escapeChar(Text[size_t(L.Off)]) + "'");
+}

@@ -1,0 +1,237 @@
+#include "incremental/IncrementalSession.h"
+
+#include "compiled/CompiledParser.h"
+#include "runtime/LLStarParser.h"
+
+#include <chrono>
+
+using namespace llstar;
+using namespace llstar::incremental;
+
+IncrementalSession::IncrementalSession(
+    std::shared_ptr<const GrammarBundle> Bundle, SessionOptions Opts)
+    : Bundle(std::move(Bundle)), Opts(std::move(Opts)),
+      IncLex(this->Bundle->lexer()) {}
+
+IncrementalSession::~IncrementalSession() = default;
+
+ParserStats IncrementalSession::takeStatsDelta() {
+  ParserStats Out = std::move(Delta);
+  Delta = ParserStats();
+  return Out;
+}
+
+std::string IncrementalSession::treeText() const {
+  if (HeapRoot)
+    return HeapRoot->str(Bundle->grammar());
+  if (ArenaRoot && Stream)
+    return ArenaRoot->str(Bundle->grammar(), *Stream);
+  return "";
+}
+
+EditOutcome IncrementalSession::reset(std::string NewText) {
+  auto StartTime = std::chrono::steady_clock::now();
+  Text = std::move(NewText);
+  IncLex.lexAll(Text);
+  IncrementalLexer::Damage D;
+  D.InvalidLo = 0;
+  D.OldInvalidHi = 0;
+  D.NewInvalidHi = int64_t(IncLex.tokens().size());
+  D.TokenDelta = 0;
+  D.Relexed = int64_t(IncLex.lexemes().size());
+  Record.clear();
+  return parseCurrent(D, /*Incremental=*/false, StartTime);
+}
+
+EditOutcome IncrementalSession::applyEdit(const Edit &E) {
+  auto StartTime = std::chrono::steady_clock::now();
+  if (EditScriptError VE = validateEdit(E, Text.size());
+      VE != EditScriptError::None) {
+    EditOutcome O;
+    O.Error = VE;
+    return O;
+  }
+  Text.replace(size_t(E.Offset), size_t(E.OldLen), E.NewText);
+  if (!Opts.Reuse) {
+    // Baseline mode: behave like an editor without this subsystem —
+    // tokenize and parse the whole new text every time.
+    return reset(std::move(Text));
+  }
+  IncrementalLexer::Damage D =
+      IncLex.relex(Text, E.Offset, E.OldLen, int64_t(E.NewText.size()));
+  return parseCurrent(D, /*Incremental=*/true, StartTime);
+}
+
+EditOutcome IncrementalSession::applyBatch(const std::vector<Edit> &Batch) {
+  EditOutcome Sum;
+  bool FirstOutcome = true;
+  for (size_t I = Batch.size(); I-- > 0;) {
+    EditOutcome O = applyEdit(Batch[I]);
+    if (O.Error != EditScriptError::None)
+      return O;
+    O.Millis += Sum.Millis;
+    O.NodesReused += Sum.NodesReused;
+    O.TokensRelexed += Sum.TokensRelexed;
+    O.DecisionsReparsed += Sum.DecisionsReparsed;
+    Sum = O;
+    FirstOutcome = false;
+  }
+  if (FirstOutcome) {
+    // An empty batch is a no-op; report the current state.
+    Sum.ParseOk = LastOk;
+    Sum.NumTokens = int64_t(IncLex.tokens().size());
+    Sum.NumErrors = Diags.errorCount();
+  }
+  return Sum;
+}
+
+EditOutcome IncrementalSession::parseCurrent(
+    const IncrementalLexer::Damage &D, bool Incremental,
+    std::chrono::steady_clock::time_point StartTime) {
+  Diags.clear();
+  IncLex.emitLexDiagnostics(Text, Diags);
+
+  // The stream is a view over the master token vector — IncrementalLexer
+  // splices that vector in place between parses, so copying it here would
+  // put an O(tokens) tax on every edit. Nothing reads the previous stream
+  // during the parse (arena renderings happen between edits, against the
+  // committed stream).
+  auto NewStream =
+      std::make_unique<TokenStream>(IncLex.tokens(), TokenStream::Borrow{});
+
+  Arena *BuildArena = nullptr;
+  if (Opts.UseArena)
+    BuildArena = LiveIsA ? &ArenaB : &ArenaA;
+
+  const bool UseHooks = Opts.Reuse;
+  ReuseRecorder::Config RC;
+  if (Incremental && Opts.Reuse && (HeapRoot || ArenaRoot)) {
+    RC.Prev = &Record;
+    RC.InvalidLo = D.InvalidLo;
+    RC.OldInvalidHi = D.OldInvalidHi;
+    RC.NewInvalidHi = D.NewInvalidHi;
+    RC.TokenDelta = D.TokenDelta;
+    RC.SuffixIdentical = D.SuffixIdentical;
+  }
+  RC.NewTokens = &IncLex.tokens();
+  RC.NewArena = BuildArena;
+  ReuseRecorder Rec(RC);
+
+  ParserOptions PO;
+  PO.BuildTree = true;
+  PO.CollectStats = true;
+  PO.Recover = Opts.Recover;
+  PO.TreeArena = BuildArena;
+  if (UseHooks) {
+    PO.Hooks = &Rec;
+    // Memo hits replay speculative sub-parses without re-reporting their
+    // lookahead, which would under-record reach; trees and diagnostics
+    // are memoization-independent, so recording parses just turn it off.
+    PO.Memoize = false;
+  }
+
+  const AnalyzedGrammar &AG = Bundle->analyzed();
+  std::unique_ptr<ParseTree> NewHeapRoot;
+  const ArenaParseTree *NewArenaRoot = nullptr;
+  ParserStats S;
+  bool ParseOk;
+  if (Opts.UseCompiled) {
+    const compiled::CompiledResolution &CT = Bundle->compiledTables();
+    compiled::CompiledParser P(AG, CT.View, *NewStream, /*Env=*/nullptr, Diags,
+                               PO, CT.Native, CT.Rules);
+    NewHeapRoot = P.parse(Opts.StartRule);
+    NewArenaRoot = P.arenaTree();
+    ParseOk = P.ok();
+    S = P.stats();
+  } else {
+    LLStarParser P(AG, *NewStream, /*Env=*/nullptr, Diags, PO);
+    NewHeapRoot = P.parse(Opts.StartRule);
+    NewArenaRoot = P.arenaTree();
+    ParseOk = P.ok();
+    S = P.stats();
+  }
+
+  // Commit: the new tree replaces the old, the old arena is recycled.
+  HeapRoot = std::move(NewHeapRoot);
+  ArenaRoot = NewArenaRoot;
+  Stream = std::move(NewStream);
+  if (UseHooks)
+    Record = Rec.take();
+  else
+    Record.clear();
+  if (Opts.UseArena) {
+    (LiveIsA ? ArenaA : ArenaB).reset();
+    LiveIsA = !LiveIsA;
+  }
+  LastOk = ParseOk;
+
+  S.TokensRelexed = D.Relexed;
+  S.DecisionsReparsed = S.totalEvents();
+  Cumulative.merge(S);
+  Delta.merge(S);
+
+  EditOutcome O;
+  // Millis covers relex + reparse — the subsystem's actual per-edit work.
+  // The node/error counts below are reporting conveniences that walk the
+  // whole tree; keeping them outside the measured window stops them from
+  // drowning the signal on large trees.
+  O.Millis = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - StartTime)
+                 .count();
+  O.ParseOk = ParseOk;
+  O.NumTokens = int64_t(IncLex.tokens().size());
+  O.NodesReused = S.NodesReused;
+  O.TokensRelexed = S.TokensRelexed;
+  O.DecisionsReparsed = S.DecisionsReparsed;
+  if (HeapRoot) {
+    O.TreeNodes = int64_t(HeapRoot->size());
+    O.ErrorLeaves = int64_t(HeapRoot->numErrorNodes());
+  } else if (ArenaRoot) {
+    O.TreeNodes = int64_t(ArenaRoot->size());
+    O.ErrorLeaves = int64_t(ArenaRoot->numErrorNodes());
+  }
+  O.NumErrors = Diags.errorCount();
+  return O;
+}
+
+ScratchResult llstar::incremental::scratchParse(const GrammarBundle &Bundle,
+                                               std::string_view Text,
+                                               const SessionOptions &Opts) {
+  ScratchResult R;
+  DiagnosticEngine Diags;
+  TokenStream Stream(Bundle.tokenize(Text, Diags));
+  R.Tokens = Stream.tokens();
+
+  Arena A;
+  ParserOptions PO;
+  PO.BuildTree = true;
+  PO.CollectStats = true;
+  PO.Recover = Opts.Recover;
+  if (Opts.UseArena)
+    PO.TreeArena = &A;
+
+  const AnalyzedGrammar &AG = Bundle.analyzed();
+  auto Finish = [&](auto &P, std::unique_ptr<ParseTree> Root) {
+    R.ParseOk = P.ok();
+    if (Root) {
+      R.TreeText = Root->str(AG.grammar());
+      R.TreeNodes = int64_t(Root->size());
+      R.ErrorLeaves = int64_t(Root->numErrorNodes());
+    } else if (P.arenaTree()) {
+      R.TreeText = P.arenaTree()->str(AG.grammar(), Stream);
+      R.TreeNodes = int64_t(P.arenaTree()->size());
+      R.ErrorLeaves = int64_t(P.arenaTree()->numErrorNodes());
+    }
+  };
+  if (Opts.UseCompiled) {
+    const compiled::CompiledResolution &CT = Bundle.compiledTables();
+    compiled::CompiledParser P(AG, CT.View, Stream, /*Env=*/nullptr, Diags, PO,
+                               CT.Native, CT.Rules);
+    Finish(P, P.parse(Opts.StartRule));
+  } else {
+    LLStarParser P(AG, Stream, /*Env=*/nullptr, Diags, PO);
+    Finish(P, P.parse(Opts.StartRule));
+  }
+  R.DiagText = Diags.str();
+  return R;
+}

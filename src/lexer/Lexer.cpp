@@ -77,11 +77,13 @@ std::vector<Token> Lexer::tokenize(std::string_view Input,
       Token T(Types[size_t(Tag)],
               std::string(Input.substr(Pos, size_t(BestLen))),
               SourceLocation(Line, Column));
+      T.Offset = int64_t(Pos);
       Result.push_back(std::move(T));
     } else if (Action == LexerAction::Hidden && HiddenOut) {
       Token T(Types[size_t(Tag)],
               std::string(Input.substr(Pos, size_t(BestLen))),
               SourceLocation(Line, Column));
+      T.Offset = int64_t(Pos);
       T.Channel = TokenChannel::Hidden;
       HiddenOut->push_back(std::move(T));
     }
@@ -93,6 +95,7 @@ std::vector<Token> Lexer::tokenize(std::string_view Input,
   }
 
   Token Eof(TokenEof, "<EOF>", SourceLocation(Line, Column));
+  Eof.Offset = int64_t(Input.size());
   Result.push_back(std::move(Eof));
   for (size_t I = 0; I < Result.size(); ++I)
     Result[I].Index = int64_t(I);

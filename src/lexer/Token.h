@@ -41,6 +41,11 @@ struct Token {
   TokenType Type = TokenInvalid;
   std::string Text;
   SourceLocation Loc;
+  /// Byte offset of the token's first character in the original input (the
+  /// EOF token's offset is the input length). Edit-range mapping in
+  /// src/incremental/ relies on this being set uniformly by every lexer
+  /// path, interpreted and compiled alike; -1 only for hand-built tokens.
+  int64_t Offset = -1;
   /// Index within the (channel-filtered) token stream; set by TokenStream.
   int64_t Index = -1;
   TokenChannel Channel = TokenChannel::Default;

@@ -27,17 +27,35 @@ namespace llstar {
 class TokenStream {
 public:
   explicit TokenStream(std::vector<Token> Tokens)
-      : Tokens(std::move(Tokens)) {
-    assert(!this->Tokens.empty() && this->Tokens.back().isEof() &&
+      : Owned(std::move(Tokens)), Toks(&Owned) {
+    assert(!Owned.empty() && Owned.back().isEof() &&
            "token stream must end with EOF");
   }
+
+  /// Tag selecting the non-owning constructor.
+  struct Borrow {};
+  /// A view over a caller-owned vector, which must outlive the stream and
+  /// not be resized while any parse is running. The incremental session
+  /// parses straight out of its master token vector this way instead of
+  /// copying thousands of tokens per edit.
+  TokenStream(const std::vector<Token> &Tokens, Borrow) : Toks(&Tokens) {
+    assert(!Tokens.empty() && Tokens.back().isEof() &&
+           "token stream must end with EOF");
+  }
+
+  TokenStream(TokenStream &&O) noexcept
+      : Owned(std::move(O.Owned)),
+        Toks(O.Toks == &O.Owned ? &Owned : O.Toks), Pos(O.Pos) {}
+  TokenStream(const TokenStream &) = delete;
+  TokenStream &operator=(const TokenStream &) = delete;
+  TokenStream &operator=(TokenStream &&) = delete;
 
   /// Current position (index of the next token to consume).
   int64_t index() const { return Pos; }
 
   /// Repositions the stream; used to rewind after speculation.
   void seek(int64_t Index) {
-    assert(Index >= 0 && size_t(Index) < Tokens.size() && "seek out of range");
+    assert(Index >= 0 && size_t(Index) < Toks->size() && "seek out of range");
     Pos = Index;
   }
 
@@ -51,24 +69,25 @@ public:
   const Token &at(int64_t Index) const {
     if (Index < 0)
       Index = 0;
-    if (size_t(Index) >= Tokens.size())
-      Index = int64_t(Tokens.size()) - 1;
-    return Tokens[size_t(Index)];
+    if (size_t(Index) >= Toks->size())
+      Index = int64_t(Toks->size()) - 1;
+    return (*Toks)[size_t(Index)];
   }
 
   /// Consumes one token (never moves past EOF).
   void consume() {
-    if (size_t(Pos) + 1 < Tokens.size())
+    if (size_t(Pos) + 1 < Toks->size())
       ++Pos;
   }
 
   /// Total number of tokens including EOF.
-  int64_t size() const { return int64_t(Tokens.size()); }
+  int64_t size() const { return int64_t(Toks->size()); }
 
-  const std::vector<Token> &tokens() const { return Tokens; }
+  const std::vector<Token> &tokens() const { return *Toks; }
 
 private:
-  std::vector<Token> Tokens;
+  std::vector<Token> Owned;          ///< empty for borrowed streams
+  const std::vector<Token> *Toks;    ///< &Owned, or the borrowed vector
   int64_t Pos = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "net/Daemon.h"
 
+#include "incremental/IncrementalSession.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -38,6 +40,13 @@ struct Daemon::Connection {
   std::unordered_set<uint64_t> InFlight; ///< parse ids awaiting replies
   bool ReadDone = false; ///< reader finished and every reply is enqueued
   bool Dead = false;     ///< socket unusable; further output is dropped
+
+  /// Incremental edit sessions, keyed by the client-chosen session id.
+  /// Touched only by this connection's reader thread (Edit requests run
+  /// synchronously there, like LoadBundle), so no lock is needed; the
+  /// sessions die with the connection.
+  std::unordered_map<uint32_t, std::unique_ptr<incremental::IncrementalSession>>
+      EditSessions;
 
   /// Queues already-framed bytes for the writer (dropped once Dead).
   void enqueue(std::string Bytes) {
@@ -401,6 +410,9 @@ void Daemon::handleRecord(const std::shared_ptr<Connection> &Conn,
   case Opcode::LoadBundle:
     handleLoadBundle(Conn, Hdr, R);
     return;
+  case Opcode::Edit:
+    handleEdit(Conn, Hdr, R);
+    return;
   case Opcode::Stats: {
     if (!decodeStatsArgs(R)) {
       bumpCounter(&DaemonCounters::ProtocolErrors);
@@ -524,6 +536,97 @@ void Daemon::handleParse(const std::shared_ptr<Connection> &Conn,
     }
     Conn->InFlightCv.notify_all();
   });
+}
+
+void Daemon::handleEdit(const std::shared_ptr<Connection> &Conn,
+                        const MessageHeader &Hdr, ByteReader &Body) {
+  auto Reply = [&](std::string RecordBytes) {
+    std::string Out;
+    frameRecord(Out, RecordBytes, Config.MaxFragmentBytes);
+    Conn->enqueue(std::move(Out));
+  };
+
+  EditArgs Args;
+  if (!decodeEditArgs(Body, Hdr.Flags, Args)) {
+    bumpCounter(&DaemonCounters::ProtocolErrors);
+    Reply(encodeErrorReply(Hdr.RequestId, WireError::BadBody,
+                           "malformed edit arguments"));
+    return;
+  }
+
+  // Like LoadBundle, Edit runs synchronously on the reader thread: a
+  // session's edits are inherently ordered, and the session itself is
+  // reader-thread-local state.
+  if (Args.Action == EditActionClose) {
+    Conn->EditSessions.erase(Args.SessionId);
+    EditReplyBody Out;
+    Out.Status = uint8_t(ParseStatus::Ok);
+    Reply(encodeEditReply(Hdr.RequestId, Out));
+    return;
+  }
+
+  incremental::IncrementalSession *Session = nullptr;
+  if (Args.Action == EditActionReset) {
+    auto Bundle = findBundle(Args.BundleHash);
+    if (!Bundle) {
+      Reply(encodeErrorReply(Hdr.RequestId, WireError::UnknownBundle,
+                             Args.BundleHash == 0
+                                 ? "no bundle loaded yet"
+                                 : "no bundle with hash " +
+                                       std::to_string(Args.BundleHash)));
+      return;
+    }
+    incremental::SessionOptions SO;
+    SO.Recover = Args.Mode & EditModeRecover;
+    SO.UseCompiled = Args.Mode & EditModeCompiled;
+    SO.UseArena = Args.Mode & EditModeArena;
+    SO.Reuse = !(Args.Mode & EditModeNoReuse);
+    SO.StartRule = Args.StartRule;
+    auto Fresh = std::make_unique<incremental::IncrementalSession>(
+        std::move(Bundle), std::move(SO));
+    Session = Fresh.get();
+    Conn->EditSessions[Args.SessionId] = std::move(Fresh);
+  } else {
+    auto It = Conn->EditSessions.find(Args.SessionId);
+    if (It == Conn->EditSessions.end()) {
+      Reply(encodeErrorReply(Hdr.RequestId, WireError::UnknownSession,
+                             "session " + std::to_string(Args.SessionId) +
+                                 " has no reset yet"));
+      return;
+    }
+    Session = It->second.get();
+  }
+
+  incremental::EditOutcome O =
+      Args.Action == EditActionReset
+          ? Session->reset(std::move(Args.NewText))
+          : Session->applyEdit({int64_t(Args.Offset), int64_t(Args.OldLen),
+                                std::move(Args.NewText)});
+  Service.recordExternalStats(Session->takeStatsDelta());
+
+  EditReplyBody Out;
+  Out.EditError = uint16_t(O.Error);
+  if (O.Error != incremental::EditScriptError::None)
+    Out.Status = uint8_t(ParseStatus::BadRequest);
+  else if (O.ParseOk)
+    Out.Status = uint8_t(ParseStatus::Ok);
+  else if (O.NumErrors > 0 && O.TreeNodes > 0)
+    Out.Status = uint8_t(ParseStatus::Recovered);
+  else
+    Out.Status = uint8_t(ParseStatus::SyntaxError);
+  Out.NumTokens = O.NumTokens;
+  Out.TreeNodes = O.TreeNodes;
+  Out.ErrorLeaves = O.ErrorLeaves;
+  Out.NodesReused = O.NodesReused;
+  Out.TokensRelexed = O.TokensRelexed;
+  Out.DecisionsReparsed = O.DecisionsReparsed;
+  Out.EditMillis = O.Millis;
+  if (O.Error == incremental::EditScriptError::None) {
+    if (Args.WantTree)
+      Out.TreeText = Session->treeText();
+    Out.DiagText = Session->diags().str();
+  }
+  Reply(encodeEditReply(Hdr.RequestId, Out));
 }
 
 void Daemon::handleLoadBundle(const std::shared_ptr<Connection> &Conn,

@@ -22,6 +22,13 @@
 ///     GrammarBundleCache — re-loading identical bytes is a cache hit,
 ///     loading changed bytes is a hot reload under a new hash while
 ///     in-flight requests keep their old bundle alive,
+///   - Edit requests give each connection stateful incremental sessions
+///     (incremental::IncrementalSession keyed by a client-chosen id):
+///     Reset creates one, Apply re-lexes and reparses only the damaged
+///     region, Close discards it. They run synchronously on the reader
+///     thread — a session's edits are inherently ordered — and their
+///     parser stats fold into the service metrics via
+///     ParseService::recordExternalStats,
 ///   - drain() (the Drain opcode, or SIGTERM in the llstard tool)
 ///     finishes every accepted request, flushes its replies, and only
 ///     then refuses new work.
@@ -122,6 +129,8 @@ private:
   void handleLoadBundle(const std::shared_ptr<Connection> &Conn,
                         const wire::MessageHeader &Hdr,
                         wire::ByteReader &Body);
+  void handleEdit(const std::shared_ptr<Connection> &Conn,
+                  const wire::MessageHeader &Hdr, wire::ByteReader &Body);
   std::shared_ptr<const GrammarBundle> findBundle(uint64_t Hash);
   void reapFinishedConnections();
   void bumpCounter(int64_t DaemonCounters::*Field);

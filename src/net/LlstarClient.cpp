@@ -182,6 +182,13 @@ bool LlstarClient::parse(const ParseArgs &Args, bool Recover, Message &Out,
   return wait(Id, Out, Err);
 }
 
+bool LlstarClient::edit(const EditArgs &Args, Message &Out, std::string *Err) {
+  uint64_t Id = NextId++;
+  if (!sendRecord(encodeEditArgs(Id, Args), Err))
+    return false;
+  return wait(Id, Out, Err);
+}
+
 bool LlstarClient::stats(bool IncludeDecisions, std::string &JsonOut,
                          std::string *Err) {
   uint64_t Id = NextId++;

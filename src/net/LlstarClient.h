@@ -69,6 +69,12 @@ public:
   bool parse(const wire::ParseArgs &Args, bool Recover, wire::Message &Out,
              std::string *Err = nullptr);
 
+  /// One incremental-session round-trip (reset / apply / close — see the
+  /// Edit opcode). \p Out.Hdr.Op distinguishes an EditReply from an
+  /// ErrorReply; transport failures return false.
+  bool edit(const wire::EditArgs &Args, wire::Message &Out,
+            std::string *Err = nullptr);
+
   /// Fetches the service metrics JSON.
   bool stats(bool IncludeDecisions, std::string &JsonOut,
              std::string *Err = nullptr);

@@ -27,6 +27,8 @@ const char *wire::wireErrorName(WireError E) {
     return "draining";
   case WireError::FrameTooLarge:
     return "frame-too-large";
+  case WireError::UnknownSession:
+    return "unknown-session";
   }
   return "?";
 }
@@ -230,11 +232,13 @@ static bool validOpcode(uint8_t Op) {
   case Opcode::LoadBundle:
   case Opcode::Stats:
   case Opcode::Drain:
+  case Opcode::Edit:
   case Opcode::ParseReply:
   case Opcode::ParseRecoverReply:
   case Opcode::LoadBundleReply:
   case Opcode::StatsReply:
   case Opcode::DrainReply:
+  case Opcode::EditReply:
   case Opcode::ErrorReply:
     return true;
   }
@@ -388,6 +392,60 @@ std::string wire::encodeDrainReply(uint64_t RequestId) {
 
 bool wire::decodeDrainBody(ByteReader &R) { return R.done(); }
 
+std::string wire::encodeEditArgs(uint64_t RequestId, const EditArgs &Args) {
+  std::string Out;
+  putHeader(Out, Opcode::Edit, RequestId, Args.WantTree ? FlagWantTree : 0);
+  putU32(Out, Args.SessionId);
+  putU8(Out, Args.Action);
+  putU8(Out, Args.Mode);
+  putU64(Out, Args.BundleHash);
+  putU64(Out, Args.Offset);
+  putU64(Out, Args.OldLen);
+  putStr(Out, Args.StartRule);
+  putStr(Out, Args.NewText);
+  return Out;
+}
+
+bool wire::decodeEditArgs(ByteReader &R, uint8_t Flags, EditArgs &Args) {
+  Args.WantTree = Flags & FlagWantTree;
+  if (!R.u32(Args.SessionId) || !R.u8(Args.Action) || !R.u8(Args.Mode) ||
+      !R.u64(Args.BundleHash) || !R.u64(Args.Offset) || !R.u64(Args.OldLen) ||
+      !R.str(Args.StartRule) || !R.str(Args.NewText) || !R.done())
+    return false;
+  return Args.Action <= EditActionClose && Args.Mode <= 0xF;
+}
+
+std::string wire::encodeEditReply(uint64_t RequestId,
+                                  const EditReplyBody &Reply) {
+  std::string Out;
+  putHeader(Out, Opcode::EditReply, RequestId);
+  putU16(Out, Reply.EditError);
+  putU8(Out, Reply.Status);
+  putI64(Out, Reply.NumTokens);
+  putI64(Out, Reply.TreeNodes);
+  putI64(Out, Reply.ErrorLeaves);
+  putI64(Out, Reply.NodesReused);
+  putI64(Out, Reply.TokensRelexed);
+  putI64(Out, Reply.DecisionsReparsed);
+  putF64(Out, Reply.EditMillis);
+  putStr(Out, Reply.TreeText);
+  putStr(Out, Reply.DiagText);
+  return Out;
+}
+
+bool wire::decodeEditReply(ByteReader &R, EditReplyBody &Reply) {
+  if (!R.u16(Reply.EditError) || !R.u8(Reply.Status) ||
+      !R.i64(Reply.NumTokens) || !R.i64(Reply.TreeNodes) ||
+      !R.i64(Reply.ErrorLeaves) || !R.i64(Reply.NodesReused) ||
+      !R.i64(Reply.TokensRelexed) || !R.i64(Reply.DecisionsReparsed) ||
+      !R.f64(Reply.EditMillis) || !R.str(Reply.TreeText) ||
+      !R.str(Reply.DiagText) || !R.done())
+    return false;
+  // EditError values mirror incremental::EditScriptError (None..OutOfRange).
+  return Reply.EditError <= 7 &&
+         Reply.Status <= uint8_t(ParseStatus::BadRequest);
+}
+
 std::string wire::encodeErrorReply(uint64_t RequestId, WireError Code,
                                    std::string_view Message) {
   std::string Out;
@@ -429,6 +487,9 @@ bool wire::decodeReply(std::string_view Record, Message &Out,
     break;
   case Opcode::DrainReply:
     Ok = decodeDrainBody(R);
+    break;
+  case Opcode::EditReply:
+    Ok = decodeEditReply(R, Out.Edit);
     break;
   case Opcode::ErrorReply:
     Ok = decodeErrorReply(R, Out.Error);

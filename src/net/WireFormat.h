@@ -66,11 +66,13 @@ enum class Opcode : uint8_t {
   LoadBundle = 3,   ///< load grammar text / .llb bytes, keyed by hash
   Stats = 4,        ///< fetch the service metrics JSON
   Drain = 5,        ///< finish in-flight work, then stop accepting
+  Edit = 6,         ///< incremental session op: reset / apply edit / close
   ParseReply = 0x81,
   ParseRecoverReply = 0x82,
   LoadBundleReply = 0x83,
   StatsReply = 0x84,
   DrainReply = 0x85,
+  EditReply = 0x86,
   ErrorReply = 0xFF,
 };
 
@@ -86,6 +88,7 @@ enum class WireError : uint16_t {
   BadBundle = 7,         ///< LoadBundle bytes failed to load
   Draining = 8,          ///< daemon is draining; no new work
   FrameTooLarge = 9,     ///< fragment/record over the configured cap
+  UnknownSession = 10,   ///< Edit referenced a session id with no reset yet
 };
 
 const char *wireErrorName(WireError E);
@@ -228,6 +231,53 @@ struct LoadBundleReply {
   std::string Name;
 };
 
+//===----------------------------------------------------------------------===//
+// Edit: stateful incremental sessions
+//===----------------------------------------------------------------------===//
+
+/// Edit actions. Sessions are per-connection, keyed by a client-chosen
+/// 32-bit id; Reset creates (or re-creates) the session, Apply mutates
+/// it, Close discards it. A connection's sessions die with it.
+constexpr uint8_t EditActionReset = 0; ///< (re)initialize with NewText
+constexpr uint8_t EditActionApply = 1; ///< replace OldLen bytes at Offset
+constexpr uint8_t EditActionClose = 2; ///< discard the session
+
+/// Session mode bits, honored at Reset (session creation) only.
+constexpr uint8_t EditModeRecover = 1;  ///< error-recovering parses
+constexpr uint8_t EditModeCompiled = 2; ///< dense-table engine
+constexpr uint8_t EditModeArena = 4;    ///< arena parse trees
+constexpr uint8_t EditModeNoReuse = 8;  ///< full reparse per edit (baseline)
+
+struct EditArgs {
+  uint32_t SessionId = 0;
+  uint8_t Action = EditActionReset;
+  uint8_t Mode = EditModeRecover;
+  /// Bundle for session creation (Reset); 0 = the daemon-wide default.
+  uint64_t BundleHash = 0;
+  uint64_t Offset = 0; ///< Apply only
+  uint64_t OldLen = 0; ///< Apply only
+  bool WantTree = false; ///< carried in the header flags
+  std::string StartRule; ///< Reset only; empty = the grammar's first rule
+  std::string NewText;   ///< Reset: the whole text; Apply: the replacement
+};
+
+/// Mirrors incremental::EditOutcome plus the session's rendered state.
+struct EditReplyBody {
+  /// incremental::EditScriptError as a stable u16; non-zero means the
+  /// edit was rejected and the session is unchanged.
+  uint16_t EditError = 0;
+  uint8_t Status = 0; ///< llstar::ParseStatus (Ok/Recovered/SyntaxError)
+  int64_t NumTokens = 0;
+  int64_t TreeNodes = 0;
+  int64_t ErrorLeaves = 0;
+  int64_t NodesReused = 0;
+  int64_t TokensRelexed = 0;
+  int64_t DecisionsReparsed = 0;
+  double EditMillis = 0;
+  std::string TreeText; ///< rendered only under FlagWantTree
+  std::string DiagText;
+};
+
 struct ErrorReply {
   WireError Code = WireError::None;
   std::string Message;
@@ -249,6 +299,8 @@ std::string encodeStatsArgs(uint64_t RequestId, bool IncludeDecisions);
 std::string encodeStatsReply(uint64_t RequestId, std::string_view Json);
 std::string encodeDrainArgs(uint64_t RequestId);
 std::string encodeDrainReply(uint64_t RequestId);
+std::string encodeEditArgs(uint64_t RequestId, const EditArgs &Args);
+std::string encodeEditReply(uint64_t RequestId, const EditReplyBody &Reply);
 std::string encodeErrorReply(uint64_t RequestId, WireError Code,
                              std::string_view Message);
 
@@ -269,6 +321,8 @@ bool decodeLoadBundleReply(ByteReader &R, LoadBundleReply &Reply);
 bool decodeStatsArgs(ByteReader &R);
 bool decodeStatsReply(ByteReader &R, std::string &Json);
 bool decodeDrainBody(ByteReader &R); ///< Drain args and reply: empty body
+bool decodeEditArgs(ByteReader &R, uint8_t Flags, EditArgs &Args);
+bool decodeEditReply(ByteReader &R, EditReplyBody &Reply);
 bool decodeErrorReply(ByteReader &R, ErrorReply &Reply);
 
 /// Any reply message, decoded. Which member is meaningful depends on
@@ -277,6 +331,7 @@ struct Message {
   MessageHeader Hdr;
   ParseReply Parse;
   LoadBundleReply Load;
+  EditReplyBody Edit;
   std::string StatsJson;
   ErrorReply Error;
 };

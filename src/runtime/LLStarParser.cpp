@@ -103,9 +103,29 @@ bool LLStarParser::runRule(int32_t RuleIndex, int32_t Precedence,
     ++Stats.MemoMisses;
   }
 
+  // Incremental reparse: splice a recorded subtree instead of running the
+  // body when the subscriber vouches for it (see runtime/ReuseHooks.h).
+  if (Opts.Hooks && !speculating() && Parent) {
+    ReuseHooks::Splice Sp;
+    if (Opts.Hooks->tryReuse(RuleIndex, Precedence, Stream.index(), Sp)) {
+      if (Parent.Heap)
+        Parent.Heap->addChild(std::move(Sp.Heap));
+      else if (Parent.InArena)
+        Parent.InArena->addChild(Sp.InArena);
+      Stream.seek(Sp.NextIndex);
+      InsertionsSinceConsume = 0;
+      ++Stats.NodesReused;
+      return true;
+    }
+  }
+
   NodeRef Node;
   if (Parent && !speculating())
     Node = addRuleChild(Parent, RuleIndex);
+
+  bool Hooked = Opts.Hooks && !speculating();
+  if (Hooked)
+    Opts.Hooks->enterRule(RuleIndex, Precedence, Stream.index());
 
   if (R.IsPrecedenceRule)
     PrecStack.push_back(Precedence);
@@ -120,6 +140,9 @@ bool LLStarParser::runRule(int32_t RuleIndex, int32_t Precedence,
     syncAfterRuleFailure(Node);
     Ok = true;
   }
+
+  if (Hooked)
+    Opts.Hooks->exitRule(RuleIndex, Stream.index(), Node.Heap, Node.InArena);
 
   if (UseMemo)
     Memo[Key] = Ok ? Stream.index() : -1;
@@ -329,6 +352,8 @@ bool LLStarParser::deadlineOk() {
       std::chrono::steady_clock::now() <= Opts.Deadline)
     return true;
   DeadlineHit = true;
+  if (Opts.Hooks)
+    Opts.Hooks->opaque();
   Diags.error(Stream.LT(1).Loc, "parse deadline exceeded");
   return false;
 }
@@ -345,6 +370,11 @@ int32_t LLStarParser::adaptivePredict(int32_t Decision) {
   bool Backtracked = false;
 
   auto Record = [&](int64_t UsedK) {
+    // The reuse subscriber needs every decision's lookahead extent, stats
+    // on or off, speculative or not (StartIndex + max(K,1) inclusively
+    // over-approximates the deepest token examined by at most one).
+    if (Opts.Hooks)
+      Opts.Hooks->lookahead(StartIndex + std::max<int64_t>(UsedK, 1));
     if (!Opts.CollectStats)
       return;
     Stats.Decisions[size_t(Decision)].record(std::max<int64_t>(UsedK, 1),
@@ -410,9 +440,15 @@ bool LLStarParser::evalSemanticContext(const SemanticContext &Pred) {
 bool LLStarParser::evalNamedPredicate(int32_t PredIndex) {
   const AtnPredicate &P = M.predicate(PredIndex);
   if (P.isPrecedence()) {
+    // Precedence gates read only the invocation's precedence argument,
+    // which is part of the reuse key — no poisoning needed.
     int32_t Current = PrecStack.empty() ? 0 : PrecStack.back();
     return Current <= P.MinPrecedence;
   }
+  // A named predicate makes the decision depend on ambient semantic state;
+  // nodes above this point must not be reused.
+  if (Opts.Hooks)
+    Opts.Hooks->opaque();
   if (Env)
     if (const SemanticEnv::Predicate *Fn = Env->findPredicate(P.Name))
       return (*Fn)();
@@ -448,6 +484,10 @@ bool LLStarParser::evalSynPredAlt(int32_t Decision, int32_t Alt) {
 }
 
 void LLStarParser::runAction(int32_t ActionIndex) {
+  // Actions mutate ambient state; conservatively poison even when the
+  // action is skipped during speculation (it would run on re-execution).
+  if (Opts.Hooks)
+    Opts.Hooks->opaque();
   const AtnAction &A = M.action(ActionIndex);
   if (speculating() && !A.Always)
     return; // mutators are deactivated during speculation (Section 4.3)
@@ -466,6 +506,10 @@ void LLStarParser::runAction(int32_t ActionIndex) {
 //===----------------------------------------------------------------------===//
 
 void LLStarParser::reportMismatch(TokenType Expected) {
+  // Errors (and any recovery that follows) depend on the dynamic follow
+  // stack, not just this rule's token window: never reuse across them.
+  if (Opts.Hooks)
+    Opts.Hooks->opaque();
   ++Stats.SyntaxErrors;
   const Token &T = Stream.LT(1);
   // TokenInvalid marks a token-set mismatch; name the token, not the set.
@@ -476,6 +520,8 @@ void LLStarParser::reportMismatch(TokenType Expected) {
 }
 
 void LLStarParser::reportNoViableAlt(int32_t Decision, int64_t DepthReached) {
+  if (Opts.Hooks)
+    Opts.Hooks->opaque();
   ++Stats.SyntaxErrors;
   // Report at the token that killed the DFA walk, not at the decision start
   // (paper Section 4.4).

@@ -30,6 +30,7 @@
 #include "runtime/ArenaParseTree.h"
 #include "runtime/ParseTree.h"
 #include "runtime/ParserStats.h"
+#include "runtime/ReuseHooks.h"
 #include "runtime/SemanticEnv.h"
 #include "support/Diagnostics.h"
 
@@ -71,6 +72,9 @@ struct ParserOptions {
   /// aborts with a "parse deadline exceeded" error diagnostic.
   std::chrono::steady_clock::time_point Deadline =
       std::chrono::steady_clock::time_point::max();
+  /// Incremental-reparse instrumentation (see runtime/ReuseHooks.h). Both
+  /// engines honor it identically. Not owned; must outlive the parse.
+  ReuseHooks *Hooks = nullptr;
 };
 
 /// An interpreting LL(*) parser for one analyzed grammar.

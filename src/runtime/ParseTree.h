@@ -17,6 +17,7 @@
 #include "grammar/Grammar.h"
 #include "lexer/Token.h"
 
+#include <cassert>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,10 +65,38 @@ public:
   ErrorNodeKind errorKind() const { return ErrKind; }
   int32_t ruleIndex() const { return RuleIdx; }
   const Token &token() const { return Tok; }
+  /// Replaces a token leaf's payload; the incremental runtime refreshes
+  /// reused leaves this way when an edit shifted the retained suffix.
+  void setToken(Token T) {
+    assert(IsToken && "not a token leaf");
+    Tok = std::move(T);
+  }
+
+  /// The node owning this one, null for a root (or a detached subtree).
+  /// Links are maintained by addChild; child slots never move once the
+  /// parent's rule finished, which is what lets the incremental runtime
+  /// detach a recorded subtree in O(1).
+  ParseTree *parent() const { return Parent; }
+  /// This node's index in parent()->children().
+  uint32_t parentSlot() const { return Slot; }
 
   ParseTree *addChild(std::unique_ptr<ParseTree> Child) {
+    Child->Parent = this;
+    Child->Slot = uint32_t(Children.size());
     Children.push_back(std::move(Child));
     return Children.back().get();
+  }
+  /// Detaches child \p I, leaving an empty slot (null if already taken or
+  /// out of range). Only trees about to be discarded grow holes — the
+  /// incremental runtime steals subtrees out of the previous parse's tree
+  /// while building the replacement; renderings and counts skip holes.
+  std::unique_ptr<ParseTree> releaseChild(uint32_t I) {
+    if (I >= Children.size())
+      return nullptr;
+    std::unique_ptr<ParseTree> Out = std::move(Children[I]);
+    if (Out)
+      Out->Parent = nullptr;
+    return Out;
   }
   /// Drops children from index \p N on; speculative parsers roll back with
   /// this after a failed attempt.
@@ -89,7 +118,8 @@ public:
   size_t size() const {
     size_t N = 1;
     for (const auto &C : Children)
-      N += C->size();
+      if (C)
+        N += C->size();
     return N;
   }
 
@@ -100,7 +130,8 @@ public:
       return isError() ? 0 : 1;
     size_t N = 0;
     for (const auto &C : Children)
-      N += C->numTokens();
+      if (C)
+        N += C->numTokens();
     return N;
   }
 
@@ -108,7 +139,8 @@ public:
   size_t numErrorNodes() const {
     size_t N = isError() ? 1 : 0;
     for (const auto &C : Children)
-      N += C->numErrorNodes();
+      if (C)
+        N += C->numErrorNodes();
     return N;
   }
 
@@ -124,6 +156,8 @@ public:
     }
     std::string Out = "(" + G.rule(RuleIdx).Name;
     for (const auto &C : Children) {
+      if (!C)
+        continue;
       Out += " ";
       Out += C->str(G);
     }
@@ -135,6 +169,8 @@ private:
   bool IsToken = false;
   ErrorNodeKind ErrKind = ErrorNodeKind::None;
   int32_t RuleIdx = -1;
+  uint32_t Slot = 0;
+  ParseTree *Parent = nullptr;
   Token Tok;
   std::vector<std::unique_ptr<ParseTree>> Children;
 };

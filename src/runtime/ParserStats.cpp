@@ -16,6 +16,9 @@ void ParserStats::merge(const ParserStats &O) {
   TokensDeleted += O.TokensDeleted;
   TokensInserted += O.TokensInserted;
   PanicSyncs += O.PanicSyncs;
+  NodesReused += O.NodesReused;
+  TokensRelexed += O.TokensRelexed;
+  DecisionsReparsed += O.DecisionsReparsed;
 }
 
 namespace {
@@ -66,6 +69,12 @@ std::string ParserStats::json(bool IncludeDecisions) const {
   appendNum(Out, "tokensInserted", TokensInserted);
   Out += ',';
   appendNum(Out, "panicSyncs", PanicSyncs);
+  Out += ',';
+  appendNum(Out, "nodesReused", NodesReused);
+  Out += ',';
+  appendNum(Out, "tokensRelexed", TokensRelexed);
+  Out += ',';
+  appendNum(Out, "decisionsReparsed", DecisionsReparsed);
   if (IncludeDecisions) {
     Out += ",\"decisions\":[";
     bool First = true;

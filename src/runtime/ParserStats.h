@@ -59,6 +59,9 @@ struct ParserStats {
   int64_t TokensDeleted = 0;  ///< single-token-deletion repairs
   int64_t TokensInserted = 0; ///< single-token-insertion repairs
   int64_t PanicSyncs = 0;     ///< sync-and-return recoveries
+  int64_t NodesReused = 0;       ///< subtrees spliced by incremental reparse
+  int64_t TokensRelexed = 0;     ///< tokens re-lexed inside damage windows
+  int64_t DecisionsReparsed = 0; ///< prediction events incremental redid
 
   void ensure(size_t NumDecisions) {
     if (Decisions.size() < NumDecisions)

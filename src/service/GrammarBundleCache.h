@@ -59,6 +59,11 @@ public:
     return Lex->tokenize(Input, Diags);
   }
 
+  /// The bundle's compiled lexer. Incremental sessions re-lex damaged
+  /// windows with the same DFA tables full tokenization uses, so spliced
+  /// token streams are indistinguishable from \ref tokenize output.
+  const Lexer &lexer() const { return *Lex; }
+
   /// Content hash of the bytes this bundle was built from (the cache key).
   uint64_t contentHash() const { return Hash; }
   const std::string &name() const { return AG->grammar().Name; }

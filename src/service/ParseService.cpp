@@ -371,5 +371,14 @@ ServiceMetrics ParseService::metrics() const {
     M.TokensParsed += State->TokensParsed;
     M.ParseMillis += State->ParseMillis;
   }
+  {
+    std::lock_guard<std::mutex> Lock(ExternalMu);
+    M.Parser.merge(ExternalStats);
+  }
   return M;
+}
+
+void ParseService::recordExternalStats(const ParserStats &S) {
+  std::lock_guard<std::mutex> Lock(ExternalMu);
+  ExternalStats.merge(S);
 }

@@ -191,6 +191,12 @@ public:
   /// mid-parse (counters are merged under their per-worker locks).
   ServiceMetrics metrics() const;
 
+  /// Merges parser stats collected outside the worker pool into the
+  /// metrics snapshot — the daemon's incremental edit sessions parse on
+  /// its reader threads but still report here, so nodesReused /
+  /// tokensRelexed / decisionsReparsed show up in the service JSON.
+  void recordExternalStats(const ParserStats &S);
+
   int threads() const { return int(Workers.size()); }
   size_t queueDepth() const;
 
@@ -236,6 +242,10 @@ private:
   int64_t Submitted = 0;
   int64_t RejectedQueueFull = 0;
   int64_t RejectedShutdown = 0;
+
+  /// Stats reported via recordExternalStats, guarded by ExternalMu.
+  mutable std::mutex ExternalMu;
+  ParserStats ExternalStats;
 
   // Completion counters, guarded by CountersMu (workers update them).
   mutable std::mutex CountersMu;

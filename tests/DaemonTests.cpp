@@ -16,6 +16,7 @@
 
 #include "CompiledManifest.h"
 #include "fuzz/SentenceSampler.h"
+#include "incremental/IncrementalSession.h"
 #include "net/Daemon.h"
 #include "net/LlstarClient.h"
 
@@ -724,6 +725,196 @@ TEST(DaemonTest, ManyConnectionsParseConcurrently) {
   EXPECT_EQ(Failures.load(), 0);
   EXPECT_EQ(H.Server.service().metrics().Ok, 150);
   EXPECT_GE(H.Server.counters().ConnectionsAccepted, 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental edit sessions
+//===----------------------------------------------------------------------===//
+
+/// Sends one Edit request and fails the test on transport errors.
+wire::Message editOrFail(LlstarClient &Client, const wire::EditArgs &Args) {
+  wire::Message Reply;
+  std::string Err;
+  EXPECT_TRUE(Client.edit(Args, Reply, &Err)) << Err;
+  return Reply;
+}
+
+TEST(DaemonTest, EditSessionsMatchInProcessScratchParses) {
+  Harness H;
+  ASSERT_TRUE(H.Ok);
+  uint64_t Hash = loadOrFail(H.Client, ExprGrammar);
+
+  DiagnosticEngine Diags;
+  auto Bundle = makeGrammarBundle(ExprGrammar, Diags);
+  ASSERT_TRUE(Bundle) << Diags.str();
+  incremental::SessionOptions SO; // recover, interpreted, heap — mode bit 1
+  incremental::IncrementalSession Local(Bundle, SO);
+
+  wire::EditArgs Args;
+  Args.SessionId = 7;
+  Args.Action = wire::EditActionReset;
+  Args.Mode = wire::EditModeRecover;
+  Args.BundleHash = Hash;
+  Args.WantTree = true;
+  Args.NewText = "1 + 2 * (3 + 4)";
+  Local.reset(Args.NewText);
+
+  auto CheckAgainstLocal = [&](const wire::Message &Reply) {
+    ASSERT_EQ(Reply.Hdr.Op, wire::Opcode::EditReply)
+        << wireErrorName(Reply.Error.Code) << ": " << Reply.Error.Message;
+    EXPECT_EQ(Reply.Edit.EditError, 0);
+    incremental::ScratchResult R =
+        incremental::scratchParse(*Bundle, Local.text(), SO);
+    EXPECT_EQ(Reply.Edit.Status, uint8_t(R.ParseOk ? ParseStatus::Ok
+                                                   : ParseStatus::Recovered));
+    EXPECT_EQ(Reply.Edit.NumTokens, int64_t(R.Tokens.size()));
+    EXPECT_EQ(Reply.Edit.TreeNodes, R.TreeNodes);
+    EXPECT_EQ(Reply.Edit.ErrorLeaves, R.ErrorLeaves);
+    EXPECT_EQ(Reply.Edit.TreeText, R.TreeText);
+    EXPECT_EQ(Reply.Edit.DiagText, R.DiagText);
+  };
+  CheckAgainstLocal(editOrFail(H.Client, Args));
+
+  // A few edits, including one that breaks the input (recovery kicks in)
+  // and one that repairs it. The wire session must track the local one.
+  struct {
+    uint64_t Offset, OldLen;
+    const char *NewText;
+  } Edits[] = {
+      {4, 1, "77"},
+      {0, 0, "("},   // unbalanced — recovered parse with diagnostics
+      {0, 1, ""},    // repaired
+      {8, 0, " * x + 0"}, // 'x' is not a token of this grammar
+  };
+  Args.Action = wire::EditActionApply;
+  for (const auto &E : Edits) {
+    Args.Offset = E.Offset;
+    Args.OldLen = E.OldLen;
+    Args.NewText = E.NewText;
+    Local.applyEdit({int64_t(E.Offset), int64_t(E.OldLen), E.NewText});
+    CheckAgainstLocal(editOrFail(H.Client, Args));
+  }
+
+  // Out-of-range edits are rejected with the typed error and leave the
+  // session unchanged — the next valid edit still matches the local state.
+  Args.Offset = 100000;
+  Args.OldLen = 1;
+  Args.NewText = "x";
+  wire::Message Reply = editOrFail(H.Client, Args);
+  ASSERT_EQ(Reply.Hdr.Op, wire::Opcode::EditReply);
+  EXPECT_EQ(Reply.Edit.EditError,
+            uint16_t(incremental::EditScriptError::OutOfRange));
+  Args.Offset = 0;
+  Args.OldLen = 0;
+  Args.NewText = "0 + ";
+  Local.applyEdit({0, 0, "0 + "});
+  CheckAgainstLocal(editOrFail(H.Client, Args));
+
+  // Edit-session work folds into the service metrics via
+  // recordExternalStats: the stats JSON must show relexed tokens.
+  std::string Json, Err;
+  ASSERT_TRUE(H.Client.stats(false, Json, &Err)) << Err;
+  EXPECT_NE(Json.find("\"tokensRelexed\":"), std::string::npos);
+  EXPECT_EQ(Json.find("\"tokensRelexed\":0,"), std::string::npos) << Json;
+}
+
+TEST(DaemonTest, EditSessionLifecycleErrors) {
+  Harness H;
+  ASSERT_TRUE(H.Ok);
+  uint64_t Hash = loadOrFail(H.Client, ExprGrammar);
+
+  // Apply before any Reset: UnknownSession.
+  wire::EditArgs Args;
+  Args.SessionId = 3;
+  Args.Action = wire::EditActionApply;
+  Args.NewText = "x";
+  wire::Message Reply = editOrFail(H.Client, Args);
+  ASSERT_EQ(Reply.Hdr.Op, wire::Opcode::ErrorReply);
+  EXPECT_EQ(Reply.Error.Code, wire::WireError::UnknownSession);
+
+  // Reset against a bundle hash the daemon has never seen: UnknownBundle.
+  Args.Action = wire::EditActionReset;
+  Args.BundleHash = 0xBAD0BAD0BAD0BAD0ull;
+  Args.NewText = "1";
+  Reply = editOrFail(H.Client, Args);
+  ASSERT_EQ(Reply.Hdr.Op, wire::Opcode::ErrorReply);
+  EXPECT_EQ(Reply.Error.Code, wire::WireError::UnknownBundle);
+
+  // Reset properly, Close, then Apply: the session is gone again.
+  Args.BundleHash = Hash;
+  Reply = editOrFail(H.Client, Args);
+  ASSERT_EQ(Reply.Hdr.Op, wire::Opcode::EditReply);
+  Args.Action = wire::EditActionClose;
+  Reply = editOrFail(H.Client, Args);
+  ASSERT_EQ(Reply.Hdr.Op, wire::Opcode::EditReply);
+  Args.Action = wire::EditActionApply;
+  Args.Offset = 0;
+  Args.OldLen = 0;
+  Args.NewText = "2";
+  Reply = editOrFail(H.Client, Args);
+  ASSERT_EQ(Reply.Hdr.Op, wire::Opcode::ErrorReply);
+  EXPECT_EQ(Reply.Error.Code, wire::WireError::UnknownSession);
+
+  // A draining daemon refuses Edit like any other work.
+  H.Server.drain();
+  Args.Action = wire::EditActionReset;
+  Args.NewText = "3";
+  Reply = editOrFail(H.Client, Args);
+  ASSERT_EQ(Reply.Hdr.Op, wire::Opcode::ErrorReply);
+  EXPECT_EQ(Reply.Error.Code, wire::WireError::Draining);
+}
+
+TEST(DaemonTest, ConcurrentConnectionsRunIndependentEditSessions) {
+  // Six connections each drive their own incremental session (same
+  // client-chosen id on purpose — ids are per-connection) while comparing
+  // against a local session. This is the TSan target for the edit path.
+  Harness H;
+  ASSERT_TRUE(H.Ok);
+  uint64_t Hash = loadOrFail(H.Client, ExprGrammar);
+
+  DiagnosticEngine Diags;
+  auto Bundle = makeGrammarBundle(ExprGrammar, Diags);
+  ASSERT_TRUE(Bundle) << Diags.str();
+
+  std::vector<std::thread> Threads;
+  std::atomic<int> Failures{0};
+  for (int C = 0; C < 6; ++C)
+    Threads.emplace_back([&, C] {
+      LlstarClient Client;
+      std::string Err;
+      if (!Client.connect("127.0.0.1", H.Server.port(), &Err)) {
+        ++Failures;
+        return;
+      }
+      incremental::SessionOptions SO;
+      SO.UseCompiled = (C % 2) != 0;
+      incremental::IncrementalSession Local(Bundle, SO);
+      wire::EditArgs Args;
+      Args.SessionId = 1;
+      Args.Action = wire::EditActionReset;
+      Args.Mode = wire::EditModeRecover |
+                  (SO.UseCompiled ? wire::EditModeCompiled : 0);
+      Args.BundleHash = Hash;
+      Args.NewText = std::to_string(C) + " + 1 * (2 + 3)";
+      Local.reset(Args.NewText);
+      for (int I = 0; I < 20; ++I) {
+        wire::Message Reply;
+        if (!Client.edit(Args, Reply, &Err) ||
+            Reply.Hdr.Op != wire::Opcode::EditReply ||
+            Reply.Edit.NumTokens != int64_t(Local.tokens().size())) {
+          ++Failures;
+          return;
+        }
+        Args.Action = wire::EditActionApply;
+        Args.Offset = uint64_t(I % 3);
+        Args.OldLen = 1;
+        Args.NewText = std::to_string((C + I) % 10);
+        Local.applyEdit({int64_t(Args.Offset), 1, Args.NewText});
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
 }
 
 } // namespace

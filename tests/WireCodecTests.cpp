@@ -147,6 +147,92 @@ TEST(WireCodecTest, LoadBundleStatsDrainErrorRoundTrips) {
   EXPECT_EQ(uint16_t(Out.Error.Code), 999);
 }
 
+TEST(WireCodecTest, EditArgsRoundTrip) {
+  EditArgs Args;
+  Args.SessionId = 42;
+  Args.Action = EditActionApply;
+  Args.Mode = EditModeRecover | EditModeCompiled | EditModeArena;
+  Args.BundleHash = 0xABCDEF0123456789ull;
+  Args.Offset = 1000;
+  Args.OldLen = 3;
+  Args.WantTree = true;
+  Args.StartRule = "expr";
+  Args.NewText = "y + z";
+  std::string Record = encodeEditArgs(11, Args);
+
+  ByteReader R(Record);
+  MessageHeader Hdr;
+  ASSERT_EQ(decodeHeader(R, Hdr), WireError::None);
+  EXPECT_EQ(Hdr.Op, Opcode::Edit);
+  EXPECT_EQ(Hdr.RequestId, 11u);
+  EditArgs Back;
+  ASSERT_TRUE(decodeEditArgs(R, Hdr.Flags, Back));
+  EXPECT_EQ(Back.SessionId, Args.SessionId);
+  EXPECT_EQ(Back.Action, Args.Action);
+  EXPECT_EQ(Back.Mode, Args.Mode);
+  EXPECT_EQ(Back.BundleHash, Args.BundleHash);
+  EXPECT_EQ(Back.Offset, Args.Offset);
+  EXPECT_EQ(Back.OldLen, Args.OldLen);
+  EXPECT_EQ(Back.WantTree, true);
+  EXPECT_EQ(Back.StartRule, Args.StartRule);
+  EXPECT_EQ(Back.NewText, Args.NewText);
+
+  // Out-of-range action and mode bytes are rejected, not passed through.
+  {
+    EditArgs Bad = Args;
+    Bad.Action = 9;
+    std::string BadRecord = encodeEditArgs(12, Bad);
+    ByteReader R2(BadRecord);
+    ASSERT_EQ(decodeHeader(R2, Hdr), WireError::None);
+    EXPECT_FALSE(decodeEditArgs(R2, Hdr.Flags, Back));
+  }
+  {
+    EditArgs Bad = Args;
+    Bad.Mode = 0x40;
+    std::string BadRecord = encodeEditArgs(13, Bad);
+    ByteReader R2(BadRecord);
+    ASSERT_EQ(decodeHeader(R2, Hdr), WireError::None);
+    EXPECT_FALSE(decodeEditArgs(R2, Hdr.Flags, Back));
+  }
+}
+
+TEST(WireCodecTest, EditReplyRoundTrip) {
+  EditReplyBody Reply;
+  Reply.EditError = 7; // OutOfRange
+  Reply.Status = uint8_t(ParseStatus::Recovered);
+  Reply.NumTokens = 1234;
+  Reply.TreeNodes = 567;
+  Reply.ErrorLeaves = 2;
+  Reply.NodesReused = 400;
+  Reply.TokensRelexed = 3;
+  Reply.DecisionsReparsed = 29;
+  Reply.EditMillis = 0.25;
+  Reply.TreeText = "(s (expr 1))";
+  Reply.DiagText = "1:0: error: extraneous input\n";
+
+  Message Out;
+  std::string Err;
+  ASSERT_TRUE(decodeReply(encodeEditReply(21, Reply), Out, Err)) << Err;
+  EXPECT_EQ(Out.Hdr.Op, Opcode::EditReply);
+  EXPECT_EQ(Out.Hdr.RequestId, 21u);
+  EXPECT_EQ(Out.Edit.EditError, Reply.EditError);
+  EXPECT_EQ(Out.Edit.Status, Reply.Status);
+  EXPECT_EQ(Out.Edit.NumTokens, Reply.NumTokens);
+  EXPECT_EQ(Out.Edit.TreeNodes, Reply.TreeNodes);
+  EXPECT_EQ(Out.Edit.ErrorLeaves, Reply.ErrorLeaves);
+  EXPECT_EQ(Out.Edit.NodesReused, Reply.NodesReused);
+  EXPECT_EQ(Out.Edit.TokensRelexed, Reply.TokensRelexed);
+  EXPECT_EQ(Out.Edit.DecisionsReparsed, Reply.DecisionsReparsed);
+  EXPECT_EQ(Out.Edit.EditMillis, Reply.EditMillis);
+  EXPECT_EQ(Out.Edit.TreeText, Reply.TreeText);
+  EXPECT_EQ(Out.Edit.DiagText, Reply.DiagText);
+
+  // An EditError outside the EditScriptError range is rejected.
+  EditReplyBody Bad = Reply;
+  Bad.EditError = 200;
+  EXPECT_FALSE(decodeReply(encodeEditReply(22, Bad), Out, Err));
+}
+
 //===----------------------------------------------------------------------===//
 // Record marking
 //===----------------------------------------------------------------------===//
@@ -374,7 +460,10 @@ TEST(WireCodecTest, ThousandMangledFramesNeverCrashTheDecoder) {
         encodeLoadBundleReply(5, {99, 0, "G"}), encodeStatsArgs(6, true),
         encodeStatsReply(7, "{\"a\":1}"), encodeDrainArgs(8),
         encodeDrainReply(9),
-        encodeErrorReply(10, WireError::BadBody, "nope")}) {
+        encodeErrorReply(10, WireError::BadBody, "nope"),
+        encodeEditArgs(11, {5, EditActionApply, EditModeRecover, 77, 4, 2,
+                            true, "s", "new text"}),
+        encodeEditReply(12, {0, 0, 10, 5, 0, 3, 2, 4, 0.5, "(s)", ""})}) {
     std::string Framed;
     frameRecord(Framed, Record, /*MaxFragment=*/24); // multi-fragment seeds
     Seeds.push_back(Framed);
@@ -453,6 +542,11 @@ TEST(WireCodecTest, ThousandMangledFramesNeverCrashTheDecoder) {
       case Opcode::Drain:
         Ok = decodeDrainBody(R);
         break;
+      case Opcode::Edit: {
+        EditArgs A;
+        Ok = decodeEditArgs(R, Hdr.Flags, A);
+        break;
+      }
       default: {
         Message Out;
         std::string Err;

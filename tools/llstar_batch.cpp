@@ -17,6 +17,7 @@
 
 #include "CompiledManifest.h"
 #include "fuzz/SentenceSampler.h"
+#include "incremental/IncrementalSession.h"
 #include "service/ParseService.h"
 #include "support/StringUtils.h"
 
@@ -56,6 +57,15 @@ int usage() {
       "                    dense-table modules when available; identical\n"
       "                    results, higher throughput)\n"
       "  --json-metrics F  write merged service metrics JSON to F (- = stdout)\n"
+      "  --edit-script F   incremental mode: replay the JSON edit trace F\n"
+      "                    against one incremental session (single .g\n"
+      "                    grammar; inputs come from the trace, not operands).\n"
+      "                    Prints per-batch timing plus reuse counters;\n"
+      "                    --json-metrics then reports the session's parser\n"
+      "                    stats (nodesReused / tokensRelexed /\n"
+      "                    decisionsReparsed included)\n"
+      "  --no-reuse        edit-script mode: full reparse per edit (baseline)\n"
+      "  --arena           edit-script mode: arena parse trees\n"
       "  --quiet           per-input lines off; summary only\n");
   return 2;
 }
@@ -113,8 +123,96 @@ struct Options {
   bool Recover = false;
   bool UseCompiled = false;
   std::string JsonMetrics;
+  std::string EditScriptPath;
+  bool NoReuse = false;
+  bool UseArena = false;
   bool Quiet = false;
 };
+
+/// --edit-script: replay a JSON edit trace against one incremental session
+/// and report per-batch cost plus the session's reuse counters.
+int runEditScript(std::shared_ptr<const GrammarBundle> Bundle,
+                  const Options &O) {
+  std::string TraceText;
+  if (!readFile(O.EditScriptPath, TraceText)) {
+    std::fprintf(stderr, "error: cannot read %s\n", O.EditScriptPath.c_str());
+    return 1;
+  }
+  incremental::EditScriptParseResult Parsed =
+      incremental::parseEditScript(TraceText);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: %s: invalid edit script (%s): %s\n",
+                 O.EditScriptPath.c_str(),
+                 incremental::editScriptErrorName(Parsed.Error),
+                 Parsed.Message.c_str());
+    return 2;
+  }
+
+  incremental::SessionOptions SO;
+  SO.Recover = O.Recover;
+  SO.UseCompiled = O.UseCompiled;
+  SO.UseArena = O.UseArena;
+  SO.Reuse = !O.NoReuse;
+  SO.StartRule = O.StartRule;
+  incremental::IncrementalSession Session(Bundle, SO);
+
+  auto StatusName = [&](const incremental::EditOutcome &R) {
+    if (R.ParseOk)
+      return "ok";
+    return O.Recover && R.TreeNodes > 0 ? "recovered" : "failed";
+  };
+
+  int64_t Failed = 0;
+  incremental::EditOutcome R = Session.reset(Parsed.Script.Initial);
+  if (!R.ParseOk && !O.Recover)
+    ++Failed;
+  if (!O.Quiet)
+    std::printf("%-10s %-10s %7lld tokens %9.3f ms\n", "initial",
+                StatusName(R), (long long)R.NumTokens, R.Millis);
+  for (size_t B = 0; B < Parsed.Script.Batches.size(); ++B) {
+    R = Session.applyBatch(Parsed.Script.Batches[B]);
+    if (R.Error != incremental::EditScriptError::None) {
+      // parseEditScript validates shape; only out-of-range offsets against
+      // the *evolving* text can surface here.
+      std::fprintf(stderr, "error: batch %zu rejected at apply time (%s)\n",
+                   B, incremental::editScriptErrorName(R.Error));
+      return 2;
+    }
+    if (!R.ParseOk && !O.Recover)
+      ++Failed;
+    if (!O.Quiet)
+      std::printf("batch %-4zu %-10s %7lld tokens %9.3f ms  "
+                  "%lld reused, %lld relexed, %lld decisions\n",
+                  B, StatusName(R), (long long)R.NumTokens, R.Millis,
+                  (long long)R.NodesReused, (long long)R.TokensRelexed,
+                  (long long)R.DecisionsReparsed);
+    if (O.Trees && !O.Quiet)
+      std::printf("  %s\n", Session.treeText().c_str());
+  }
+
+  const ParserStats &S = Session.stats();
+  std::printf("edit-script: %zu batches on %s, %lld failed; %lld subtrees "
+              "reused, %lld tokens relexed, %lld decisions reparsed\n",
+              Parsed.Script.Batches.size(), Bundle->name().c_str(),
+              (long long)Failed, (long long)S.NodesReused,
+              (long long)S.TokensRelexed, (long long)S.DecisionsReparsed);
+
+  if (!O.JsonMetrics.empty()) {
+    std::string Json = S.json(/*IncludeDecisions=*/true);
+    if (O.JsonMetrics == "-") {
+      std::printf("%s\n", Json.c_str());
+    } else {
+      std::ofstream Out(O.JsonMetrics);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     O.JsonMetrics.c_str());
+        return 1;
+      }
+      Out << Json << "\n";
+    }
+  }
+  return Failed == 0 ? 0 : 1;
+}
 
 } // namespace
 
@@ -153,6 +251,12 @@ int main(int Argc, char **Argv) {
       O.UseCompiled = true;
     else if (A == "--json-metrics" && I + 1 < Args.size())
       O.JsonMetrics = Args[++I];
+    else if (A == "--edit-script" && I + 1 < Args.size())
+      O.EditScriptPath = Args[++I];
+    else if (A == "--no-reuse")
+      O.NoReuse = true;
+    else if (A == "--arena")
+      O.UseArena = true;
     else if (A == "--quiet")
       O.Quiet = true;
     else if (!A.empty() && A[0] == '-' && A != "-")
@@ -164,7 +268,7 @@ int main(int Argc, char **Argv) {
   }
   if (O.GrammarArg.empty())
     return usage();
-  if (O.InputOperands.empty() && O.Sample <= 0)
+  if (O.InputOperands.empty() && O.Sample <= 0 && O.EditScriptPath.empty())
     return usage();
 
   // Load grammar bundles through the shared cache.
@@ -203,6 +307,17 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     Bundles.push_back(std::move(Bundle));
+  }
+
+  if (!O.EditScriptPath.empty()) {
+    if (Bundles.size() != 1) {
+      std::fprintf(stderr,
+                   "error: --edit-script needs exactly one grammar\n");
+      return 2;
+    }
+    if (O.UseCompiled)
+      compiled::registerShippedGrammars();
+    return runEditScript(Bundles.front(), O);
   }
 
   // Materialize the request list.

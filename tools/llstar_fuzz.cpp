@@ -11,7 +11,8 @@
 //               [--max-rules R] [--no-minimize] [--no-grammar-checks]
 //               [--no-leftrec] [--no-preds] [--no-blocks]
 //               [--dump-dir DIR] [--emit-corpus DIR COUNT]
-//               [--lint-smoke] [--recover-smoke] [--quiet]
+//               [--lint-smoke] [--recover-smoke]
+//               [--edit-smoke] [--corpus DIR] [--edits N] [--quiet]
 //
 // Exit status: 0 when every check passed, 1 on any oracle failure, 2 on
 // usage errors. Runs are deterministic: the same flags and seed replay
@@ -22,12 +23,15 @@
 #include "fuzz/Fuzzer.h"
 #include "fuzz/SentenceGen.h"
 #include "fuzz/SentenceSampler.h"
+#include "incremental/IncrementalSession.h"
 #include "lexer/Lexer.h"
 #include "lexer/TokenStream.h"
 #include "lint/Lint.h"
 #include "lint/SarifWriter.h"
 #include "peg/PackratParser.h"
 #include "runtime/LLStarParser.h"
+#include "service/GrammarBundleCache.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -68,6 +72,16 @@ int usage() {
       "                      terminates, reports >=1 error per rejected\n"
       "                      mutant, keeps error spans sorted, and renders\n"
       "                      heap and arena trees identically\n"
+      "  --edit-smoke        drive an incremental session through random\n"
+      "                      insert/delete/replace edit scripts (including\n"
+      "                      token-splitting and trivia-spanning edits) and\n"
+      "                      assert that tokens, tree, and diagnostics stay\n"
+      "                      byte-identical to a from-scratch parse after\n"
+      "                      every edit, rotating through heap|arena x\n"
+      "                      interpreted|compiled x recovery on|off\n"
+      "  --corpus DIR        edit-smoke only: take grammars from DIR/*.g\n"
+      "                      instead of generating them\n"
+      "  --edits N           edit-smoke: edits per session (default 8)\n"
       "  --quiet             suppress progress output\n");
   return 2;
 }
@@ -313,14 +327,278 @@ int recoverSmoke(const FuzzConfig &Config, bool Quiet) {
   return Failures ? 1 : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// --edit-smoke
+//===----------------------------------------------------------------------===//
+
+/// Generates one random edit against \p Text. Insertions draw from whole
+/// token texts, token *fragments* (splitting or extending a token under
+/// the cursor and flipping maximal-munch winners at the boundary), slices
+/// of the input itself (which can span comments/strings and duplicate
+/// trivia), bare separators, and bytes the lexer may reject.
+incremental::Edit randomEdit(FuzzRng &Rng, const std::string &Text,
+                             const std::vector<std::string> &TokenTexts) {
+  incremental::Edit E;
+  const size_t N = Text.size();
+  const uint64_t Op = Rng.below(3); // 0 insert, 1 delete, 2 replace
+  if (Op == 0 || N == 0) {
+    E.Offset = int64_t(Rng.below(N + 1));
+  } else {
+    E.Offset = int64_t(Rng.below(N));
+    E.OldLen = int64_t(
+        1 + Rng.below(std::min<uint64_t>(8, N - uint64_t(E.Offset))));
+  }
+  if (Op != 1) {
+    switch (Rng.below(5)) {
+    case 0:
+      if (!TokenTexts.empty()) {
+        E.NewText = TokenTexts[Rng.below(TokenTexts.size())];
+        break;
+      }
+      [[fallthrough]];
+    case 1: {
+      if (!TokenTexts.empty()) {
+        const std::string &T = TokenTexts[Rng.below(TokenTexts.size())];
+        if (!T.empty()) {
+          E.NewText = T.substr(0, 1 + Rng.below(T.size()));
+          break;
+        }
+      }
+      E.NewText = "x";
+      break;
+    }
+    case 2: {
+      if (N > 0) {
+        size_t F = Rng.below(N);
+        E.NewText = Text.substr(F, 1 + Rng.below(std::min<uint64_t>(6, N - F)));
+      } else {
+        E.NewText = " ";
+      }
+      break;
+    }
+    case 3:
+      E.NewText = Rng.below(2) ? "\n" : " ";
+      break;
+    case 4:
+      // Bytes most grammars cannot lex, to exercise error-lexeme
+      // retention and diagnostic re-emission.
+      E.NewText = std::string(1, "~@#\x01"[Rng.below(4)]);
+      break;
+    }
+  }
+  return E;
+}
+
+/// One session: reset to \p Base, apply random edits, compare the session
+/// against a from-scratch parse after the reset and after every edit.
+/// Returns a non-empty failure detail (with the replayable edit history)
+/// on the first divergence.
+std::string checkEditSessionOnce(std::shared_ptr<const GrammarBundle> Bundle,
+                                 const std::string &Base, FuzzRng &Rng,
+                                 const incremental::SessionOptions &SO,
+                                 int EditsPerSession, long long &EditsRun,
+                                 long long &NodesReused) {
+  incremental::IncrementalSession S(Bundle, SO);
+  std::string History;
+  auto Mode = [&]() {
+    std::string M = SO.UseCompiled ? "compiled" : "interp";
+    M += SO.UseArena ? "+arena" : "+heap";
+    M += SO.Recover ? "+recover" : "+strict";
+    return M;
+  };
+  auto Compare = [&](const char *When) -> std::string {
+    incremental::ScratchResult R =
+        incremental::scratchParse(*Bundle, S.text(), SO);
+    std::string Why;
+    const std::vector<Token> &T = S.tokens();
+    if (S.ok() != R.ParseOk) {
+      Why = "ok() diverged";
+    } else if (T.size() != R.Tokens.size()) {
+      Why = "token count " + std::to_string(T.size()) + " vs scratch " +
+            std::to_string(R.Tokens.size());
+    } else {
+      for (size_t I = 0; I < T.size() && Why.empty(); ++I) {
+        const Token &A = T[I];
+        const Token &B = R.Tokens[I];
+        if (A.Type != B.Type || A.Text != B.Text || A.Offset != B.Offset ||
+            A.Loc.Line != B.Loc.Line || A.Loc.Column != B.Loc.Column ||
+            A.Index != B.Index)
+          Why = "token " + std::to_string(I) + " diverged: <" +
+                escapeString(A.Text) + "> type " + std::to_string(A.Type) +
+                " off " + std::to_string(A.Offset) + " at " + A.Loc.str() +
+                " idx " + std::to_string(A.Index) + " vs scratch <" +
+                escapeString(B.Text) + "> type " + std::to_string(B.Type) +
+                " off " + std::to_string(B.Offset) + " at " + B.Loc.str() +
+                " idx " + std::to_string(B.Index);
+      }
+      if (Why.empty() && S.treeText() != R.TreeText)
+        Why = "tree <" + S.treeText() + "> vs scratch <" + R.TreeText + ">";
+      if (Why.empty() && S.diags().str() != R.DiagText)
+        Why = "diagnostics <" + S.diags().str() + "> vs scratch <" +
+              R.DiagText + ">";
+    }
+    if (Why.empty())
+      return "";
+    return std::string(When) + " [" + Mode() + "]: " + Why +
+           "\n--- text ---\n" + escapeString(S.text()) +
+           "\n--- edit history ---\n" + History;
+  };
+
+  incremental::EditOutcome O = S.reset(Base);
+  (void)O;
+  if (std::string F = Compare("after reset"); !F.empty())
+    return F;
+
+  // Token texts feed the edit generator; take them from the base parse.
+  std::vector<std::string> TokenTexts;
+  for (const Token &T : S.tokens())
+    if (!T.isEof())
+      TokenTexts.push_back(T.Text);
+
+  for (int K = 0; K < EditsPerSession; ++K) {
+    incremental::Edit E = randomEdit(Rng, S.text(), TokenTexts);
+    History += "edit " + std::to_string(K) + ": offset " +
+               std::to_string(E.Offset) + " oldLen " +
+               std::to_string(E.OldLen) + " newText \"" +
+               escapeString(E.NewText) + "\"\n";
+    O = S.applyEdit(E);
+    if (O.Error != incremental::EditScriptError::None)
+      return std::string("generated edit was rejected (") +
+             incremental::editScriptErrorName(O.Error) + ")\n--- edit "
+             "history ---\n" + History;
+    ++EditsRun;
+    NodesReused += O.NodesReused;
+    // The outcome's structural counters must agree with the oracle too.
+    incremental::ScratchResult R =
+        incremental::scratchParse(*Bundle, S.text(), SO);
+    if (O.TreeNodes != R.TreeNodes || O.ErrorLeaves != R.ErrorLeaves)
+      return "outcome counters diverged [" + Mode() + "]: nodes " +
+             std::to_string(O.TreeNodes) + "/" + std::to_string(R.TreeNodes) +
+             " errorLeaves " + std::to_string(O.ErrorLeaves) + "/" +
+             std::to_string(R.ErrorLeaves) + "\n--- text ---\n" +
+             escapeString(S.text()) + "\n--- edit history ---\n" + History;
+    if (std::string F = Compare("after edit"); !F.empty())
+      return F;
+  }
+  return "";
+}
+
+// --edit-smoke: for each iteration pick a grammar (generated, or from
+// --corpus DIR), derive a base sentence, and run an incremental session
+// through a random edit script, checking byte-identical equivalence with
+// from-scratch parses after every edit. Iterations rotate through all
+// eight engine/tree/recovery mode combinations.
+int editSmoke(const FuzzConfig &Config, const std::string &CorpusDir,
+              int EditsPerSession, bool Quiet) {
+  std::vector<std::pair<std::string, std::shared_ptr<const GrammarBundle>>>
+      Corpus;
+  if (!CorpusDir.empty()) {
+    std::error_code Ec;
+    std::vector<std::string> Paths;
+    for (const auto &Entry :
+         std::filesystem::directory_iterator(CorpusDir, Ec))
+      if (Entry.path().extension() == ".g")
+        Paths.push_back(Entry.path().string());
+    std::sort(Paths.begin(), Paths.end());
+    for (const std::string &P : Paths) {
+      std::ifstream In(P);
+      std::string Text((std::istreambuf_iterator<char>(In)),
+                       std::istreambuf_iterator<char>());
+      DiagnosticEngine Diags;
+      auto B = makeGrammarBundle(Text, Diags);
+      if (B)
+        Corpus.emplace_back(P, std::move(B));
+      else
+        std::fprintf(stderr, "warning: skipping %s: %s\n", P.c_str(),
+                     Diags.str().c_str());
+    }
+    if (Corpus.empty()) {
+      std::fprintf(stderr, "error: no loadable grammars in %s\n",
+                   CorpusDir.c_str());
+      return 2;
+    }
+  }
+
+  int Failures = 0, Sessions = 0;
+  long long Edits = 0, Reused = 0;
+  for (int I = 0; I < Config.Iterations; ++I) {
+    uint64_t SubSeed = FuzzRng::mix(Config.Seed, uint64_t(I));
+    std::shared_ptr<const GrammarBundle> Bundle;
+    std::string GrammarName;
+    if (!Corpus.empty()) {
+      const auto &Pick = Corpus[size_t(I) % Corpus.size()];
+      GrammarName = Pick.first;
+      Bundle = Pick.second;
+    } else {
+      GrammarGenerator Gen(Config.Envelope, SubSeed);
+      GeneratedGrammar G = Gen.generate();
+      DiagnosticEngine Diags;
+      Bundle = makeGrammarBundle(G.text(), Diags);
+      if (!Bundle)
+        continue; // generator emitted an invalid grammar
+      GrammarName = "<generated seed " + std::to_string(SubSeed) + ">";
+    }
+
+    // Base input: the longest derivable seed sentence, rendered with an
+    // occasional newline separator so edits cross line boundaries.
+    const AnalyzedGrammar &AG = Bundle->analyzed();
+    SentenceGen SeedGen(AG);
+    std::vector<std::vector<std::string>> Seeds =
+        SeedGen.seeds(size_t(std::max(Config.SentencesPerGrammar, 1)));
+    SentenceSampler Sampler(AG.grammar(), SubSeed);
+    while (Seeds.size() < size_t(std::max(Config.SentencesPerGrammar, 1)))
+      Seeds.push_back(Sampler.sample());
+    FuzzRng Rng(FuzzRng::mix(SubSeed, 0xed17));
+    std::vector<std::string> Words;
+    for (const std::vector<std::string> &Seed : Seeds)
+      if (Seed.size() > Words.size())
+        Words = Seed;
+    if (Rng.chance(25))
+      Words = Sampler.mutate(Words); // start some sessions off-language
+    std::string Base;
+    for (size_t W = 0; W < Words.size(); ++W) {
+      if (W)
+        Base += Rng.chance(20) ? '\n' : ' ';
+      Base += Words[W];
+    }
+
+    incremental::SessionOptions SO;
+    SO.UseCompiled = (I & 1) != 0;
+    SO.UseArena = (I & 2) != 0;
+    SO.Recover = (I & 4) == 0;
+    ++Sessions;
+    std::string Detail = checkEditSessionOnce(Bundle, Base, Rng, SO,
+                                              std::max(EditsPerSession, 1),
+                                              Edits, Reused);
+    if (!Detail.empty()) {
+      ++Failures;
+      std::printf("=== edit-smoke failure (seed %llu, grammar %s) ===\n%s\n",
+                  (unsigned long long)SubSeed, GrammarName.c_str(),
+                  Detail.c_str());
+    }
+    if (!Quiet && Config.Iterations >= 20 &&
+        (I + 1) % (Config.Iterations / 10) == 0)
+      std::printf("[%d/%d] %d sessions, %lld edits, %lld subtrees reused, "
+                  "%d failures\n",
+                  I + 1, Config.Iterations, Sessions, Edits, Reused,
+                  Failures);
+  }
+  std::printf("edit smoke done: seed %llu, %d sessions, %lld edits, %lld "
+              "subtrees reused, %d failure%s\n",
+              (unsigned long long)Config.Seed, Sessions, Edits, Reused,
+              Failures, Failures == 1 ? "" : "s");
+  return Failures ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   FuzzConfig Config;
   Config.Iterations = 1000;
   bool Quiet = false, LintSmoke = false, RecoverSmoke = false;
-  std::string DumpDir, CorpusDir;
-  int CorpusCount = 0;
+  bool EditSmoke = false;
+  std::string DumpDir, CorpusDir, EditCorpusDir;
+  int CorpusCount = 0, EditsPerSession = 8;
 
   std::vector<std::string> Args(Argv + 1, Argv + Argc);
   for (size_t I = 0; I < Args.size(); ++I) {
@@ -378,6 +656,18 @@ int main(int Argc, char **Argv) {
       LintSmoke = true;
     } else if (Args[I] == "--recover-smoke") {
       RecoverSmoke = true;
+    } else if (Args[I] == "--edit-smoke") {
+      EditSmoke = true;
+    } else if (Args[I] == "--corpus") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      EditCorpusDir = V;
+    } else if (Args[I] == "--edits") {
+      const char *V = Next();
+      if (!V)
+        return usage();
+      EditsPerSession = std::atoi(V);
     } else if (Args[I] == "--quiet") {
       Quiet = true;
     } else {
@@ -391,6 +681,8 @@ int main(int Argc, char **Argv) {
     return lintSmoke(Config, Quiet);
   if (RecoverSmoke)
     return recoverSmoke(Config, Quiet);
+  if (EditSmoke)
+    return editSmoke(Config, EditCorpusDir, EditsPerSession, Quiet);
 
   Fuzzer F(Config);
   if (!Quiet) {

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "CompiledManifest.h"
+#include "fuzz/FuzzRandom.h"
 #include "fuzz/SentenceSampler.h"
 #include "net/Daemon.h"
 #include "net/LlstarClient.h"
@@ -52,6 +53,10 @@ int usage() {
       "  --trees           request parse trees\n"
       "  --threads N       daemon worker threads (--spawn only)\n"
       "  --compiled        daemon compiled fast path (--spawn only)\n"
+      "  --edit-mix R      percent of each connection's requests issued as\n"
+      "                    incremental Edit ops against a per-connection\n"
+      "                    session (0-100, default 0) — exercises the\n"
+      "                    daemon's stateful sessions under load\n"
       "  --json F          write the benchmark report JSON to F (- = stdout)\n");
   return 2;
 }
@@ -79,6 +84,7 @@ struct Options {
   bool Trees = false;
   int Threads = 0;
   bool UseCompiled = false;
+  int EditMix = 0; ///< percent of requests issued as Edit ops
   std::string JsonPath;
 };
 
@@ -125,8 +131,66 @@ void runWorker(const Options &O, uint16_t Port, uint64_t BundleHash,
     }
   };
 
+  // --edit-mix state: one incremental session per connection, with a
+  // local shadow of its text so generated edit offsets stay in range.
+  fuzz::FuzzRng Rng(fuzz::FuzzRng::mix(O.Seed, uint64_t(Begin) + 0xed17));
+  std::string Shadow;
+  bool SessionLive = false;
+  auto EditOp = [&](size_t I, bool &Ok) {
+    wire::EditArgs Args;
+    Args.SessionId = 1;
+    Args.BundleHash = BundleHash;
+    Args.Mode = wire::EditModeRecover;
+    Args.WantTree = O.Trees;
+    if (!SessionLive) {
+      Args.Action = wire::EditActionReset;
+      Args.NewText = Inputs[I % Inputs.size()];
+      Shadow = Args.NewText;
+    } else {
+      Args.Action = wire::EditActionApply;
+      uint64_t Op = Rng.below(3);
+      if (Op == 0 || Shadow.empty()) {
+        Args.Offset = Rng.below(Shadow.size() + 1);
+      } else {
+        Args.Offset = Rng.below(Shadow.size());
+        Args.OldLen = 1 + Rng.below(
+            std::min<uint64_t>(4, Shadow.size() - Args.Offset));
+      }
+      if (Op != 1) {
+        const std::string &Pool = Inputs[Rng.below(Inputs.size())];
+        Args.NewText = Pool.empty() ? " " : " " + Pool.substr(
+            0, 1 + Rng.below(std::min<size_t>(Pool.size(), 5)));
+      }
+      Shadow.replace(size_t(Args.Offset), size_t(Args.OldLen), Args.NewText);
+    }
+    auto T0 = Clock::now();
+    wire::Message Reply;
+    if (!Client.edit(Args, Reply, &Err)) {
+      Report.Error = Err;
+      Ok = false;
+      return;
+    }
+    Report.LatenciesMs.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - T0).count());
+    if (Reply.Hdr.Op == wire::Opcode::ErrorReply) {
+      Report.Statuses[std::string("wire-") +
+                      wire::wireErrorName(Reply.Error.Code)]++;
+    } else {
+      Report.Statuses[statusName(ParseStatus(Reply.Edit.Status))]++;
+      Report.Tokens += Reply.Edit.NumTokens;
+      SessionLive = true;
+    }
+  };
+
   bool Ok = true;
   for (size_t I = Begin; I < End && Ok; ++I) {
+    if (O.EditMix > 0 && Rng.below(100) < uint64_t(O.EditMix)) {
+      // Edit ops are synchronous RPCs (a session's edits are ordered);
+      // pipelined parse replies arriving meanwhile are buffered by the
+      // client and claimed by later Collect calls.
+      EditOp(I, Ok);
+      continue;
+    }
     while (SubmitAt.size() >= size_t(O.Pipeline) && Ok)
       Collect(Ok);
     if (!Ok)
@@ -193,6 +257,8 @@ int main(int Argc, char **Argv) {
       O.Threads = int(V);
     else if (A == "--compiled")
       O.UseCompiled = true;
+    else if (A == "--edit-mix" && Value(V))
+      O.EditMix = int(std::clamp<int64_t>(V, 0, 100));
     else if (A == "--json" && I + 1 < Args.size())
       O.JsonPath = Args[++I];
     else if (!A.empty() && A[0] == '-' && A != "-")
@@ -345,6 +411,7 @@ int main(int Argc, char **Argv) {
          << ",\"daemonThreads\":" << DaemonThreads
          << ",\"compiled\":" << (O.UseCompiled ? "true" : "false")
          << ",\"recover\":" << (O.Recover ? "true" : "false")
+         << ",\"editMix\":" << O.EditMix
          << ",\"seconds\":" << Seconds << ",\"requestsPerSec\":"
          << (Seconds > 0 ? double(Latencies.size()) / Seconds : 0)
          << ",\"tokensPerSec\":"
