@@ -79,6 +79,24 @@ void AnalyzedGrammar::computeStats() {
   }
 }
 
+std::vector<DecisionKey> AnalyzedGrammar::decisionKeys() const {
+  std::vector<DecisionKey> Keys(Dfas.size());
+  // Ordinals follow decision-number order, which is ATN construction
+  // order: stable across runs, and stable under edits to other rules.
+  std::map<int32_t, int32_t> NextInRule;
+  for (size_t D = 0; D < Dfas.size(); ++D) {
+    const AtnState &St = M->state(M->decisionState(int32_t(D)));
+    DecisionKey &K = Keys[D];
+    if (St.RuleIndex >= 0 && size_t(St.RuleIndex) < G->numRules())
+      K.Rule = G->rule(St.RuleIndex).Name;
+    K.DecisionInRule = NextInRule[St.RuleIndex]++;
+    SourceLocation Loc = M->decisionLoc(int32_t(D));
+    K.Line = Loc.Line;
+    K.Column = Loc.Column;
+  }
+  return Keys;
+}
+
 std::string AnalyzedGrammar::summary() const {
   return formatString(
       "grammar %s: %d decisions, %d fixed, %d cyclic, %d backtrack "

@@ -28,6 +28,7 @@
 #include "dfa/LookaheadDFA.h"
 #include "grammar/Grammar.h"
 #include "recover/RecoverySets.h"
+#include "runtime/ParserStats.h"
 #include "support/Diagnostics.h"
 
 #include <map>
@@ -92,6 +93,13 @@ public:
   }
 
   const StaticStats &stats() const { return Stats; }
+
+  /// Stable per-decision identities — (rule, ordinal within the rule,
+  /// source position) — for decision-keyed stats export. Index-aligned
+  /// with the DFA vector; pass to ParserStats::json so profiles collected
+  /// against the same grammar text join on identity rather than on the
+  /// global decision numbering.
+  std::vector<DecisionKey> decisionKeys() const;
 
   /// Per-state follow/recovery tables for the error-recovering runtime.
   const RecoverySets &recovery() const { return *Recovery; }

@@ -424,7 +424,7 @@ int32_t CompiledParser::adaptivePredict(int32_t Decision) {
       Opts.Hooks->lookahead(Stream.index() + std::max<int64_t>(Depth, 1));
     if (Opts.CollectStats)
       Stats.Decisions[size_t(Decision)].record(std::max<int64_t>(Depth, 1),
-                                               /*Backtracked=*/false);
+                                               /*Backtracked=*/false, Alt);
     if (Alt < 0 && !speculating() && !DeadlineHit)
       reportNoViableAlt(Decision, Depth);
     return Alt;
@@ -437,7 +437,7 @@ int32_t CompiledParser::adaptivePredict(int32_t Decision) {
   int64_t StartIndex = Stream.index();
   bool Backtracked = false;
 
-  auto Record = [&](int64_t UsedK) {
+  auto Record = [&](int64_t UsedK, int32_t Alt) {
     // The reuse subscriber needs every decision's lookahead extent, stats
     // on or off, speculative or not (StartIndex + max(K,1) inclusively
     // over-approximates the deepest token examined by at most one).
@@ -446,7 +446,7 @@ int32_t CompiledParser::adaptivePredict(int32_t Decision) {
     if (!Opts.CollectStats)
       return;
     Stats.Decisions[size_t(Decision)].record(std::max<int64_t>(UsedK, 1),
-                                             Backtracked);
+                                             Backtracked, Alt);
   };
 
   while (true) {
@@ -454,7 +454,7 @@ int32_t CompiledParser::adaptivePredict(int32_t Decision) {
       return -1;
     int32_t Accept = CT.DfaAccept[size_t(MetaBase) + size_t(S)];
     if (Accept > 0) {
-      Record(Depth);
+      Record(Depth, Accept);
       return Accept;
     }
     TokenType T = Stream.LA(Depth + 1);
@@ -485,11 +485,11 @@ int32_t CompiledParser::adaptivePredict(int32_t Decision) {
         Depth = std::max(Depth, Reach);
       }
       if (Holds) {
-        Record(Depth);
+        Record(Depth, PE.Alt);
         return PE.Alt;
       }
     }
-    Record(Depth);
+    Record(Depth, /*Alt=*/-1);
     if (!speculating() && !DeadlineHit)
       reportNoViableAlt(Decision, Depth);
     return -1;

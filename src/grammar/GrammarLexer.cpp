@@ -79,11 +79,14 @@ private:
     T.Kind = Kind;
     T.Loc = Loc;
     T.Text = std::move(TokText);
+    T.Offset = TokStart;
+    T.EndOffset = Pos;
     return T;
   }
 
   MetaToken next() {
     SourceLocation Loc = loc();
+    TokStart = Pos;
     if (atEnd())
       return make(MetaKind::Eof, Loc);
 
@@ -251,6 +254,7 @@ private:
   std::string_view Text;
   DiagnosticEngine &Diags;
   size_t Pos = 0;
+  size_t TokStart = 0;
   uint32_t Line = 1, Column = 0;
 };
 

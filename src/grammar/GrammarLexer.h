@@ -50,6 +50,11 @@ struct MetaToken {
   MetaKind Kind = MetaKind::Eof;
   std::string Text;
   SourceLocation Loc;
+  /// Byte range [Offset, EndOffset) of the token in the source text.
+  /// Source rewriting (lint auto-fixes) splices by these, so they cover
+  /// the raw spelling including quotes/brackets, not the decoded Text.
+  size_t Offset = 0;
+  size_t EndOffset = 0;
   /// Action only: the action was written `{{ ... }}` (always-action).
   bool DoubleBrace = false;
 };

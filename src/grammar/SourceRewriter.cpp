@@ -1,0 +1,160 @@
+#include "grammar/SourceRewriter.h"
+
+#include "support/Diagnostics.h"
+
+using namespace llstar;
+
+SourceRewriter::SourceRewriter(std::string_view Source) : Source(Source) {
+  DiagnosticEngine Diags;
+  Tokens = lexGrammarText(this->Source, Diags);
+  if (Diags.hasErrors())
+    return;
+  Ok = true;
+
+  // Index rule definitions: an Ident directly followed by ':' opens a
+  // definition (optionally preceded by `fragment`); the next top-level
+  // ';' closes it. The `grammar Name;` header and options/tokens blocks
+  // never match Ident-then-Colon.
+  for (size_t I = 0; I + 1 < Tokens.size(); ++I) {
+    if (Tokens[I].Kind != MetaKind::Ident ||
+        Tokens[I + 1].Kind != MetaKind::Colon)
+      continue;
+    RuleEntry E;
+    E.Name = Tokens[I].Text;
+    E.FirstTok = I;
+    if (I > 0 && Tokens[I - 1].Kind == MetaKind::Ident &&
+        Tokens[I - 1].Text == "fragment")
+      E.FirstTok = I - 1;
+    size_t J = I + 2;
+    while (J < Tokens.size() && Tokens[J].Kind != MetaKind::Semi &&
+           Tokens[J].Kind != MetaKind::Eof)
+      ++J;
+    if (J >= Tokens.size() || Tokens[J].Kind != MetaKind::Semi)
+      break; // unterminated rule; index what we have so far
+    E.LastTok = J;
+    Rules.push_back(std::move(E));
+    I = J;
+  }
+}
+
+const SourceRewriter::RuleEntry *
+SourceRewriter::findRule(const std::string &Name) const {
+  for (const RuleEntry &E : Rules)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+SourceSpan SourceRewriter::ruleSpan(const std::string &Name) const {
+  const RuleEntry *E = findRule(Name);
+  if (!E)
+    return {};
+  SourceSpan S;
+  S.Begin = Tokens[E->FirstTok].Offset;
+  S.End = Tokens[E->LastTok].EndOffset;
+  // Extend backward over the line's indentation and forward over trailing
+  // spaces plus one newline, so deleting the span deletes whole lines.
+  while (S.Begin > 0 &&
+         (Source[S.Begin - 1] == ' ' || Source[S.Begin - 1] == '\t'))
+    --S.Begin;
+  while (S.End < Source.size() &&
+         (Source[S.End] == ' ' || Source[S.End] == '\t'))
+    ++S.End;
+  if (S.End < Source.size() && Source[S.End] == '\r')
+    ++S.End;
+  if (S.End < Source.size() && Source[S.End] == '\n')
+    ++S.End;
+  return S;
+}
+
+std::vector<SourceSpan> SourceRewriter::altSpans(const std::string &Name) const {
+  std::vector<SourceSpan> Out;
+  const RuleEntry *E = findRule(Name);
+  if (!E)
+    return Out;
+  // Body tokens run from after the ':' to before the ';'. Split at
+  // top-level '|'. A trailing `-> action` (lexer rules) belongs to the
+  // last alternative's span — reorders are only done on parser rules,
+  // where arrows cannot appear.
+  size_t ColonIdx = E->FirstTok;
+  while (Tokens[ColonIdx].Kind != MetaKind::Colon)
+    ++ColonIdx;
+  size_t Begin = ColonIdx + 1;
+  int Depth = 0;
+  size_t AltFirst = Begin;
+  auto Flush = [&](size_t AltEnd, size_t DelimOffset) {
+    SourceSpan S;
+    if (AltEnd > AltFirst) {
+      S.Begin = Tokens[AltFirst].Offset;
+      S.End = Tokens[AltEnd - 1].EndOffset;
+    } else {
+      // Epsilon alternative: zero-width span at the delimiter.
+      S.Begin = S.End = DelimOffset;
+    }
+    Out.push_back(S);
+  };
+  for (size_t I = Begin; I <= E->LastTok; ++I) {
+    MetaKind K = Tokens[I].Kind;
+    if (K == MetaKind::LParen) {
+      ++Depth;
+    } else if (K == MetaKind::RParen) {
+      --Depth;
+    } else if ((K == MetaKind::Pipe && Depth == 0) || I == E->LastTok) {
+      Flush(I, Tokens[I].Offset);
+      AltFirst = I + 1;
+    }
+  }
+  return Out;
+}
+
+SourceSpan SourceRewriter::synPredSpan(SourceLocation Loc) const {
+  for (size_t I = 0; I < Tokens.size(); ++I) {
+    const MetaToken &T = Tokens[I];
+    if (T.Kind != MetaKind::LParen || !(T.Loc == Loc))
+      continue;
+    int Depth = 1;
+    size_t J = I + 1;
+    while (J < Tokens.size() && Depth > 0) {
+      if (Tokens[J].Kind == MetaKind::LParen)
+        ++Depth;
+      else if (Tokens[J].Kind == MetaKind::RParen)
+        --Depth;
+      ++J;
+    }
+    if (Depth != 0 || J >= Tokens.size() ||
+        Tokens[J].Kind != MetaKind::DArrow)
+      return {};
+    SourceSpan S;
+    S.Begin = T.Offset;
+    S.End = Tokens[J].EndOffset;
+    while (S.End < Source.size() &&
+           (Source[S.End] == ' ' || Source[S.End] == '\t'))
+      ++S.End;
+    return S;
+  }
+  return {};
+}
+
+std::vector<SourceSpan>
+SourceRewriter::tokenRefSpans(const std::string &Name) const {
+  std::vector<SourceSpan> Out;
+  for (size_t I = 0; I < Tokens.size(); ++I) {
+    const MetaToken &T = Tokens[I];
+    if (T.Kind != MetaKind::Ident || T.Text != Name)
+      continue;
+    // Skip the definition site (Ident followed by ':').
+    if (I + 1 < Tokens.size() && Tokens[I + 1].Kind == MetaKind::Colon)
+      continue;
+    // Skip references outside any rule body (header).
+    bool InRule = false;
+    for (const RuleEntry &E : Rules)
+      if (I > E.FirstTok && I < E.LastTok) {
+        InRule = true;
+        break;
+      }
+    if (!InRule)
+      continue;
+    Out.push_back({T.Offset, T.EndOffset});
+  }
+  return Out;
+}

@@ -1,0 +1,88 @@
+//===- grammar/SourceRewriter.h - Span-faithful grammar edits ---*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-exact source spans over a grammar file, computed from the meta
+/// lexer's token stream. The lint auto-fix engine edits grammar *source*,
+/// not the parsed Grammar object — fixes must preserve every byte the fix
+/// does not own (comments, layout, unrelated rules) so a dry-run diff is
+/// honest and an applied fix is reviewable. This class answers "which
+/// bytes spell rule R / alternative N of R / the syntactic predicate at
+/// location L", leaving the splicing to the caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_GRAMMAR_SOURCEREWRITER_H
+#define LLSTAR_GRAMMAR_SOURCEREWRITER_H
+
+#include "grammar/GrammarLexer.h"
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llstar {
+
+/// A half-open byte range [Begin, End) of the source text.
+struct SourceSpan {
+  size_t Begin = 0;
+  size_t End = 0;
+  bool valid() const { return End > Begin; }
+  size_t length() const { return End - Begin; }
+};
+
+/// Token-level index over one grammar source file.
+class SourceRewriter {
+public:
+  /// Lexes \p Source and indexes rule boundaries. Lexing problems leave
+  /// ok() false; span queries then return invalid spans.
+  explicit SourceRewriter(std::string_view Source);
+
+  bool ok() const { return Ok; }
+  std::string_view text() const { return Source; }
+
+  /// The whole definition of rule \p Name: from its `fragment` keyword or
+  /// name token through the closing `;`, extended over one trailing
+  /// newline (plus the line's leading indentation) so deleting the span
+  /// removes the rule's lines, not just its characters. Invalid when the
+  /// rule is not defined in this source (e.g. synthesized literal rules).
+  SourceSpan ruleSpan(const std::string &Name) const;
+
+  /// Byte ranges of the top-level alternative bodies of rule \p Name, in
+  /// declaration order — the text between `:` / `|` separators, trimmed
+  /// of surrounding whitespace. An empty (epsilon) alternative yields a
+  /// zero-length span at its position. Empty vector when the rule is
+  /// unknown.
+  std::vector<SourceSpan> altSpans(const std::string &Name) const;
+
+  /// The `( ... )=>` syntactic-predicate element whose `(` token is at
+  /// \p Loc, extended over trailing spaces/tabs so deleting it does not
+  /// leave doubled blanks. Invalid when no predicate starts there.
+  SourceSpan synPredSpan(SourceLocation Loc) const;
+
+  /// Every reference to token \p Name inside rule bodies (definition
+  /// sites excluded).
+  std::vector<SourceSpan> tokenRefSpans(const std::string &Name) const;
+
+private:
+  struct RuleEntry {
+    std::string Name;
+    size_t FirstTok = 0; ///< index of `fragment` or the name token
+    size_t LastTok = 0;  ///< index of the `;`
+  };
+
+  const RuleEntry *findRule(const std::string &Name) const;
+
+  std::string Source;
+  std::vector<MetaToken> Tokens;
+  std::vector<RuleEntry> Rules;
+  bool Ok = false;
+};
+
+} // namespace llstar
+
+#endif // LLSTAR_GRAMMAR_SOURCEREWRITER_H

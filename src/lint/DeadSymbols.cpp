@@ -157,6 +157,7 @@ void llstar::lintDeadSymbols(const AnalyzedGrammar &AG, const LintOptions &,
       Diag.Id = "dead-token";
       Diag.Severity = DiagSeverity::Warning;
       Diag.Loc = LR.Loc;
+      Diag.RuleName = G.vocabulary().name(LR.Type);
       Diag.Message = "token " + G.vocabulary().name(LR.Type) +
                      " is never used by any parser rule";
       Out.push_back(std::move(Diag));
@@ -189,6 +190,7 @@ void llstar::lintDeadSymbols(const AnalyzedGrammar &AG, const LintOptions &,
     Diag.Id = "shadowed-token";
     Diag.Severity = DiagSeverity::Warning;
     Diag.Loc = LR.Loc;
+    Diag.RuleName = G.vocabulary().name(LR.Type);
     Diag.Message = "lexer rule " + G.vocabulary().name(LR.Type) +
                    " can never match: '" + *Text + "' is matched by rule " +
                    G.vocabulary().name(Winner);

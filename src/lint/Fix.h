@@ -1,0 +1,111 @@
+//===- lint/Fix.h - Verified grammar auto-fixes -----------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lint auto-fix engine: mechanical source repairs for a subset of
+/// lint findings, each expressed as byte-exact replacement regions against
+/// the grammar source (the shape SARIF 2.1.0 `fixes` objects want) and
+/// gated by a machine verifier before anything is emitted or applied.
+///
+/// Fix kinds:
+///   reorder-alts             reorder a rule's alternatives by observed hit
+///                            frequency (profile-driven; only where the DFA
+///                            proves order-independence)
+///   delete-dead-rule         delete a rule unreachable from the start rule
+///   delete-dead-token        delete a lexer rule whose token no parser
+///                            rule references
+///   remove-synpred           delete a `( ... )=>` predicate on a decision
+///                            that is deterministic without it
+///   inline-shadowed-literal  replace references to a shadowed literal
+///                            token with the literal itself (literals out-
+///                            prioritize named rules) and delete the rule
+///
+/// Verification re-parses the rewritten grammar, re-runs LL(*) analysis
+/// and the lint passes (no new errors, no new warnings), then proves
+/// behavioral equivalence on the SentenceGen seed corpus plus a
+/// differential-fuzz burst: original-grammar LL(*), rewritten-grammar
+/// LL(*), and rewritten-grammar packrat must agree on accept/reject for
+/// every input, and on the rendered parse tree when all accept. Fixes
+/// that fail any step stay suggestion-only: Verified=false, no SARIF
+/// `fixes` object, never applied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_LINT_FIX_H
+#define LLSTAR_LINT_FIX_H
+
+#include "analysis/AnalyzedGrammar.h"
+#include "lint/Lint.h"
+#include "lint/Profile.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llstar {
+
+/// One replacement region: bytes [Begin, End) of the original source are
+/// replaced by \p Replacement (empty = deletion).
+struct FixEdit {
+  size_t Begin = 0;
+  size_t End = 0;
+  std::string Replacement;
+};
+
+/// One candidate repair.
+struct Fix {
+  /// Stable id for --fix-id selection, e.g. "delete-dead-rule:helper" or
+  /// "reorder-alts:expr:0".
+  std::string Id;
+  std::string Kind; ///< one of the kinds documented above
+  std::string Description;
+  /// Index of the finding this fix repairs in LintResult::Diagnostics, or
+  /// -1 for fixes not anchored to one finding (profile-driven reorders
+  /// when no finding names the decision).
+  int32_t FindingIndex = -1;
+  std::vector<FixEdit> Edits; ///< disjoint, sorted by Begin
+  bool Verified = false;
+  /// Why verification failed or was skipped ("" when Verified).
+  std::string VerifyNote;
+};
+
+/// Verifier knobs.
+struct FixOptions {
+  bool Verify = true;     ///< run the equivalence verifier (tests disable)
+  size_t MaxSeeds = 64;   ///< SentenceGen seed corpus cap
+  int FuzzIters = 24;     ///< sampler sentences (each also mutated once)
+  uint64_t FuzzSeed = 1;  ///< deterministic burst seed
+};
+
+/// Computes candidate fixes for \p R's findings against \p Source (the
+/// exact text \p AG was analyzed from), verifies each per \ref FixOptions,
+/// and returns them in a deterministic order. \p Profile enables the
+/// profile-driven reorder-alts fixes (null = none). Suppressed findings
+/// never reach \p R, so suppression blocks their fixes for free.
+std::vector<Fix> computeFixes(const AnalyzedGrammar &AG, const LintResult &R,
+                              std::string_view Source,
+                              const LintProfile *Profile,
+                              const FixOptions &Opts = FixOptions());
+
+/// Applies \p Chosen (in order) to \p Source and returns the new text.
+/// A fix whose edits overlap an earlier accepted fix's edits is skipped
+/// whole; skipped ids are appended to \p RejectedIds when non-null.
+std::string applyFixes(std::string_view Source,
+                       const std::vector<const Fix *> &Chosen,
+                       std::vector<std::string> *RejectedIds = nullptr);
+
+/// Renders a unified diff (---/+++/@@ hunks) between two texts, labeled
+/// with \p Path. Empty string when the texts are identical.
+std::string renderUnifiedDiff(std::string_view Before, std::string_view After,
+                              const std::string &Path);
+
+/// Human-readable fix listing for `lint --fixes` text output: one line per
+/// fix with its id, verification status, and description.
+std::string renderFixesText(const std::vector<Fix> &Fixes);
+
+} // namespace llstar
+
+#endif // LLSTAR_LINT_FIX_H

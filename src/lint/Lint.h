@@ -67,6 +67,17 @@ struct LintDiagnostic {
   /// (e.g. replaying it through the decision's DFA).
   std::vector<TokenType> WitnessTypes;
 
+  /// Profile attribution (lint --profile): observed traffic at the
+  /// finding's decision. -1 = no profile loaded or no decision to join on.
+  int64_t HotEvents = -1;     ///< prediction events observed
+  int64_t HotMaxK = -1;       ///< deepest observed lookahead
+  int64_t HotBacktracks = -1; ///< observed backtracking events
+  /// Ranking score: TotalK + 10 * BacktrackTotalK (tokens of lookahead
+  /// work, with speculation weighted as 10x). -1 = unprofiled.
+  int64_t HotScore = -1;
+
+  bool hasHotness() const { return HotScore >= 0; }
+
   /// Renders "line:col: severity: message [id]" (no trailing newline).
   std::string str() const;
 };
@@ -158,8 +169,12 @@ void lintStructure(const AnalyzedGrammar &AG, const LintOptions &Opts,
 /// indented continuation line.
 std::string renderLintText(const LintResult &R, const std::string &File);
 
-/// Machine-readable JSON (single object; stable key order).
-std::string renderLintJson(const LintResult &R, const std::string &File);
+/// Machine-readable JSON (single object; stable key order). When \p Fixes
+/// is non-null a "fixes" array follows the diagnostics, one entry per
+/// candidate fix with its verification status and byte-exact edits.
+struct Fix;
+std::string renderLintJson(const LintResult &R, const std::string &File,
+                           const std::vector<Fix> *Fixes = nullptr);
 
 /// Escapes \p S for embedding in a JSON string literal (quotes included).
 std::string jsonQuote(std::string_view S);

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "lint/Fix.h"
 #include "lint/Lint.h"
 
 #include <algorithm>
@@ -262,6 +263,12 @@ std::string llstar::renderLintText(const LintResult &R,
       }
       Out += '\n';
     }
+    if (D.hasHotness()) {
+      Out += "    hotness: events=" + std::to_string(D.HotEvents) +
+             " maxK=" + std::to_string(D.HotMaxK) +
+             " backtracks=" + std::to_string(D.HotBacktracks) +
+             " score=" + std::to_string(D.HotScore) + '\n';
+    }
   }
   return Out;
 }
@@ -301,7 +308,8 @@ std::string llstar::jsonQuote(std::string_view S) {
 }
 
 std::string llstar::renderLintJson(const LintResult &R,
-                                   const std::string &File) {
+                                   const std::string &File,
+                                   const std::vector<Fix> *Fixes) {
   std::ostringstream Out;
   Out << "{\n  \"file\": " << jsonQuote(File) << ",\n  \"diagnostics\": [";
   for (size_t I = 0; I < R.Diagnostics.size(); ++I) {
@@ -324,9 +332,36 @@ std::string llstar::renderLintJson(const LintResult &R,
         Out << (J ? ", " : "") << jsonQuote(D.Witness[J]);
       Out << ']';
     }
+    if (D.hasHotness())
+      Out << ", \"hotness\": {\"events\": " << D.HotEvents
+          << ", \"maxK\": " << D.HotMaxK
+          << ", \"backtracks\": " << D.HotBacktracks
+          << ", \"score\": " << D.HotScore << '}';
     Out << '}';
   }
   Out << (R.Diagnostics.empty() ? "]" : "\n  ]");
+  if (Fixes) {
+    Out << ",\n  \"fixes\": [";
+    for (size_t I = 0; I < Fixes->size(); ++I) {
+      const Fix &F = (*Fixes)[I];
+      Out << (I ? ",\n    " : "\n    ");
+      Out << "{\"id\": " << jsonQuote(F.Id) << ", \"kind\": "
+          << jsonQuote(F.Kind) << ", \"description\": "
+          << jsonQuote(F.Description)
+          << ", \"findingIndex\": " << F.FindingIndex
+          << ", \"verified\": " << (F.Verified ? "true" : "false");
+      if (!F.VerifyNote.empty())
+        Out << ", \"note\": " << jsonQuote(F.VerifyNote);
+      Out << ", \"edits\": [";
+      for (size_t J = 0; J < F.Edits.size(); ++J)
+        Out << (J ? ", " : "") << "{\"charOffset\": " << F.Edits[J].Begin
+            << ", \"charLength\": " << (F.Edits[J].End - F.Edits[J].Begin)
+            << ", \"insertedContent\": " << jsonQuote(F.Edits[J].Replacement)
+            << '}';
+      Out << "]}";
+    }
+    Out << (Fixes->empty() ? "]" : "\n  ]");
+  }
   Out << ",\n  \"suppressed\": " << R.NumSuppressed << "\n}\n";
   return Out.str();
 }

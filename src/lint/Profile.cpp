@@ -1,0 +1,172 @@
+//===- lint/Profile.cpp - Profile loading, joining, ranking ---------------===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Profile.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+using namespace llstar;
+
+//===----------------------------------------------------------------------===//
+// Loading
+//===----------------------------------------------------------------------===//
+
+bool LintProfile::load(std::string_view JsonText, std::string *Error) {
+  // Redirected `llstar parse --stats-json` output carries the parse
+  // verdict line before the JSON document; profiles are always objects,
+  // so skip to the first '{'.
+  size_t At = JsonText.find('{');
+  if (At == std::string_view::npos) {
+    if (Error)
+      *Error = "no JSON object found";
+    return false;
+  }
+  json::Value Doc;
+  if (!json::parse(JsonText.substr(At), Doc, Error))
+    return false;
+
+  // Find the stats object: the document itself, its "stats" member (the
+  // profile wrapper written by --stats-out), or its "parser" member
+  // (ServiceMetrics / llstard Stats replies).
+  const json::Value *Stats = &Doc;
+  if (Doc.has("stats"))
+    Stats = &Doc.key("stats");
+  else if (Doc.has("parser"))
+    Stats = &Doc.key("parser");
+
+  const json::Value &Decisions = Stats->key("decisions");
+  if (!Decisions.isArray()) {
+    if (Error)
+      *Error = "no decisions array; re-run the stats producer with "
+               "per-decision output enabled";
+    return false;
+  }
+  for (const json::Value &D : Decisions.elements()) {
+    ProfileEntry E;
+    E.Decision = int32_t(D.key("decision").integer(-1));
+    E.Rule = D.key("rule").str();
+    E.DecisionInRule = int32_t(D.key("decisionInRule").integer(0));
+    E.Events = D.key("events").integer(0);
+    E.TotalK = D.key("totalK").integer(0);
+    E.MaxK = D.key("maxK").integer(0);
+    E.BacktrackEvents = D.key("backtrackEvents").integer(0);
+    E.BacktrackTotalK = D.key("backtrackTotalK").integer(0);
+    for (const json::Value &A : D.key("altEvents").elements())
+      E.AltEvents.push_back(A.integer(0));
+    if (E.Events > 0)
+      mergeEntry(std::move(E));
+  }
+  return true;
+}
+
+void LintProfile::mergeEntry(ProfileEntry E) {
+  for (ProfileEntry &Have : Entries) {
+    bool Same = !E.Rule.empty() && !Have.Rule.empty()
+                    ? (Have.Rule == E.Rule &&
+                       Have.DecisionInRule == E.DecisionInRule)
+                    : (E.Rule.empty() && Have.Rule.empty() &&
+                       Have.Decision == E.Decision && E.Decision >= 0);
+    if (!Same)
+      continue;
+    Have.Events += E.Events;
+    Have.TotalK += E.TotalK;
+    Have.MaxK = std::max(Have.MaxK, E.MaxK);
+    Have.BacktrackEvents += E.BacktrackEvents;
+    Have.BacktrackTotalK += E.BacktrackTotalK;
+    if (Have.AltEvents.size() < E.AltEvents.size())
+      Have.AltEvents.resize(E.AltEvents.size());
+    for (size_t I = 0; I < E.AltEvents.size(); ++I)
+      Have.AltEvents[I] += E.AltEvents[I];
+    return;
+  }
+  Entries.push_back(std::move(E));
+}
+
+int64_t LintProfile::totalEvents() const {
+  int64_t N = 0;
+  for (const ProfileEntry &E : Entries)
+    N += E.Events;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Joining and ranking
+//===----------------------------------------------------------------------===//
+
+std::vector<const ProfileEntry *>
+LintProfile::joinTo(const AnalyzedGrammar &AG) const {
+  std::vector<const ProfileEntry *> Joined(AG.numDecisions(), nullptr);
+  std::vector<DecisionKey> Keys = AG.decisionKeys();
+  std::map<std::pair<std::string, int32_t>, size_t> ByIdentity;
+  for (size_t D = 0; D < Keys.size(); ++D)
+    if (!Keys[D].Rule.empty())
+      ByIdentity[{Keys[D].Rule, Keys[D].DecisionInRule}] = D;
+
+  for (const ProfileEntry &E : Entries) {
+    size_t D = Joined.size(); // invalid
+    if (!E.Rule.empty()) {
+      auto It = ByIdentity.find({E.Rule, E.DecisionInRule});
+      if (It != ByIdentity.end())
+        D = It->second;
+    } else if (E.Decision >= 0 && size_t(E.Decision) < Joined.size()) {
+      D = size_t(E.Decision);
+    }
+    if (D < Joined.size())
+      Joined[D] = &E;
+  }
+  return Joined;
+}
+
+int64_t llstar::hotnessScore(const ProfileEntry *E) {
+  if (!E)
+    return -1;
+  return E->TotalK + 10 * E->BacktrackTotalK;
+}
+
+namespace {
+
+int severityRank(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Error:
+    return 0;
+  case DiagSeverity::Warning:
+    return 1;
+  case DiagSeverity::Note:
+    return 2;
+  }
+  return 3;
+}
+
+} // namespace
+
+void llstar::applyProfile(LintResult &R, const LintProfile &P,
+                          const AnalyzedGrammar &AG) {
+  std::vector<const ProfileEntry *> Joined = P.joinTo(AG);
+  for (LintDiagnostic &D : R.Diagnostics) {
+    if (D.Decision < 0 || size_t(D.Decision) >= Joined.size())
+      continue;
+    const ProfileEntry *E = Joined[size_t(D.Decision)];
+    if (!E)
+      continue;
+    D.HotEvents = E->Events;
+    D.HotMaxK = E->MaxK;
+    D.HotBacktracks = E->BacktrackEvents;
+    D.HotScore = hotnessScore(E);
+  }
+  // Re-rank: severity, then observed cost descending; the engine's
+  // (location, id, ...) order survives as the stable tie-break.
+  std::stable_sort(R.Diagnostics.begin(), R.Diagnostics.end(),
+                   [](const LintDiagnostic &A, const LintDiagnostic &B) {
+                     return std::make_tuple(severityRank(A.Severity),
+                                            -A.HotScore) <
+                            std::make_tuple(severityRank(B.Severity),
+                                            -B.HotScore);
+                   });
+}

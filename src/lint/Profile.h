@@ -1,0 +1,93 @@
+//===- lint/Profile.h - Runtime profiles for lint ranking -------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loading and joining of runtime decision profiles for `llstar lint
+/// --profile`. A profile is the `decisions` array of any ParserStats JSON
+/// the toolkit emits — `llstar parse --stats-json`, `llstar-batch
+/// --json-metrics`/`--stats-out`, `llstar-loadgen --stats-out`, or an
+/// llstard Stats reply — possibly nested under a `parser` key
+/// (ServiceMetrics) or a `stats` key (the profile wrapper). Entries join
+/// to the grammar's decisions by stable identity (rule name + ordinal)
+/// when the profile carries DecisionKeys, falling back to the raw decision
+/// index otherwise. Multiple profiles merge by summing counters, so a
+/// fleet of stats files aggregates into one ranking signal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_LINT_PROFILE_H
+#define LLSTAR_LINT_PROFILE_H
+
+#include "analysis/AnalyzedGrammar.h"
+#include "lint/Lint.h"
+#include "runtime/ParserStats.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llstar {
+
+/// One profile entry, pre-join: counters plus whatever identity the stats
+/// file carried.
+struct ProfileEntry {
+  int32_t Decision = -1; ///< raw index in the producing run (-1 = absent)
+  std::string Rule;      ///< stable identity ("" = index-only profile)
+  int32_t DecisionInRule = 0;
+  int64_t Events = 0;
+  int64_t TotalK = 0;
+  int64_t MaxK = 0;
+  int64_t BacktrackEvents = 0;
+  int64_t BacktrackTotalK = 0;
+  std::vector<int64_t> AltEvents;
+};
+
+/// An accumulated runtime profile over one grammar.
+class LintProfile {
+public:
+  /// Parses one stats JSON document and merges its decision entries in.
+  /// Accepts raw ParserStats JSON, ServiceMetrics JSON (decisions under
+  /// "parser"), and the `{"llstarProfile":1,...,"stats":{...}}` wrapper.
+  /// Returns false with \p Error set when the text is not JSON or has no
+  /// recognizable decisions array.
+  bool load(std::string_view JsonText, std::string *Error = nullptr);
+
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+  const std::vector<ProfileEntry> &entries() const { return Entries; }
+
+  /// Total prediction events across all loaded entries.
+  int64_t totalEvents() const;
+
+  /// Joins the profile against \p AG's decisions: result[d] points to the
+  /// merged entry for decision d, or null when the profile never saw it.
+  /// Entries with a rule name join on (rule, decisionInRule); bare
+  /// entries join on the decision index.
+  std::vector<const ProfileEntry *> joinTo(const AnalyzedGrammar &AG) const;
+
+private:
+  void mergeEntry(ProfileEntry E);
+
+  std::vector<ProfileEntry> Entries;
+};
+
+/// The ranking score for one profile entry: total lookahead tokens
+/// examined, with speculated tokens weighted 10x (backtracking is the
+/// paper's expensive case). Null entries score -1.
+int64_t hotnessScore(const ProfileEntry *E);
+
+/// Attributes \p P's counters to each finding in \p R that names a
+/// decision (HotEvents/HotMaxK/HotBacktracks/HotScore), then re-ranks
+/// \p R's findings: severity first, observed cost descending within a
+/// severity, the standard (location, id) order as tiebreak. Findings
+/// without a decision keep score -1 and sort after profiled ones of the
+/// same severity.
+void applyProfile(LintResult &R, const LintProfile &P,
+                  const AnalyzedGrammar &AG);
+
+} // namespace llstar
+
+#endif // LLSTAR_LINT_PROFILE_H

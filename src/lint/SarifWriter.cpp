@@ -19,9 +19,29 @@ const char *sarifLevel(DiagSeverity S) {
   return "none";
 }
 
+/// One SARIF fix object: a single artifactChange on \p File whose
+/// replacements are the fix's byte-exact edits. SARIF wants 0-based
+/// charOffset + charLength deletedRegions, which is exactly FixEdit.
+void emitFix(std::ostringstream &Out, const Fix &F, const std::string &File) {
+  Out << "{\"description\": {\"text\": " << jsonQuote(F.Description)
+      << "}, \"artifactChanges\": [{\"artifactLocation\": {\"uri\": "
+      << jsonQuote(File) << "}, \"replacements\": [";
+  for (size_t I = 0; I < F.Edits.size(); ++I) {
+    const FixEdit &E = F.Edits[I];
+    Out << (I ? ", " : "") << "{\"deletedRegion\": {\"charOffset\": "
+        << E.Begin << ", \"charLength\": " << (E.End - E.Begin) << "}";
+    if (!E.Replacement.empty())
+      Out << ", \"insertedContent\": {\"text\": " << jsonQuote(E.Replacement)
+          << "}";
+    Out << "}";
+  }
+  Out << "]}]}";
+}
+
 } // namespace
 
-std::string llstar::renderSarif(const LintResult &R, const std::string &File) {
+std::string llstar::renderSarif(const LintResult &R, const std::string &File,
+                                const std::vector<Fix> &Fixes) {
   std::ostringstream Out;
   Out << "{\n"
       << "  \"$schema\": "
@@ -68,8 +88,33 @@ std::string llstar::renderSarif(const LintResult &R, const std::string &File) {
       Out << ", \"region\": {\"startLine\": " << D.Loc.Line
           << ", \"startColumn\": " << (D.Loc.Column + 1) << "}";
     Out << "}}]";
+
+    // Verified fixes anchored to this finding become SARIF fixes;
+    // unverified ones stay suggestion-only (surfaced in the property bag).
+    const Fix *Suggested = nullptr;
+    bool AnyVerified = false;
+    for (const Fix &F : Fixes)
+      if (F.FindingIndex == int32_t(I)) {
+        if (F.Verified)
+          AnyVerified = true;
+        else if (!Suggested)
+          Suggested = &F;
+      }
+    if (AnyVerified) {
+      Out << ",\n          \"fixes\": [";
+      bool FirstFix = true;
+      for (const Fix &F : Fixes) {
+        if (F.FindingIndex != int32_t(I) || !F.Verified)
+          continue;
+        Out << (FirstFix ? "" : ", ");
+        FirstFix = false;
+        emitFix(Out, F, File);
+      }
+      Out << "]";
+    }
+
     bool HasProps = !D.Witness.empty() || D.Decision >= 0 || D.Alt >= 0 ||
-                    !D.RuleName.empty();
+                    !D.RuleName.empty() || D.hasHotness() || Suggested;
     if (HasProps) {
       Out << ",\n          \"properties\": {";
       bool First = true;
@@ -88,6 +133,19 @@ std::string llstar::renderSarif(const LintResult &R, const std::string &File) {
       if (D.Alt >= 0) {
         Sep();
         Out << "\"alt\": " << D.Alt;
+      }
+      if (D.hasHotness()) {
+        Sep();
+        Out << "\"hotness\": {\"events\": " << D.HotEvents
+            << ", \"maxK\": " << D.HotMaxK
+            << ", \"backtracks\": " << D.HotBacktracks
+            << ", \"score\": " << D.HotScore << '}';
+      }
+      if (Suggested) {
+        Sep();
+        Out << "\"suggestedFix\": {\"id\": " << jsonQuote(Suggested->Id)
+            << ", \"unverified\": " << jsonQuote(Suggested->VerifyNote)
+            << '}';
       }
       if (!D.Witness.empty()) {
         Sep();

@@ -9,23 +9,32 @@
 /// interchange format) so CI systems and code-review UIs can ingest lint
 /// findings. One run, one tool (`llstar`), the full rule catalog in the
 /// driver's rules array, one result per diagnostic with a physicalLocation
-/// region when the finding has a source position; witnesses travel in the
-/// result's property bag.
+/// region when the finding has a source position; witnesses and hotness
+/// travel in the result's property bag. Verified auto-fixes become SARIF
+/// `fixes` objects (charOffset/charLength replacements against the grammar
+/// artifact) on the result they repair; unverified fixes are never emitted
+/// as `fixes` — they stay suggestion-only in the property bag.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LLSTAR_LINT_SARIFWRITER_H
 #define LLSTAR_LINT_SARIFWRITER_H
 
+#include "lint/Fix.h"
 #include "lint/Lint.h"
 
 #include <string>
+#include <vector>
 
 namespace llstar {
 
 /// Renders \p R as a complete SARIF 2.1.0 JSON document. \p File becomes
-/// the result locations' artifactLocation uri.
-std::string renderSarif(const LintResult &R, const std::string &File);
+/// the result locations' artifactLocation uri. \p Fixes (may be empty)
+/// attaches each *verified* fix with FindingIndex >= 0 to its result as a
+/// SARIF fix; unverified fixes surface as a "suggestedFix" property
+/// instead.
+std::string renderSarif(const LintResult &R, const std::string &File,
+                        const std::vector<Fix> &Fixes = {});
 
 } // namespace llstar
 

@@ -369,7 +369,7 @@ int32_t LLStarParser::adaptivePredict(int32_t Decision) {
   int64_t StartIndex = Stream.index();
   bool Backtracked = false;
 
-  auto Record = [&](int64_t UsedK) {
+  auto Record = [&](int64_t UsedK, int32_t Alt) {
     // The reuse subscriber needs every decision's lookahead extent, stats
     // on or off, speculative or not (StartIndex + max(K,1) inclusively
     // over-approximates the deepest token examined by at most one).
@@ -378,7 +378,7 @@ int32_t LLStarParser::adaptivePredict(int32_t Decision) {
     if (!Opts.CollectStats)
       return;
     Stats.Decisions[size_t(Decision)].record(std::max<int64_t>(UsedK, 1),
-                                             Backtracked);
+                                             Backtracked, Alt);
   };
 
   while (true) {
@@ -386,7 +386,7 @@ int32_t LLStarParser::adaptivePredict(int32_t Decision) {
       return -1;
     const DfaState &St = Dfa.state(S);
     if (St.isAccept()) {
-      Record(Depth);
+      Record(Depth, St.PredictedAlt);
       return St.PredictedAlt;
     }
     TokenType T = Stream.LA(Depth + 1);
@@ -412,11 +412,11 @@ int32_t LLStarParser::adaptivePredict(int32_t Decision) {
         Depth = std::max(Depth, Reach);
       }
       if (Holds) {
-        Record(Depth);
+        Record(Depth, E.Alt);
         return E.Alt;
       }
     }
-    Record(Depth);
+    Record(Depth, /*Alt=*/-1);
     if (!speculating() && !DeadlineHit)
       reportNoViableAlt(Decision, Depth);
     return -1;

@@ -36,9 +36,22 @@ void appendDouble(std::string &Out, const char *Key, double V) {
   Out += Buf;
 }
 
+void appendQuoted(std::string &Out, const char *Key, const std::string &V) {
+  Out += '"';
+  Out += Key;
+  Out += "\":\"";
+  for (char C : V) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  Out += '"';
+}
+
 } // namespace
 
-std::string ParserStats::json(bool IncludeDecisions) const {
+std::string ParserStats::json(bool IncludeDecisions,
+                              const std::vector<DecisionKey> *Keys) const {
   std::string Out = "{";
   appendNum(Out, "decisionEvents", totalEvents());
   Out += ',';
@@ -87,6 +100,17 @@ std::string ParserStats::json(bool IncludeDecisions) const {
       First = false;
       Out += "{";
       appendNum(Out, "decision", int64_t(I));
+      if (Keys && I < Keys->size() && !(*Keys)[I].Rule.empty()) {
+        const DecisionKey &K = (*Keys)[I];
+        Out += ',';
+        appendQuoted(Out, "rule", K.Rule);
+        Out += ',';
+        appendNum(Out, "decisionInRule", K.DecisionInRule);
+        Out += ',';
+        appendNum(Out, "line", int64_t(K.Line));
+        Out += ',';
+        appendNum(Out, "column", int64_t(K.Column));
+      }
       Out += ',';
       appendNum(Out, "events", D.Events);
       Out += ',';
@@ -97,7 +121,13 @@ std::string ParserStats::json(bool IncludeDecisions) const {
       appendNum(Out, "backtrackEvents", D.BacktrackEvents);
       Out += ',';
       appendNum(Out, "backtrackTotalK", D.BacktrackTotalK);
-      Out += "}";
+      Out += ",\"altEvents\":[";
+      for (size_t A = 0; A < D.AltEvents.size(); ++A) {
+        if (A)
+          Out += ',';
+        Out += std::to_string(D.AltEvents[A]);
+      }
+      Out += "]}";
     }
     Out += "]";
   }

@@ -28,14 +28,24 @@ struct DecisionStats {
   int64_t MaxK = 0;          ///< deepest lookahead of any event
   int64_t BacktrackEvents = 0; ///< events that evaluated a syntactic pred
   int64_t BacktrackTotalK = 0; ///< sum of speculation depths (those events)
+  /// Events per predicted alternative, index 0 = alt 1. Prediction
+  /// failures (no viable alternative) are counted in Events but not here.
+  std::vector<int64_t> AltEvents;
 
-  void record(int64_t K, bool Backtracked) {
+  /// Records one prediction event. \p Alt is the 1-based chosen
+  /// alternative, or <= 0 when prediction failed.
+  void record(int64_t K, bool Backtracked, int32_t Alt = 0) {
     ++Events;
     TotalK += K;
     MaxK = std::max(MaxK, K);
     if (Backtracked) {
       ++BacktrackEvents;
       BacktrackTotalK += K;
+    }
+    if (Alt > 0) {
+      if (AltEvents.size() < size_t(Alt))
+        AltEvents.resize(size_t(Alt));
+      ++AltEvents[size_t(Alt) - 1];
     }
   }
 
@@ -45,7 +55,24 @@ struct DecisionStats {
     MaxK = std::max(MaxK, O.MaxK);
     BacktrackEvents += O.BacktrackEvents;
     BacktrackTotalK += O.BacktrackTotalK;
+    if (AltEvents.size() < O.AltEvents.size())
+      AltEvents.resize(O.AltEvents.size());
+    for (size_t I = 0; I < O.AltEvents.size(); ++I)
+      AltEvents[I] += O.AltEvents[I];
   }
+};
+
+/// Stable identity of one decision, independent of global decision
+/// numbering: the owning rule's name, the decision's ordinal within that
+/// rule (in decision-number order), and the decision's source position.
+/// Emitted alongside the raw index in stats JSON so profiles collected by
+/// different workers/fleets against the same grammar text are joinable
+/// (and diffable) even if unrelated rules were added or removed.
+struct DecisionKey {
+  std::string Rule;          ///< owning rule name ("" = unknown)
+  int32_t DecisionInRule = 0; ///< 0-based ordinal within the rule
+  uint32_t Line = 0;          ///< decision source line (1-based; 0 = none)
+  uint32_t Column = 0;        ///< decision source column (0-based)
 };
 
 /// Counters for one whole parse (or many; they accumulate).
@@ -129,10 +156,23 @@ struct ParserStats {
   /// into one aggregate snapshot with this.
   void merge(const ParserStats &O);
 
-  /// Renders all counters as a JSON object. \p IncludeDecisions adds a
-  /// `decisions` array with one entry per decision that recorded at least
-  /// one event.
-  std::string json(bool IncludeDecisions = false) const;
+  /// Renders all counters as a JSON object. Keys are emitted in a fixed,
+  /// documented order so profile files diff cleanly across runs:
+  ///
+  ///   decisionEvents, decisionsCovered, avgLookahead, maxLookahead,
+  ///   backtrackEvents, backtrackFraction, avgBacktrackLookahead,
+  ///   synPredEvals, memoHits, memoMisses, tokensConsumed, syntaxErrors,
+  ///   tokensDeleted, tokensInserted, panicSyncs, nodesReused,
+  ///   tokensRelexed, decisionsReparsed [, decisions]
+  ///
+  /// \p IncludeDecisions adds a `decisions` array with one entry per
+  /// decision that recorded at least one event, each with keys
+  ///   decision [, rule, decisionInRule, line, column],
+  ///   events, totalK, maxK, backtrackEvents, backtrackTotalK, altEvents
+  /// in that order. \p Keys, when non-null and long enough, supplies the
+  /// stable \ref DecisionKey identity fields.
+  std::string json(bool IncludeDecisions = false,
+                   const std::vector<DecisionKey> *Keys = nullptr) const;
 
   void reset() { *this = ParserStats(); }
 };

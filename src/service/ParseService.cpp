@@ -32,7 +32,8 @@ const char *llstar::statusName(ParseStatus S) {
   return "?";
 }
 
-std::string ServiceMetrics::json(bool IncludeDecisions) const {
+std::string ServiceMetrics::json(bool IncludeDecisions,
+                                 const std::vector<DecisionKey> *Keys) const {
   std::string Out = "{";
   auto Num = [&Out](const char *Key, int64_t V, bool Comma = true) {
     Out += '"';
@@ -58,7 +59,7 @@ std::string ServiceMetrics::json(bool IncludeDecisions) const {
   std::snprintf(Buf, sizeof(Buf), "\"parseMillis\":%.3f,", ParseMillis);
   Out += Buf;
   Out += "\"parser\":";
-  Out += Parser.json(IncludeDecisions);
+  Out += Parser.json(IncludeDecisions, Keys);
   Out += "}";
   return Out;
 }

@@ -139,9 +139,11 @@ struct ServiceMetrics {
   /// Every worker's thread-local stats merged via ParserStats::merge.
   ParserStats Parser;
 
-  /// One JSON object with all counters; \p IncludeDecisions forwards to
-  /// ParserStats::json.
-  std::string json(bool IncludeDecisions = false) const;
+  /// One JSON object with all counters; \p IncludeDecisions and \p Keys
+  /// forward to ParserStats::json so per-decision entries carry their
+  /// stable (rule, decisionInRule, line, column) identity.
+  std::string json(bool IncludeDecisions = false,
+                   const std::vector<DecisionKey> *Keys = nullptr) const;
 };
 
 /// Invoked exactly once per submitted request with its final result.

@@ -1,0 +1,265 @@
+#include "support/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+using namespace llstar;
+using namespace llstar::json;
+
+const Value &Value::key(const std::string &Name) const {
+  static const Value Null;
+  if (K != Kind::Object)
+    return Null;
+  auto It = Members.find(Name);
+  return It == Members.end() ? Null : It->second;
+}
+
+const Value &Value::at(size_t I) const {
+  static const Value Null;
+  if (K != Kind::Array || I >= Elements.size())
+    return Null;
+  return Elements[I];
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text) : Text(Text) {}
+
+  bool run(Value &Out, std::string *Error) {
+    if (!parseValue(Out)) {
+      if (Error)
+        *Error = Message + " at offset " + std::to_string(Pos);
+      return false;
+    }
+    skipWs();
+    if (Pos != Text.size()) {
+      if (Error)
+        *Error = "trailing characters at offset " + std::to_string(Pos);
+      return false;
+    }
+    return true;
+  }
+
+private:
+  bool fail(const char *Why) {
+    if (Message.empty())
+      Message = Why;
+    return false;
+  }
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  bool eat(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  void skipWs() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+  bool eatWord(const char *W) {
+    size_t Len = std::char_traits<char>::length(W);
+    if (Text.substr(Pos, Len) != W)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = peek();
+    switch (C) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      return parseString(Out);
+    case 't':
+      if (!eatWord("true"))
+        return fail("bad literal");
+      Out = Value::makeBool(true);
+      return true;
+    case 'f':
+      if (!eatWord("false"))
+        return fail("bad literal");
+      Out = Value::makeBool(false);
+      return true;
+    case 'n':
+      if (!eatWord("null"))
+        return fail("bad literal");
+      Out = Value::makeNull();
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    ++Pos; // '{'
+    std::map<std::string, Value> Members;
+    skipWs();
+    if (eat('}')) {
+      Out = Value::makeObject(std::move(Members));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      Value KeyVal;
+      if (peek() != '"' || !parseString(KeyVal))
+        return fail("expected object key");
+      skipWs();
+      if (!eat(':'))
+        return fail("expected ':' after object key");
+      Value Member;
+      if (!parseValue(Member))
+        return false;
+      Members[KeyVal.str()] = std::move(Member);
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat('}'))
+        break;
+      return fail("expected ',' or '}' in object");
+    }
+    Out = Value::makeObject(std::move(Members));
+    return true;
+  }
+
+  bool parseArray(Value &Out) {
+    ++Pos; // '['
+    std::vector<Value> Elems;
+    skipWs();
+    if (eat(']')) {
+      Out = Value::makeArray(std::move(Elems));
+      return true;
+    }
+    while (true) {
+      Value Elem;
+      if (!parseValue(Elem))
+        return false;
+      Elems.push_back(std::move(Elem));
+      skipWs();
+      if (eat(','))
+        continue;
+      if (eat(']'))
+        break;
+      return fail("expected ',' or ']' in array");
+    }
+    Out = Value::makeArray(std::move(Elems));
+    return true;
+  }
+
+  bool parseString(Value &Out) {
+    ++Pos; // '"'
+    std::string S;
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        break;
+      if (C != '\\') {
+        S += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        S += E;
+        break;
+      case 'b':
+        S += '\b';
+        break;
+      case 'f':
+        S += '\f';
+        break;
+      case 'n':
+        S += '\n';
+        break;
+      case 'r':
+        S += '\r';
+        break;
+      case 't':
+        S += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        uint32_t Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= uint32_t(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= uint32_t(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= uint32_t(H - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        // UTF-8 encode (surrogate pairs are not combined; the project never
+        // writes them).
+        if (Code < 0x80) {
+          S += char(Code);
+        } else if (Code < 0x800) {
+          S += char(0xC0 | (Code >> 6));
+          S += char(0x80 | (Code & 0x3F));
+        } else {
+          S += char(0xE0 | (Code >> 12));
+          S += char(0x80 | ((Code >> 6) & 0x3F));
+          S += char(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("bad escape character");
+      }
+    }
+    Out = Value::makeString(std::move(S));
+    return true;
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value");
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double D = std::strtod(Num.c_str(), &End);
+    if (!End || *End != '\0' || !std::isfinite(D))
+      return fail("malformed number");
+    Out = Value::makeNumber(D);
+    return true;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Message;
+};
+
+} // namespace
+
+bool llstar::json::parse(std::string_view Text, Value &Out,
+                         std::string *Error) {
+  return Parser(Text).run(Out, Error);
+}

@@ -1,0 +1,125 @@
+//===- support/Json.h - Minimal JSON document model -------------*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON reader and immutable value tree. The
+/// project emits JSON by hand (ParserStats, ServiceMetrics, SARIF); this is
+/// the consuming side, used by `llstar lint --profile` and the loadgen
+/// stats export to read those documents back. It supports exactly the JSON
+/// the project writes: objects, arrays, strings with \uXXXX escapes,
+/// doubles, bools, null. Duplicate object keys keep the last value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_SUPPORT_JSON_H
+#define LLSTAR_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llstar {
+namespace json {
+
+enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+/// One JSON value. Parsed documents are trees of these; accessors are
+/// null-tolerant so lookups chain without intermediate checks:
+/// `Doc.key("parser").key("decisions").at(0).key("rule").str()`.
+class Value {
+public:
+  Value() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+  bool isNumber() const { return K == Kind::Number; }
+
+  /// Bool value (false unless this is a Bool).
+  bool boolean() const { return K == Kind::Bool && Num != 0; }
+  /// Numeric value (\p Default unless this is a Number).
+  double number(double Default = 0) const {
+    return K == Kind::Number ? Num : Default;
+  }
+  int64_t integer(int64_t Default = 0) const {
+    return K == Kind::Number ? int64_t(Num) : Default;
+  }
+  /// String value (\p Default unless this is a String).
+  const std::string &str() const {
+    static const std::string Empty;
+    return K == Kind::String ? Str : Empty;
+  }
+
+  /// Object member lookup; returns a shared Null value when absent or when
+  /// this is not an object.
+  const Value &key(const std::string &Name) const;
+  bool has(const std::string &Name) const {
+    return K == Kind::Object && Members.count(Name) != 0;
+  }
+  /// Array element; the shared Null value when out of range.
+  const Value &at(size_t I) const;
+  size_t size() const {
+    return K == Kind::Array ? Elements.size()
+                            : (K == Kind::Object ? Members.size() : 0);
+  }
+  const std::vector<Value> &elements() const { return Elements; }
+  const std::map<std::string, Value> &members() const { return Members; }
+
+  // Construction (used by the parser; also handy in tests).
+  static Value makeNull() { return Value(); }
+  static Value makeBool(bool B) {
+    Value V;
+    V.K = Kind::Bool;
+    V.Num = B ? 1 : 0;
+    return V;
+  }
+  static Value makeNumber(double N) {
+    Value V;
+    V.K = Kind::Number;
+    V.Num = N;
+    return V;
+  }
+  static Value makeString(std::string S) {
+    Value V;
+    V.K = Kind::String;
+    V.Str = std::move(S);
+    return V;
+  }
+  static Value makeArray(std::vector<Value> Elems) {
+    Value V;
+    V.K = Kind::Array;
+    V.Elements = std::move(Elems);
+    return V;
+  }
+  static Value makeObject(std::map<std::string, Value> M) {
+    Value V;
+    V.K = Kind::Object;
+    V.Members = std::move(M);
+    return V;
+  }
+
+private:
+  Kind K = Kind::Null;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Elements;
+  std::map<std::string, Value> Members;
+};
+
+/// Parses \p Text into \p Out. Returns false (with a human-readable message
+/// in \p Error when non-null) on malformed input; trailing non-whitespace
+/// after the document is an error.
+bool parse(std::string_view Text, Value &Out, std::string *Error = nullptr);
+
+} // namespace json
+} // namespace llstar
+
+#endif // LLSTAR_SUPPORT_JSON_H

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# CI fix smoke for the profile-guided auto-fix engine.
+#
+#   tools/fix_smoke.sh <llstar> <llstar-batch> <llstar-fuzz> <repo-root> <work-dir>
+#
+# Applies every verified auto-fix to a scratch copy of the repo's grammar
+# tree (shipped grammars, examples, fuzz corpus) — profile-guided where a
+# replay profile can be collected — then proves the rewritten tree is
+# still healthy:
+#
+#  1. fixes only remove findings: the regenerated corpus baseline after
+#     apply has no more findings than the shipped baseline;
+#  2. the full lint gate (tools/lint_gate.sh) passes against the
+#     post-apply baseline, profiled and unprofiled alike — in particular
+#     grammars/ and examples/grammars/ stay --werror clean, which the
+#     per-fix verifier guarantees;
+#  3. a 500-iteration incremental edit smoke over the applied shipped
+#     grammars keeps every parse byte-identical to a from-scratch parse.
+#
+# Note the corpus baseline is regenerated *after* apply rather than
+# diffed against the shipped one: deleting a dead rule shifts the line
+# numbers of every finding below it, so position-keyed baseline entries
+# legitimately move. The count monotonicity check in (1) is the
+# stable invariant.
+set -u
+
+LLSTAR=$1
+BATCH=$2
+FUZZ=$3
+ROOT=$4
+WORK=$5
+
+fail() {
+  echo "FAIL (fix-smoke): $*"
+  exit 1
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK/examples" "$WORK/tests" "$WORK/profiles"
+cp -r "$ROOT/grammars" "$WORK/grammars"
+cp -r "$ROOT/examples/grammars" "$WORK/examples/grammars"
+cp -r "$ROOT/tests/corpus" "$WORK/tests/corpus"
+rm -rf "$WORK/grammars/compiled" "$WORK/tests/corpus/compiled"
+
+BEFORE=$(wc -l <"$ROOT/tests/lint-baseline.txt")
+
+# --- collect profiles and apply verified fixes --------------------------
+APPLIED=0
+for g in "$WORK"/grammars/*.g "$WORK"/examples/grammars/*.g \
+         "$WORK"/tests/corpus/*.g; do
+  base=$(basename "$g" .g)
+  prof="$WORK/profiles/$base.prof.json"
+  PROFILE_ARGS=""
+  # Replay a sampled corpus through the parser to collect a
+  # decision-keyed profile. Some fuzz grammars sample sentences their
+  # own lexer rejects (nonzero exit) — the profile is still written.
+  "$BATCH" "$g" --sample 20 --seed 2026 --quiet \
+    --stats-out "$prof" >/dev/null 2>&1 || true
+  if [ -s "$prof" ]; then
+    PROFILE_ARGS="--profile $prof"
+  fi
+  # shellcheck disable=SC2046
+  OUT=$("$LLSTAR" lint "$g" $PROFILE_ARGS --apply 2>&1 >/dev/null) || true
+  case "$OUT" in
+  *"applied "*) APPLIED=$((APPLIED + 1)) ;;
+  esac
+done
+echo "fix-smoke: applied verified fixes in $APPLIED grammar(s)"
+
+# --- 1. fixes only remove findings --------------------------------------
+"$ROOT/tools/lint_gate.sh" "$LLSTAR" "$WORK" "$WORK/lint-artifacts" \
+  --update-baseline >/dev/null ||
+  fail "could not regenerate baseline on the applied tree"
+AFTER=$(wc -l <"$WORK/tests/lint-baseline.txt")
+echo "fix-smoke: corpus findings $BEFORE before apply, $AFTER after"
+if [ "$AFTER" -gt "$BEFORE" ]; then
+  fail "applying fixes added findings ($BEFORE -> $AFTER)"
+fi
+
+# --- 2. the lint gate passes on the applied tree, profiled ---------------
+LINT_PROFILE_DIR="$WORK/profiles" \
+  "$ROOT/tools/lint_gate.sh" "$LLSTAR" "$WORK" "$WORK/lint-artifacts" ||
+  fail "lint gate failed on the applied tree"
+
+# --- 3. applied grammars parse byte-identically under incremental edits --
+"$FUZZ" --edit-smoke --corpus "$WORK/grammars" --seed 42 --iters 500 \
+  --quiet || fail "edit smoke failed on applied grammars"
+
+echo "fix-smoke: OK"

@@ -12,8 +12,17 @@
 #    baseline fails the job, so new findings surface without freezing the
 #    corpus. Regenerate the baseline with:
 #      tools/lint_gate.sh <llstar> <root> <dir> --update-baseline
-#  - a SARIF 2.1.0 log per linted grammar is written to <artifact-dir> for
-#    upload.
+#  - a SARIF 2.1.0 log per linted grammar (with verified fixes objects,
+#    computed via --fixes) is written to <artifact-dir> for
+#    upload;
+#  - profiled and unprofiled runs gate identically: when LINT_PROFILE_DIR
+#    is set and holds a decision-keyed profile named <grammar>.prof.json
+#    (from parse --stats-json / llstar-batch --stats-out), lint runs with
+#    --profile — findings gain hotness fields and re-rank by observed
+#    cost, but the baseline keys (<path>:<line>:<col>:<id>) are
+#    position-based and the baseline is sorted, so the same baseline
+#    accepts both modes. Hotness continuation lines ("    hotness: ...")
+#    are indented and never match the key pattern.
 set -u
 
 LLSTAR=$1
@@ -29,11 +38,24 @@ sarif_name() {
   echo "$ARTIFACTS/$(echo "$1" | sed 's|/|_|g').sarif"
 }
 
+# Emits "--profile <file>" when a profile exists for grammar $1.
+profile_args() {
+  local base
+  base=$(basename "$1" .g)
+  if [ -n "${LINT_PROFILE_DIR:-}" ] && \
+     [ -f "$LINT_PROFILE_DIR/$base.prof.json" ]; then
+    echo "--profile $LINT_PROFILE_DIR/$base.prof.json"
+  fi
+}
+
 # --- strict set: must be clean under --werror ---------------------------
 for g in "$ROOT"/grammars/*.g "$ROOT"/examples/grammars/*.g; do
   rel=${g#"$ROOT"/}
-  "$LLSTAR" lint "$g" --format=sarif -o "$(sarif_name "$rel")" || true
-  if ! "$LLSTAR" lint "$g" --werror >/dev/null 2>&1; then
+  # shellcheck disable=SC2046
+  "$LLSTAR" lint "$g" $(profile_args "$g") --fixes --format=sarif \
+    -o "$(sarif_name "$rel")" || true
+  # shellcheck disable=SC2046
+  if ! "$LLSTAR" lint "$g" $(profile_args "$g") --werror >/dev/null 2>&1; then
     echo "FAIL (lint --werror): $rel"
     "$LLSTAR" lint "$g" 2>&1 | sed 's/^/    /'
     STATUS=1
@@ -44,10 +66,14 @@ done
 CURRENT=$(mktemp)
 for g in "$ROOT"/tests/corpus/*.g; do
   rel=${g#"$ROOT"/}
-  "$LLSTAR" lint "$g" --format=sarif -o "$(sarif_name "$rel")" || true
+  # shellcheck disable=SC2046
+  "$LLSTAR" lint "$g" $(profile_args "$g") --fixes --format=sarif \
+    -o "$(sarif_name "$rel")" || true
   # One line per finding: <relpath>:<line>:<col>:<id> (message text is not
-  # part of the key, so rewording a diagnostic does not churn the baseline).
-  "$LLSTAR" lint "$g" 2>/dev/null |
+  # part of the key, so rewording a diagnostic does not churn the baseline;
+  # profile re-ranking does not either, since the key list is sorted).
+  # shellcheck disable=SC2046
+  "$LLSTAR" lint "$g" $(profile_args "$g") 2>/dev/null |
     sed -n 's|^.*/\([^/]*\.g\):\([0-9]*\):\([0-9]*\): [a-z]*: .* \[\([a-z-]*\)\]$|tests/corpus/\1:\2:\3:\4|p'
 done | sort >"$CURRENT"
 

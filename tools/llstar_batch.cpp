@@ -57,6 +57,10 @@ int usage() {
       "                    dense-table modules when available; identical\n"
       "                    results, higher throughput)\n"
       "  --json-metrics F  write merged service metrics JSON to F (- = stdout)\n"
+      "  --stats-out F     write a decision-keyed parse profile to F, the\n"
+      "                    merged ParserStats of every worker with stable\n"
+      "                    (rule, decisionInRule) identities, consumable by\n"
+      "                    `llstar lint --profile F` (single grammar only)\n"
       "  --edit-script F   incremental mode: replay the JSON edit trace F\n"
       "                    against one incremental session (single .g\n"
       "                    grammar; inputs come from the trace, not operands).\n"
@@ -123,11 +127,35 @@ struct Options {
   bool Recover = false;
   bool UseCompiled = false;
   std::string JsonMetrics;
+  std::string StatsOut;
   std::string EditScriptPath;
   bool NoReuse = false;
   bool UseArena = false;
   bool Quiet = false;
 };
+
+/// Writes a decision-keyed parse profile: the profile wrapper object with
+/// the grammar name and the merged ParserStats, each per-decision entry
+/// tagged (rule, decisionInRule, line, column) so `llstar lint --profile`
+/// can join it to a re-analyzed grammar by identity, not index.
+bool writeProfile(const std::string &Path, const GrammarBundle &Bundle,
+                  const ParserStats &Stats) {
+  std::vector<DecisionKey> Keys = Bundle.analyzed().decisionKeys();
+  std::string Json = "{\"llstarProfile\":1,\"grammar\":\"" + Bundle.name() +
+                     "\",\"stats\":" +
+                     Stats.json(/*IncludeDecisions=*/true, &Keys) + "}";
+  if (Path == "-") {
+    std::printf("%s\n", Json.c_str());
+    return true;
+  }
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << Json << "\n";
+  return true;
+}
 
 /// --edit-script: replay a JSON edit trace against one incremental session
 /// and report per-batch cost plus the session's reuse counters.
@@ -198,7 +226,8 @@ int runEditScript(std::shared_ptr<const GrammarBundle> Bundle,
               (long long)S.TokensRelexed, (long long)S.DecisionsReparsed);
 
   if (!O.JsonMetrics.empty()) {
-    std::string Json = S.json(/*IncludeDecisions=*/true);
+    std::vector<DecisionKey> Keys = Bundle->analyzed().decisionKeys();
+    std::string Json = S.json(/*IncludeDecisions=*/true, &Keys);
     if (O.JsonMetrics == "-") {
       std::printf("%s\n", Json.c_str());
     } else {
@@ -211,6 +240,8 @@ int runEditScript(std::shared_ptr<const GrammarBundle> Bundle,
       Out << Json << "\n";
     }
   }
+  if (!O.StatsOut.empty() && !writeProfile(O.StatsOut, *Bundle, S))
+    return 1;
   return Failed == 0 ? 0 : 1;
 }
 
@@ -251,6 +282,8 @@ int main(int Argc, char **Argv) {
       O.UseCompiled = true;
     else if (A == "--json-metrics" && I + 1 < Args.size())
       O.JsonMetrics = Args[++I];
+    else if (A == "--stats-out" && I + 1 < Args.size())
+      O.StatsOut = Args[++I];
     else if (A == "--edit-script" && I + 1 < Args.size())
       O.EditScriptPath = Args[++I];
     else if (A == "--no-reuse")
@@ -439,7 +472,13 @@ int main(int Argc, char **Argv) {
               Service.threads());
 
   if (!O.JsonMetrics.empty()) {
-    std::string Json = Metrics.json(/*IncludeDecisions=*/true);
+    // Per-decision identities are only meaningful when every worker
+    // parsed the same grammar; multi-grammar runs stay index-keyed.
+    std::vector<DecisionKey> Keys;
+    if (Bundles.size() == 1)
+      Keys = Bundles.front()->analyzed().decisionKeys();
+    std::string Json =
+        Metrics.json(/*IncludeDecisions=*/true, Keys.empty() ? nullptr : &Keys);
     if (O.JsonMetrics == "-") {
       std::printf("%s\n", Json.c_str());
     } else {
@@ -451,6 +490,17 @@ int main(int Argc, char **Argv) {
       }
       Out << Json << "\n";
     }
+  }
+  if (!O.StatsOut.empty()) {
+    if (Bundles.size() != 1) {
+      std::fprintf(stderr,
+                   "error: --stats-out profiles exactly one grammar; got "
+                   "%zu bundles\n",
+                   Bundles.size());
+      return 1;
+    }
+    if (!writeProfile(O.StatsOut, *Bundles.front(), Metrics.Parser))
+      return 1;
   }
   return Failed == 0 && Rejected == 0 ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include "fuzz/SentenceSampler.h"
 #include "net/Daemon.h"
 #include "net/LlstarClient.h"
+#include "support/Json.h"
 
 #include <algorithm>
 #include <chrono>
@@ -57,7 +58,12 @@ int usage() {
       "                    incremental Edit ops against a per-connection\n"
       "                    session (0-100, default 0) — exercises the\n"
       "                    daemon's stateful sessions under load\n"
-      "  --json F          write the benchmark report JSON to F (- = stdout)\n");
+      "  --json F          write the benchmark report JSON to F (- = stdout)\n"
+      "  --stats-out F     after the run, fetch the daemon's merged\n"
+      "                    per-decision parser stats and write them as a\n"
+      "                    decision-keyed profile consumable by\n"
+      "                    `llstar lint --profile F` (assumes the daemon\n"
+      "                    served only this grammar, as --spawn does)\n");
   return 2;
 }
 
@@ -86,7 +92,65 @@ struct Options {
   bool UseCompiled = false;
   int EditMix = 0; ///< percent of requests issued as Edit ops
   std::string JsonPath;
+  std::string StatsOut;
 };
+
+/// --stats-out: re-keys the daemon's merged per-decision stats with the
+/// locally analyzed grammar's stable DecisionKeys and writes the profile
+/// wrapper `llstar lint --profile` consumes. The daemon reply is
+/// index-keyed; decision numbering is deterministic for a given grammar
+/// text, so the local analysis supplies identical indices.
+bool writeStatsProfile(const std::string &Path, const GrammarBundle &Bundle,
+                       const std::string &DaemonStatsJson) {
+  json::Value Doc;
+  std::string Err;
+  if (!json::parse(DaemonStatsJson, Doc, &Err)) {
+    std::fprintf(stderr, "error: bad daemon stats reply: %s\n", Err.c_str());
+    return false;
+  }
+  const json::Value &P = Doc.has("parser") ? Doc.key("parser") : Doc;
+  ParserStats S;
+  S.SynPredEvals = P.key("synPredEvals").integer(0);
+  S.MemoHits = P.key("memoHits").integer(0);
+  S.MemoMisses = P.key("memoMisses").integer(0);
+  S.TokensConsumed = P.key("tokensConsumed").integer(0);
+  S.SyntaxErrors = P.key("syntaxErrors").integer(0);
+  S.TokensDeleted = P.key("tokensDeleted").integer(0);
+  S.TokensInserted = P.key("tokensInserted").integer(0);
+  S.PanicSyncs = P.key("panicSyncs").integer(0);
+  S.NodesReused = P.key("nodesReused").integer(0);
+  S.TokensRelexed = P.key("tokensRelexed").integer(0);
+  S.DecisionsReparsed = P.key("decisionsReparsed").integer(0);
+  for (const json::Value &D : P.key("decisions").elements()) {
+    int64_t Idx = D.key("decision").integer(-1);
+    if (Idx < 0)
+      continue;
+    S.ensure(size_t(Idx) + 1);
+    DecisionStats &DS = S.Decisions[size_t(Idx)];
+    DS.Events = D.key("events").integer(0);
+    DS.TotalK = D.key("totalK").integer(0);
+    DS.MaxK = D.key("maxK").integer(0);
+    DS.BacktrackEvents = D.key("backtrackEvents").integer(0);
+    DS.BacktrackTotalK = D.key("backtrackTotalK").integer(0);
+    for (const json::Value &A : D.key("altEvents").elements())
+      DS.AltEvents.push_back(A.integer(0));
+  }
+  std::vector<DecisionKey> Keys = Bundle.analyzed().decisionKeys();
+  std::string Json = "{\"llstarProfile\":1,\"grammar\":\"" + Bundle.name() +
+                     "\",\"stats\":" +
+                     S.json(/*IncludeDecisions=*/true, &Keys) + "}";
+  if (Path == "-") {
+    std::printf("%s\n", Json.c_str());
+    return true;
+  }
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << Json << "\n";
+  return true;
+}
 
 /// One connection-thread's share of the run.
 struct WorkerReport {
@@ -261,6 +325,8 @@ int main(int Argc, char **Argv) {
       O.EditMix = int(std::clamp<int64_t>(V, 0, 100));
     else if (A == "--json" && I + 1 < Args.size())
       O.JsonPath = Args[++I];
+    else if (A == "--stats-out" && I + 1 < Args.size())
+      O.StatsOut = Args[++I];
     else if (!A.empty() && A[0] == '-' && A != "-")
       return usage();
     else if (O.GrammarPath.empty())
@@ -281,6 +347,7 @@ int main(int Argc, char **Argv) {
   // grammar must be .g source, not a compiled bundle).
   std::vector<std::string> Inputs;
   std::string GrammarName;
+  std::shared_ptr<const GrammarBundle> LocalBundle;
   {
     DiagnosticEngine Diags;
     auto Bundle = makeGrammarBundle(GrammarBytes, Diags);
@@ -290,6 +357,7 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     GrammarName = Bundle->name();
+    LocalBundle = Bundle;
     const Grammar &G = Bundle->grammar();
     if (G.numRules() == 0 || G.rule(0).Alts.empty()) {
       std::fprintf(stderr,
@@ -362,6 +430,25 @@ int main(int Argc, char **Argv) {
   double Seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - Start)
                        .count();
+
+  // Harvest the daemon-side merged profile before shutting anything down:
+  // drain first so every in-flight parse has folded its worker stats into
+  // the service metrics the Stats reply snapshots.
+  if (!O.StatsOut.empty()) {
+    // Connect before draining (a draining daemon refuses new connections),
+    // then drain over the wire so the snapshot includes every in-flight
+    // parse, then fetch. Works identically against --spawn and external
+    // daemons.
+    LlstarClient Control;
+    std::string Err, StatsJson;
+    if (!Control.connect(O.Host, Port, &Err) || !Control.drain(&Err) ||
+        !Control.stats(/*IncludeDecisions=*/true, StatsJson, &Err)) {
+      std::fprintf(stderr, "error: stats fetch failed: %s\n", Err.c_str());
+      return 1;
+    }
+    if (!writeStatsProfile(O.StatsOut, *LocalBundle, StatsJson))
+      return 1;
+  }
 
   if (Local) {
     Local->drain();

@@ -11,7 +11,9 @@
 //                  [--recover]
 //   llstar compile <grammar.g> -o <out.llb>
 //   llstar lint    <grammar.g> [--format=text|json|sarif] [--werror]
-//                  [--budget <k>] [--dfa-budget <n>] [--profile]
+//                  [--budget <k>] [--dfa-budget <n>] [--profile-notes]
+//                  [--profile <stats.json>]... [--fixes]
+//                  [--apply [--dry-run] [--fix-id <id>]...]
 //                  [--disable <id>[,id...]] [-o <file>]
 //
 // Exit codes (all commands): 0 clean, 1 warnings under --werror, 2 errors
@@ -35,7 +37,9 @@
 #include "CompiledManifest.h"
 #include "lexer/Lexer.h"
 #include "lexer/TokenStream.h"
+#include "lint/Fix.h"
 #include "lint/Lint.h"
+#include "lint/Profile.h"
 #include "lint/SarifWriter.h"
 #include "peg/PackratParser.h"
 #include "runtime/LLStarParser.h"
@@ -92,10 +96,18 @@ int usage() {
       "      emit <dir>/<ClassName>.h/.cpp embedding the precompiled\n"
       "      grammar tables (link against the llstar runtime)\n"
       "  lint <grammar.g> [--format=text|json|sarif] [--werror]\n"
-      "       [--budget <k>] [--dfa-budget <n>] [--profile]\n"
+      "       [--budget <k>] [--dfa-budget <n>] [--profile-notes]\n"
+      "       [--profile <stats.json>]... [--fixes]\n"
+      "       [--apply [--dry-run] [--fix-id <id>]...]\n"
       "       [--disable <id>[,id...]] [-o <file>]\n"
       "      run the grammar static-analysis passes; --werror promotes\n"
-      "      warnings to a failing exit code\n"
+      "      warnings to a failing exit code; --profile loads decision-\n"
+      "      keyed runtime profiles (parse --stats-json, llstar-batch /\n"
+      "      llstar-loadgen --stats-out, llstard stats) and re-ranks\n"
+      "      findings by observed cost; --fixes computes machine-verified\n"
+      "      auto-fixes; --apply writes verified fixes back to the\n"
+      "      grammar (--dry-run prints a unified diff instead, --fix-id\n"
+      "      selects specific fixes)\n"
       "exit codes: 0 clean, 1 warnings under --werror, 2 errors, 3 usage\n");
   return ExitUsage;
 }
@@ -332,8 +344,13 @@ int cmdParse(const std::vector<std::string> &Args) {
                 100.0 * Stats.backtrackEventFraction(),
                 (long long)Stats.MemoHits, (long long)Stats.MemoMisses);
   }
-  if (StatsJson && !UsePeg)
-    std::printf("%s\n", Stats.json(/*IncludeDecisions=*/true).c_str());
+  if (StatsJson && !UsePeg) {
+    // Keyed per-decision output: (rule, decisionInRule, line, column) make
+    // the profile joinable by `llstar lint --profile` across runs, worker
+    // pools, and daemon fleets.
+    std::vector<DecisionKey> Keys = AG->decisionKeys();
+    std::printf("%s\n", Stats.json(/*IncludeDecisions=*/true, &Keys).c_str());
+  }
   if (!Ok && !Recover)
     return ExitErrors;
   unsigned Warnings =
@@ -424,7 +441,8 @@ int cmdLint(const std::vector<std::string> &Args) {
   if (Args.empty())
     return usage();
   std::string Format = "text", OutPath;
-  bool WError = false;
+  bool WError = false, WantFixes = false, Apply = false, DryRun = false;
+  std::vector<std::string> ProfilePaths, FixIds;
   LintOptions Opts;
   for (size_t I = 1; I < Args.size(); ++I) {
     const std::string &A = Args[I];
@@ -434,8 +452,18 @@ int cmdLint(const std::vector<std::string> &Args) {
       Format = Args[++I];
     else if (A == "--werror")
       WError = true;
-    else if (A == "--profile")
+    else if (A == "--profile" && I + 1 < Args.size())
+      ProfilePaths.push_back(Args[++I]);
+    else if (A == "--profile-notes")
       Opts.Profile = true;
+    else if (A == "--fixes")
+      WantFixes = true;
+    else if (A == "--apply")
+      Apply = true;
+    else if (A == "--dry-run")
+      DryRun = true;
+    else if (A == "--fix-id" && I + 1 < Args.size())
+      FixIds.push_back(Args[++I]);
     else if (A == "--budget" && I + 1 < Args.size())
       Opts.LookaheadBudget = std::atoi(Args[++I].c_str());
     else if (A == "--dfa-budget" && I + 1 < Args.size())
@@ -458,6 +486,8 @@ int cmdLint(const std::vector<std::string> &Args) {
   }
   if (Format != "text" && Format != "json" && Format != "sarif")
     return usage();
+  if ((DryRun || !FixIds.empty()) && !Apply)
+    return usage(); // --dry-run / --fix-id only make sense with --apply
 
   std::string Source;
   if (!readFile(Args[0], Source)) {
@@ -474,16 +504,44 @@ int cmdLint(const std::vector<std::string> &Args) {
   // Analysis warnings (ambiguity etc.) are not printed here: the lint
   // passes re-derive them as structured diagnostics with witnesses.
 
+  // One or more --profile files merge into a single decision-keyed
+  // profile; entries join to this grammar's decisions by (rule,
+  // decisionInRule) identity, falling back to decision index.
+  LintProfile Profile;
+  for (const std::string &Path : ProfilePaths) {
+    std::string Text, Err;
+    if (!readFile(Path, Text)) {
+      std::fprintf(stderr, "error: cannot read profile %s\n", Path.c_str());
+      return ExitErrors;
+    }
+    if (!Profile.load(Text, &Err)) {
+      std::fprintf(stderr, "error: bad profile %s: %s\n", Path.c_str(),
+                   Err.c_str());
+      return ExitErrors;
+    }
+  }
+
   LintEngine Engine(Opts);
   LintResult R = Engine.run(*AG, Source);
+  if (!ProfilePaths.empty())
+    applyProfile(R, Profile, *AG);
+
+  std::vector<Fix> Fixes;
+  bool ComputedFixes = WantFixes || Apply;
+  if (ComputedFixes)
+    Fixes = computeFixes(*AG, R, Source,
+                         ProfilePaths.empty() ? nullptr : &Profile);
 
   std::string Rendered;
   if (Format == "sarif")
-    Rendered = renderSarif(R, Args[0]);
+    Rendered = renderSarif(R, Args[0], Fixes);
   else if (Format == "json")
-    Rendered = renderLintJson(R, Args[0]);
-  else
+    Rendered = renderLintJson(R, Args[0], ComputedFixes ? &Fixes : nullptr);
+  else {
     Rendered = renderLintText(R, Args[0]);
+    if (ComputedFixes)
+      Rendered += renderFixesText(Fixes);
+  }
 
   if (!OutPath.empty()) {
     std::ofstream Out(OutPath, std::ios::binary);
@@ -499,6 +557,63 @@ int cmdLint(const std::vector<std::string> &Args) {
     std::fprintf(stderr, "%d error(s), %d warning(s), %d suppressed\n",
                  R.errorCount(), R.warningCount(), R.NumSuppressed);
   }
+
+  if (Apply) {
+    // Only machine-verified fixes are ever written back. --fix-id selects
+    // a subset and fails loudly on unknown or unverified ids; the default
+    // is every verified fix.
+    std::vector<const Fix *> Chosen;
+    if (!FixIds.empty()) {
+      for (const std::string &Id : FixIds) {
+        const Fix *Found = nullptr;
+        for (const Fix &F : Fixes)
+          if (F.Id == Id) {
+            Found = &F;
+            break;
+          }
+        if (!Found) {
+          std::fprintf(stderr, "error: no such fix: %s\n", Id.c_str());
+          return ExitErrors;
+        }
+        if (!Found->Verified) {
+          std::fprintf(stderr, "error: fix %s is unverified (%s); not applying\n",
+                       Id.c_str(), Found->VerifyNote.c_str());
+          return ExitErrors;
+        }
+        Chosen.push_back(Found);
+      }
+    } else {
+      for (const Fix &F : Fixes)
+        if (F.Verified)
+          Chosen.push_back(&F);
+    }
+
+    std::vector<std::string> Rejected;
+    std::string NewText = applyFixes(Source, Chosen, &Rejected);
+    for (const std::string &Id : Rejected)
+      std::fprintf(stderr, "note: skipped %s: overlaps an earlier fix\n",
+                   Id.c_str());
+    if (DryRun) {
+      std::string Diff = renderUnifiedDiff(Source, NewText, Args[0]);
+      if (!Diff.empty())
+        std::printf("%s", Diff.c_str());
+      std::fprintf(stderr, "%zu fix(es) would be applied, %zu skipped\n",
+                   Chosen.size() - Rejected.size(), Rejected.size());
+    } else if (NewText != Source) {
+      std::ofstream Out(Args[0], std::ios::binary);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n", Args[0].c_str());
+        return ExitErrors;
+      }
+      Out << NewText;
+      std::fprintf(stderr, "applied %zu fix(es) to %s (%zu skipped)\n",
+                   Chosen.size() - Rejected.size(), Args[0].c_str(),
+                   Rejected.size());
+    } else {
+      std::fprintf(stderr, "no verified fixes to apply\n");
+    }
+  }
+
   if (R.errorCount())
     return ExitErrors;
   if (WError && R.warningCount())
