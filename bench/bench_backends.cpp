@@ -1,0 +1,223 @@
+//===- bench/bench_backends.cpp - llstar vs llfinite analysis -------------===//
+//
+// Compares the two prediction-analysis backends (src/analysis/backend/)
+// across every shipped grammar (grammars/*.g) and the whole fuzz corpus
+// (tests/corpus/*.g). For each grammar and each backend it reports the
+// static shape of the decision tables — total DFA states, backtrack-free
+// decision count, fixed-lookahead k histogram, max/mean k — plus best-of-N
+// wall-clock analysis time and, for llfinite, how many decisions exceeded
+// the MaxFiniteK cap and were rebuilt with the llstar construction.
+//
+// `--json FILE` records the results; BENCH_backends.json at the repo root
+// is a committed baseline (regenerate with:
+//   ./build/bench/bench_backends --json BENCH_backends.json).
+//
+//   bench_backends [--repeat N] [--json FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalyzedGrammar.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace llstar;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string readFile(const std::filesystem::path &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+// Shipped grammars first, then the fuzz corpus, each sorted by name.
+std::vector<std::filesystem::path> grammarFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const char *Dir : {"grammars", "tests/corpus"}) {
+    std::vector<std::filesystem::path> Group;
+    auto Root = std::filesystem::path(LLSTAR_SOURCE_DIR) / Dir;
+    for (const auto &Entry : std::filesystem::directory_iterator(Root))
+      if (Entry.path().extension() == ".g")
+        Group.push_back(Entry.path());
+    std::sort(Group.begin(), Group.end());
+    Files.insert(Files.end(), Group.begin(), Group.end());
+  }
+  return Files;
+}
+
+/// One backend's view of one grammar.
+struct BackendReport {
+  StaticStats Stats;
+  double AnalysisSecs = 0; ///< best-of-N, re-analyzing from grammar text
+};
+
+struct GrammarRow {
+  std::string Name;
+  std::string File; ///< repo-relative path
+  BackendReport Star, Finite;
+};
+
+bool runBackend(const std::string &Text, BackendKind Backend, int Repeat,
+                BackendReport &R, std::string &Err) {
+  double Best = 1e9;
+  for (int Rep = 0; Rep < Repeat; ++Rep) {
+    DiagnosticEngine Diags;
+    double T0 = now();
+    auto AG = analyzeGrammarText(Text, Diags, Backend);
+    Best = std::min(Best, now() - T0);
+    if (!AG || Diags.hasErrors()) {
+      Err = Diags.str();
+      return false;
+    }
+    if (Rep == 0)
+      R.Stats = AG->stats();
+  }
+  R.AnalysisSecs = Best;
+  return true;
+}
+
+std::string histJson(const std::map<int32_t, int32_t> &Hist) {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[K, N] : Hist) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "\"" + std::to_string(K) + "\": " + std::to_string(N);
+  }
+  return Out + "}";
+}
+
+std::string backendJson(const BackendReport &R) {
+  const StaticStats &S = R.Stats;
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"decisions\": %d, \"dfaStates\": %lld, "
+                "\"backtrackFree\": %d, \"fixed\": %d, \"cyclic\": %d, "
+                "\"backtrack\": %d, \"maxK\": %d, \"meanK\": %.2f, "
+                "\"capExceeded\": %d, \"analysisSecs\": %.6f, "
+                "\"kHistogram\": ",
+                S.NumDecisions, (long long)S.TotalDfaStates, S.BacktrackFree,
+                S.NumFixed, S.NumCyclic, S.NumBacktrack, S.MaxK, S.MeanK,
+                S.CapExceeded, R.AnalysisSecs);
+  return std::string(Buf) + histJson(S.FixedKHistogram) + "}";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Repeat = 5;
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--repeat") && I + 1 < Argc)
+      Repeat = std::atoi(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else {
+      std::fprintf(stderr, "usage: bench_backends [--repeat N] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  std::vector<GrammarRow> Rows;
+  std::printf("prediction-analysis backends: llstar vs llfinite, "
+              "best of %d\n\n",
+              Repeat);
+  std::printf("%-10s %5s | %7s %6s %4s %5s | %7s %6s %4s %5s %4s | %7s\n",
+              "grammar", "dec", "st-dfa", "st-bf", "st-k", "st-ms", "fi-dfa",
+              "fi-bf", "fi-k", "fi-ms", "cap", "dfa-x");
+
+  for (const std::filesystem::path &Path : grammarFiles()) {
+    std::string Text = readFile(Path);
+    GrammarRow Row;
+    Row.File = std::filesystem::relative(Path, LLSTAR_SOURCE_DIR).string();
+
+    std::string Err;
+    if (!runBackend(Text, BackendKind::LLStar, Repeat, Row.Star, Err) ||
+        !runBackend(Text, BackendKind::LLFinite, Repeat, Row.Finite, Err)) {
+      std::fprintf(stderr, "grammar %s failed to analyze:\n%s",
+                   Row.File.c_str(), Err.c_str());
+      return 1;
+    }
+    Row.Name = Path.stem().string();
+
+    double DfaRatio = Row.Star.Stats.TotalDfaStates
+                          ? double(Row.Finite.Stats.TotalDfaStates) /
+                                double(Row.Star.Stats.TotalDfaStates)
+                          : 1.0;
+    std::printf(
+        "%-10s %5d | %7lld %6d %4d %5.1f | %7lld %6d %4d %5.1f %4d | "
+        "%6.2fx\n",
+        Row.Name.c_str(), Row.Star.Stats.NumDecisions,
+        (long long)Row.Star.Stats.TotalDfaStates, Row.Star.Stats.BacktrackFree,
+        Row.Star.Stats.MaxK, Row.Star.AnalysisSecs * 1e3,
+        (long long)Row.Finite.Stats.TotalDfaStates,
+        Row.Finite.Stats.BacktrackFree, Row.Finite.Stats.MaxK,
+        Row.Finite.AnalysisSecs * 1e3, Row.Finite.Stats.CapExceeded, DfaRatio);
+    Rows.push_back(std::move(Row));
+  }
+
+  // Aggregates over the whole set (the numbers README quotes).
+  StaticStats TotStar, TotFinite;
+  double SecsStar = 0, SecsFinite = 0;
+  for (const GrammarRow &R : Rows) {
+    auto Add = [](StaticStats &T, const StaticStats &S) {
+      T.NumDecisions += S.NumDecisions;
+      T.TotalDfaStates += S.TotalDfaStates;
+      T.BacktrackFree += S.BacktrackFree;
+      T.MaxK = std::max(T.MaxK, S.MaxK);
+      T.CapExceeded += S.CapExceeded;
+    };
+    Add(TotStar, R.Star.Stats);
+    Add(TotFinite, R.Finite.Stats);
+    SecsStar += R.Star.AnalysisSecs;
+    SecsFinite += R.Finite.AnalysisSecs;
+  }
+  std::printf("\ntotal: %zu grammars, %d decisions\n", Rows.size(),
+              TotStar.NumDecisions);
+  std::printf("  llstar:   %6lld DFA states, %4d backtrack-free, max k %2d, "
+              "%.1f ms\n",
+              (long long)TotStar.TotalDfaStates, TotStar.BacktrackFree,
+              TotStar.MaxK, SecsStar * 1e3);
+  std::printf("  llfinite: %6lld DFA states, %4d backtrack-free, max k %2d, "
+              "%.1f ms, %d decisions past cap\n",
+              (long long)TotFinite.TotalDfaStates, TotFinite.BacktrackFree,
+              TotFinite.MaxK, SecsFinite * 1e3, TotFinite.CapExceeded);
+
+  if (!JsonPath.empty()) {
+    std::string Out = "{\n  \"repeat\": " + std::to_string(Repeat) +
+                      ",\n  \"grammars\": [\n";
+    for (size_t G = 0; G < Rows.size(); ++G) {
+      const GrammarRow &R = Rows[G];
+      Out += "    {\"name\": \"" + R.Name + "\", \"file\": \"" + R.File +
+             "\",\n     \"llstar\": " + backendJson(R.Star) +
+             ",\n     \"llfinite\": " + backendJson(R.Finite);
+      Out += G + 1 < Rows.size() ? "},\n" : "}\n";
+    }
+    Out += "  ]\n}\n";
+    std::ofstream F(JsonPath);
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    F << Out;
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "analysis/backend/AnalysisBackend.h"
+
+using namespace llstar;
+
+const char *llstar::backendName(BackendKind K) {
+  switch (K) {
+  case BackendKind::LLStar:
+    return "llstar";
+  case BackendKind::LLFinite:
+    return "llfinite";
+  }
+  return "llstar";
+}
+
+const AnalysisBackend &llstar::analysisBackend(BackendKind K) {
+  switch (K) {
+  case BackendKind::LLFinite:
+    return backend::llfiniteBackend();
+  case BackendKind::LLStar:
+    break;
+  }
+  return backend::llstarBackend();
+}
+
+const AnalysisBackend *llstar::findAnalysisBackend(std::string_view Name) {
+  if (Name == "llstar")
+    return &backend::llstarBackend();
+  if (Name == "llfinite")
+    return &backend::llfiniteBackend();
+  return nullptr;
+}
+
+const char *llstar::analysisBackendNames() { return "llstar, llfinite"; }

@@ -1,0 +1,92 @@
+//===- analysis/backend/AnalysisBackend.h - Prediction backends -*- C++ -*-===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pluggable prediction-analysis backend interface. A backend turns one
+/// parsing decision of an ATN into a \ref LookaheadDfa plus a
+/// \ref DecisionReport; everything downstream of analysis — the
+/// interpreter, the compiled fast path, recovery, incremental reuse, lint
+/// witnesses, serialization — consumes only that shared representation and
+/// is backend-agnostic.
+///
+/// Two backends ship today:
+///
+///  - \c llstar: the paper's modified subset construction (Algorithms
+///    8-11). Produces possibly-cyclic DFAs covering arbitrary regular
+///    lookahead, with the LL(1)-with-predicates fallback when construction
+///    aborts (LikelyNonLLRegular or a resource limit).
+///  - \c llfinite: optimal finite lookahead in the style of LL(finite)
+///    (Belcak 2020). Runs the same closure/move/resolve machinery but
+///    interns DFA states per (lookahead depth, configuration set), so the
+///    result is acyclic by construction and each path stops at the minimal
+///    depth that uniquely predicts an alternative. Decisions needing
+///    lookahead beyond \ref AnalysisOptions::MaxFiniteK are closed with
+///    ordered backtracking predicates (PEG ordered choice) instead of the
+///    fallback.
+///
+/// Both lower into the same \ref LookaheadDfa runtime representation, which
+/// is what makes backends swappable per grammar bundle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LLSTAR_ANALYSIS_BACKEND_ANALYSISBACKEND_H
+#define LLSTAR_ANALYSIS_BACKEND_ANALYSISBACKEND_H
+
+#include "analysis/DecisionAnalyzer.h"
+
+#include <memory>
+#include <string_view>
+
+namespace llstar {
+
+/// The shipped analysis backends.
+enum class BackendKind : uint8_t {
+  LLStar,   ///< Paper subset construction; cyclic DFAs + LL(1) fallback.
+  LLFinite, ///< Optimal finite lookahead; acyclic depth-interned DFAs.
+};
+
+/// Stable lowercase name ("llstar", "llfinite"); appears in bundle v3
+/// headers, stats JSON, and CLI --backend values.
+const char *backendName(BackendKind K);
+
+/// One prediction-analysis strategy. Implementations are stateless
+/// singletons; analyzeDecision is safe to call concurrently for different
+/// decisions.
+class AnalysisBackend {
+public:
+  virtual ~AnalysisBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+  const char *name() const { return backendName(kind()); }
+
+  /// Builds the lookahead DFA for \p Decision of \p M. Never fails: every
+  /// backend has a total strategy for conflicts and resource limits (the
+  /// llstar fallback; llfinite rebuilds capped decisions with the llstar
+  /// construction). Warnings go to \p Diags; \p Report (when non-null)
+  /// receives resolution verdicts and per-backend construction facts.
+  virtual std::unique_ptr<LookaheadDfa>
+  analyzeDecision(const Atn &M, int32_t Decision, const AnalysisOptions &Opts,
+                  DiagnosticEngine &Diags,
+                  DecisionReport *Report = nullptr) const = 0;
+};
+
+/// The singleton backend for \p K.
+const AnalysisBackend &analysisBackend(BackendKind K);
+
+/// Name lookup for CLI/daemon flag parsing; null for unknown names.
+const AnalysisBackend *findAnalysisBackend(std::string_view Name);
+
+/// Comma-separated list of valid backend names, for usage strings.
+const char *analysisBackendNames();
+
+namespace backend {
+const AnalysisBackend &llstarBackend();
+const AnalysisBackend &llfiniteBackend();
+} // namespace backend
+
+} // namespace llstar
+
+#endif // LLSTAR_ANALYSIS_BACKEND_ANALYSISBACKEND_H

@@ -1,0 +1,241 @@
+//===- analysis/backend/LLFiniteBackend.cpp - Optimal finite lookahead ----===//
+//
+// Part of the llstar project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The llfinite backend: optimal finite-lookahead decision tables in the
+// style of LL(finite) (Belcak 2020). It reuses the llstar closure / move /
+// conflict-resolution machinery but interns DFA states per (lookahead
+// depth, configuration set), so the resulting automaton is acyclic by
+// construction — a DAG whose every path stops at the minimal depth that
+// uniquely predicts an alternative. Where llstar merges config sets across
+// depths into a cyclic DFA (arbitrary regular lookahead), llfinite keeps
+// unrolling until the alternatives separate.
+//
+// Decisions that do NOT separate within the depth cap MaxFiniteK (or that
+// blow a closure resource limit) are not LL(finite) within the cap; for
+// those the probe is discarded and the decision is rebuilt with the llstar
+// construction. That makes backend equivalence hold by construction: every
+// decision's table is either an exact finite unrolling of the same subset
+// construction llstar runs (same resolve order, same predicates) or
+// llstar's own table. The per-decision report records the delegation in
+// DecisionReport::CapExceeded; it is deliberately not a ResolutionEvent —
+// hitting the cap is a property of the backend's depth bound, not an
+// ambiguity property of the grammar, so lint witnesses stay backend-stable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/backend/AnalysisBackend.h"
+#include "analysis/backend/SubsetConstruction.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace llstar;
+using namespace llstar::backend;
+
+namespace {
+
+struct DepthSetKey {
+  int32_t Depth;
+  ConfigSet Set;
+};
+
+struct DepthSetHash {
+  size_t operator()(const DepthSetKey &K) const {
+    return K.Set.hash() * 0x100000001b3ull ^ size_t(uint32_t(K.Depth));
+  }
+};
+
+struct DepthSetEq {
+  bool operator()(const DepthSetKey &X, const DepthSetKey &Y) const {
+    return X.Depth == Y.Depth && X.Set == Y.Set;
+  }
+};
+
+class LLFiniteAnalyzer : public SubsetAnalyzer {
+public:
+  using SubsetAnalyzer::SubsetAnalyzer;
+
+  /// Returns the finite DFA, or null when the decision failed to separate
+  /// within MaxFiniteK / the state budget (the backend then rebuilds the
+  /// decision with the llstar construction).
+  std::unique_ptr<LookaheadDfa> run() {
+    Dfa = std::make_unique<LookaheadDfa>(Decision);
+    createDfa();
+    if (Capped)
+      return nullptr;
+    Dfa->finish();
+    if (Report) {
+      // A successful finite construction never falls back and never
+      // aborts; those llstar verdicts do not apply here.
+      Report->UsedFallback = false;
+      Report->LikelyNonLLRegular = false;
+      Report->Overflowed = Dfa->overflowed();
+      Report->CapExceeded = 0;
+    }
+    return std::move(Dfa);
+  }
+
+private:
+  /// Registers \p D as a DFA state at lookahead depth \p Depth (or finds
+  /// the identical existing one at that depth). Depth is part of the state
+  /// identity, which is exactly what makes the automaton acyclic: every
+  /// terminal edge strictly increases depth.
+  std::pair<int32_t, bool> internState(ConfigSet &&D, int32_t Depth) {
+    std::set<int32_t> Alts = predictedAlts(D);
+    if (Alts.size() == 1) {
+      int32_t Id = acceptStateFor(*Alts.begin());
+      Known.emplace(DepthSetKey{Depth, std::move(D)}, Id);
+      return {Id, false};
+    }
+    DepthSetKey Key{Depth, std::move(D)};
+    auto It = Known.find(Key);
+    if (It != Known.end())
+      return {It->second, false};
+    int32_t Id = Dfa->addState();
+    StateConfigs.resize(size_t(Id) + 1);
+    StatePaths.resize(size_t(Id) + 1);
+    StateDepths.resize(size_t(Id) + 1, 0);
+    StateConfigs[size_t(Id)] = Key.Set;
+    StateDepths[size_t(Id)] = Depth;
+    Known.emplace(std::move(Key), Id);
+    return {Id, true};
+  }
+
+  void createDfa() {
+    const AtnState &S = M.state(DecisionState);
+    assert(S.isDecision() && "not a decision state");
+
+    ConfigSet D0;
+    BusySet Busy;
+    std::set<int32_t> RecursiveAlts;
+    for (size_t I = 0; I < S.Transitions.size(); ++I) {
+      assert(S.Transitions[I].Kind == AtnTransitionKind::Epsilon &&
+             "decision transitions must be epsilon");
+      AtnConfig C(S.Transitions[I].Target, int32_t(I) + 1,
+                  PredictionContextPool::Empty, SemanticContext::none());
+      if (!closure(D0, C, Busy, RecursiveAlts,
+                   /*AbortOnMultiRecursion=*/false)) {
+        // Closure blow-up before the first token of lookahead: certainly
+        // not LL(finite) within any budget.
+        Aborted = false;
+        Capped = true;
+        return;
+      }
+    }
+    resolve(D0, /*Path=*/{});
+    D0.normalize();
+
+    if (predictedAlts(D0).size() == 1) {
+      // The start state resolved to a single alternative; the trivial DFA
+      // is an accepting start state (mirrors the llstar trivial path).
+      Dfa = std::make_unique<LookaheadDfa>(Decision);
+      int32_t Id = Dfa->addState();
+      Dfa->state(Id).PredictedAlt = *predictedAlts(D0).begin();
+      return;
+    }
+
+    auto [D0Id, D0New] = internState(std::move(D0), /*Depth=*/0);
+    assert(D0Id == 0 && D0New && "llfinite start state must be state 0");
+    (void)D0Id;
+    (void)D0New;
+    std::vector<int32_t> Work;
+    if (StateConfigs[0].FullyPredResolved)
+      addPredicateEdges(0); // pure-predicate decision: terminal start state
+    else
+      Work.push_back(0);
+    while (!Work.empty()) {
+      int32_t Id = Work.back();
+      Work.pop_back();
+
+      // Still conflicted past the depth cap or the state budget: this
+      // decision is not LL(finite) within the configured limits.
+      if (StateDepths[size_t(Id)] >= Opts.MaxFiniteK ||
+          int32_t(Dfa->numStates()) > Opts.MaxDfaStates) {
+        Capped = true;
+        return;
+      }
+
+      // Copies: internState may reallocate StateConfigs/StatePaths.
+      ConfigSet D = StateConfigs[size_t(Id)];
+      std::vector<TokenType> Path = StatePaths[size_t(Id)];
+      int32_t Depth = StateDepths[size_t(Id)];
+      for (TokenType Label : terminalLabels(D)) {
+        ConfigSet DNext;
+        BusySet NextBusy;
+        std::set<int32_t> NextRecursive;
+        for (const AtnConfig &C : move(D, Label))
+          if (!closure(DNext, C, NextBusy, NextRecursive,
+                       /*AbortOnMultiRecursion=*/false)) {
+            Aborted = false;
+            Capped = true;
+            return;
+          }
+        if (DNext.empty())
+          continue;
+        std::vector<TokenType> NextPath = Path;
+        NextPath.push_back(Label);
+        resolve(DNext, NextPath);
+        DNext.normalize();
+        auto [Target, IsNew] = internState(std::move(DNext), Depth + 1);
+        DfaEdge E;
+        E.Label = Label;
+        E.Target = Target;
+        Dfa->state(Id).Edges.push_back(E);
+        if (IsNew) {
+          StatePaths[size_t(Target)] = std::move(NextPath);
+          if (StateConfigs[size_t(Target)].FullyPredResolved)
+            addPredicateEdges(Target); // terminal: predicate edges only
+          else
+            Work.push_back(Target);
+        }
+      }
+      addPredicateEdges(Id);
+    }
+  }
+
+  std::unordered_map<DepthSetKey, int32_t, DepthSetHash, DepthSetEq> Known;
+  /// Lookahead depth of each interned state; parallel to StateConfigs.
+  std::vector<int32_t> StateDepths;
+  bool Capped = false;
+};
+
+class LLFiniteBackend : public AnalysisBackend {
+public:
+  BackendKind kind() const override { return BackendKind::LLFinite; }
+
+  std::unique_ptr<LookaheadDfa>
+  analyzeDecision(const Atn &M, int32_t Decision, const AnalysisOptions &Opts,
+                  DiagnosticEngine &Diags,
+                  DecisionReport *Report) const override {
+    // Probe with the pure finite construction. Scratch sinks, so a capped
+    // attempt leaves no trace in the caller's diagnostics or report.
+    DiagnosticEngine ProbeDiags;
+    DecisionReport ProbeReport;
+    std::unique_ptr<LookaheadDfa> Dfa =
+        LLFiniteAnalyzer(M, Decision, Opts, ProbeDiags, &ProbeReport).run();
+    if (Dfa) {
+      for (const Diagnostic &D : ProbeDiags.diagnostics())
+        Diags.report(D.Severity, D.Loc, D.Message);
+      if (Report)
+        *Report = std::move(ProbeReport);
+      return Dfa;
+    }
+    // Not LL(finite) within MaxFiniteK: rebuild with the llstar cyclic
+    // construction (identical tables, hence identical parses, for the
+    // decisions finite lookahead cannot cover).
+    Dfa = llstarBackend().analyzeDecision(M, Decision, Opts, Diags, Report);
+    if (Report)
+      Report->CapExceeded = 1;
+    return Dfa;
+  }
+};
+
+} // namespace
+
+const AnalysisBackend &llstar::backend::llfiniteBackend() {
+  static LLFiniteBackend B;
+  return B;
+}

@@ -456,7 +456,8 @@ std::string llstar::serializeGrammar(const AnalyzedGrammar &AG) {
 //===----------------------------------------------------------------------===//
 
 std::unique_ptr<CompiledGrammar>
-llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
+llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags,
+                           BackendKind Backend) {
   Reader R(Text, Diags);
   if (!R.word(Magic))
     return nullptr;
@@ -710,7 +711,8 @@ llstar::deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags) {
   Result->LexerTypes = std::move(Types);
   Result->AG = AnalyzedGrammar::fromParts(
       std::move(G), std::move(M), std::move(Dfas),
-      RecoverySets::fromTables(std::move(Follow), std::move(ReachesEnd)));
+      RecoverySets::fromTables(std::move(Follow), std::move(ReachesEnd)),
+      Backend);
   return Result;
 }
 
@@ -737,6 +739,8 @@ std::string llstar::writeBundle(const AnalyzedGrammar &AG) {
   Out += std::to_string(Payload.size());
   Out += ' ';
   Out += std::to_string(hashBytes(Payload));
+  Out += ' ';
+  Out += AG.backendName();
   Out += '\n';
   Out += Payload;
   return Out;
@@ -758,10 +762,12 @@ std::unique_ptr<CompiledGrammar> llstar::readBundle(std::string_view Bytes,
     return nullptr;
   }
 
-  // Header fields: version, payload size, payload hash — all decimal.
+  // Header fields: version, payload size, payload hash — all decimal —
+  // plus, in v3, the producing-backend word.
   std::string_view Header = Bytes.substr(
       std::strlen(BundleMagic), HeaderEnd - std::strlen(BundleMagic));
   uint64_t Fields[3] = {0, 0, 0};
+  std::string BackendWord;
   {
     size_t P = 0;
     for (uint64_t &F : Fields) {
@@ -784,17 +790,41 @@ std::unique_ptr<CompiledGrammar> llstar::readBundle(std::string_view Bytes,
     }
     while (P < Header.size() && Header[P] == ' ')
       ++P;
+    size_t WordEnd = P;
+    while (WordEnd < Header.size() && Header[WordEnd] != ' ')
+      ++WordEnd;
+    BackendWord = std::string(Header.substr(P, WordEnd - P));
+    P = WordEnd;
+    while (P < Header.size() && Header[P] == ' ')
+      ++P;
     if (P != Header.size()) {
       Diags.error("malformed bundle header");
       return nullptr;
     }
   }
 
-  if (int64_t(Fields[0]) != BundleFormatVersion) {
+  // v2 headers end at the hash (the backend is implicitly llstar); v3
+  // appends the backend word. Everything else is from the future.
+  if (int64_t(Fields[0]) != 2 && int64_t(Fields[0]) != BundleFormatVersion) {
     Diags.error("unsupported bundle format version " +
-                std::to_string(Fields[0]) + " (this build reads version " +
+                std::to_string(Fields[0]) + " (this build reads versions 2-" +
                 std::to_string(BundleFormatVersion) + ")");
     return nullptr;
+  }
+  BackendKind Backend = BackendKind::LLStar;
+  if (int64_t(Fields[0]) == 2) {
+    if (!BackendWord.empty()) {
+      Diags.error("malformed bundle header");
+      return nullptr;
+    }
+  } else {
+    const AnalysisBackend *B = findAnalysisBackend(BackendWord);
+    if (!B) {
+      Diags.error("bundle names unknown analysis backend '" + BackendWord +
+                  "' (this build knows: " + analysisBackendNames() + ")");
+      return nullptr;
+    }
+    Backend = B->kind();
   }
   std::string_view Payload = Bytes.substr(HeaderEnd + 1);
   if (Payload.size() != Fields[1]) {
@@ -807,5 +837,5 @@ std::unique_ptr<CompiledGrammar> llstar::readBundle(std::string_view Bytes,
     Diags.error("corrupt bundle: payload hash mismatch");
     return nullptr;
   }
-  return deserializeGrammar(Payload, Diags);
+  return deserializeGrammar(Payload, Diags, Backend);
 }

@@ -51,8 +51,11 @@ std::string serializeGrammar(const AnalyzedGrammar &AG);
 /// structural error. All table indices (ATN targets, DFA edges, lexer
 /// transitions, rule/predicate/action references) are bounds-checked, so a
 /// corrupt payload is a diagnostic, never undefined behavior at parse time.
-std::unique_ptr<CompiledGrammar> deserializeGrammar(std::string_view Text,
-                                                    DiagnosticEngine &Diags);
+/// \p Backend records which analysis backend produced the tables (readBundle
+/// forwards the v3 header word; bare payloads default to llstar).
+std::unique_ptr<CompiledGrammar>
+deserializeGrammar(std::string_view Text, DiagnosticEngine &Diags,
+                   BackendKind Backend = BackendKind::LLStar);
 
 //===----------------------------------------------------------------------===//
 // Bundle container
@@ -61,15 +64,21 @@ std::unique_ptr<CompiledGrammar> deserializeGrammar(std::string_view Text,
 // The on-disk / over-the-wire form used by the parse service and the
 // `llstar compile` command: a versioned header line
 //
-//   llstarbundle <format-version> <payload-bytes> <payload-fnv1a>\n
+//   llstarbundle <format-version> <payload-bytes> <payload-fnv1a> <backend>\n
 //
 // followed by the serialized-grammar payload. The header lets loaders
 // reject wrong-version and corrupt (truncated, bit-flipped) bundles with a
-// clean diagnostic before touching the payload parser.
+// clean diagnostic before touching the payload parser. The trailing
+// backend word is new in v3 and names the prediction-analysis backend
+// that produced the lookahead DFAs ("llstar", "llfinite"); it lives in
+// the container, not the payload, so payload bytes — and the checked-in
+// compiled-module hashes keyed on them — are identical across versions.
 
 /// Version stamped into bundle headers written by \ref writeBundle.
-/// v2 added the `recover` payload section (per-state recovery tables).
-constexpr int64_t BundleFormatVersion = 2;
+/// v2 added the `recover` payload section (per-state recovery tables);
+/// v3 added the producing-backend word to the container header (v2
+/// bundles still load, implying the llstar backend).
+constexpr int64_t BundleFormatVersion = 3;
 
 /// Serializes \p AG and wraps it in the versioned bundle container.
 std::string writeBundle(const AnalyzedGrammar &AG);

@@ -48,11 +48,29 @@ void appendQuoted(std::string &Out, const char *Key, const std::string &V) {
   Out += '"';
 }
 
+void appendHist(std::string &Out, const char *Key,
+                const std::array<int64_t, KHistBuckets> &H) {
+  Out += '"';
+  Out += Key;
+  Out += "\":[";
+  for (size_t I = 0; I < H.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += std::to_string(H[I]);
+  }
+  Out += ']';
+}
+
 } // namespace
 
 std::string ParserStats::json(bool IncludeDecisions,
-                              const std::vector<DecisionKey> *Keys) const {
+                              const std::vector<DecisionKey> *Keys,
+                              const char *Backend) const {
   std::string Out = "{";
+  if (Backend) {
+    appendQuoted(Out, "backend", Backend);
+    Out += ',';
+  }
   appendNum(Out, "decisionEvents", totalEvents());
   Out += ',';
   appendNum(Out, "decisionsCovered", decisionsCovered());
@@ -60,6 +78,8 @@ std::string ParserStats::json(bool IncludeDecisions,
   appendDouble(Out, "avgLookahead", avgLookahead());
   Out += ',';
   appendNum(Out, "maxLookahead", maxLookahead());
+  Out += ',';
+  appendHist(Out, "kHistogram", kHistogram());
   Out += ',';
   appendNum(Out, "backtrackEvents", backtrackEvents());
   Out += ',';
@@ -117,6 +137,8 @@ std::string ParserStats::json(bool IncludeDecisions,
       appendNum(Out, "totalK", D.TotalK);
       Out += ',';
       appendNum(Out, "maxK", D.MaxK);
+      Out += ',';
+      appendHist(Out, "kHistogram", D.KHist);
       Out += ',';
       appendNum(Out, "backtrackEvents", D.BacktrackEvents);
       Out += ',';

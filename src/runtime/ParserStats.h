@@ -15,11 +15,19 @@
 #define LLSTAR_RUNTIME_PARSERSTATS_H
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace llstar {
+
+/// Number of buckets in the bounded lookahead-depth histogram: bucket i
+/// counts events with lookahead depth exactly i for i < KHistBuckets-1;
+/// the last bucket collects everything deeper. Bounded so the histogram
+/// is a fixed-size array — mergeable and JSON-stable regardless of the
+/// grammar or the backend's depth cap.
+constexpr size_t KHistBuckets = 10;
 
 /// Counters for one parsing decision.
 struct DecisionStats {
@@ -28,6 +36,8 @@ struct DecisionStats {
   int64_t MaxK = 0;          ///< deepest lookahead of any event
   int64_t BacktrackEvents = 0; ///< events that evaluated a syntactic pred
   int64_t BacktrackTotalK = 0; ///< sum of speculation depths (those events)
+  /// Bounded histogram of lookahead depths (see \ref KHistBuckets).
+  std::array<int64_t, KHistBuckets> KHist{};
   /// Events per predicted alternative, index 0 = alt 1. Prediction
   /// failures (no viable alternative) are counted in Events but not here.
   std::vector<int64_t> AltEvents;
@@ -38,6 +48,7 @@ struct DecisionStats {
     ++Events;
     TotalK += K;
     MaxK = std::max(MaxK, K);
+    ++KHist[size_t(std::clamp<int64_t>(K, 0, KHistBuckets - 1))];
     if (Backtracked) {
       ++BacktrackEvents;
       BacktrackTotalK += K;
@@ -55,6 +66,8 @@ struct DecisionStats {
     MaxK = std::max(MaxK, O.MaxK);
     BacktrackEvents += O.BacktrackEvents;
     BacktrackTotalK += O.BacktrackTotalK;
+    for (size_t I = 0; I < KHistBuckets; ++I)
+      KHist[I] += O.KHist[I];
     if (AltEvents.size() < O.AltEvents.size())
       AltEvents.resize(O.AltEvents.size());
     for (size_t I = 0; I < O.AltEvents.size(); ++I)
@@ -132,6 +145,15 @@ struct ParserStats {
       K = std::max(K, D.MaxK);
     return K;
   }
+  /// Aggregate bounded lookahead-depth histogram over every decision
+  /// (bucket semantics in \ref KHistBuckets).
+  std::array<int64_t, KHistBuckets> kHistogram() const {
+    std::array<int64_t, KHistBuckets> H{};
+    for (const DecisionStats &D : Decisions)
+      for (size_t I = 0; I < KHistBuckets; ++I)
+        H[I] += D.KHist[I];
+    return H;
+  }
   int64_t backtrackEvents() const {
     int64_t N = 0;
     for (const DecisionStats &D : Decisions)
@@ -159,20 +181,27 @@ struct ParserStats {
   /// Renders all counters as a JSON object. Keys are emitted in a fixed,
   /// documented order so profile files diff cleanly across runs:
   ///
-  ///   decisionEvents, decisionsCovered, avgLookahead, maxLookahead,
-  ///   backtrackEvents, backtrackFraction, avgBacktrackLookahead,
-  ///   synPredEvals, memoHits, memoMisses, tokensConsumed, syntaxErrors,
-  ///   tokensDeleted, tokensInserted, panicSyncs, nodesReused,
-  ///   tokensRelexed, decisionsReparsed [, decisions]
+  ///   [backend,] decisionEvents, decisionsCovered, avgLookahead,
+  ///   maxLookahead, kHistogram, backtrackEvents, backtrackFraction,
+  ///   avgBacktrackLookahead, synPredEvals, memoHits, memoMisses,
+  ///   tokensConsumed, syntaxErrors, tokensDeleted, tokensInserted,
+  ///   panicSyncs, nodesReused, tokensRelexed, decisionsReparsed
+  ///   [, decisions]
   ///
+  /// `kHistogram` is the bounded depth histogram as a fixed-length array
+  /// of \ref KHistBuckets counts (index = depth, last bucket = deeper).
   /// \p IncludeDecisions adds a `decisions` array with one entry per
   /// decision that recorded at least one event, each with keys
   ///   decision [, rule, decisionInRule, line, column],
-  ///   events, totalK, maxK, backtrackEvents, backtrackTotalK, altEvents
+  ///   events, totalK, maxK, kHistogram, backtrackEvents, backtrackTotalK,
+  ///   altEvents
   /// in that order. \p Keys, when non-null and long enough, supplies the
-  /// stable \ref DecisionKey identity fields.
+  /// stable \ref DecisionKey identity fields. \p Backend, when non-null,
+  /// is emitted first as a `backend` string — the prediction-analysis
+  /// backend the profiled tables came from.
   std::string json(bool IncludeDecisions = false,
-                   const std::vector<DecisionKey> *Keys = nullptr) const;
+                   const std::vector<DecisionKey> *Keys = nullptr,
+                   const char *Backend = nullptr) const;
 
   void reset() { *this = ParserStats(); }
 };

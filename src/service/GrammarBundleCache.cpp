@@ -9,11 +9,14 @@
 using namespace llstar;
 
 std::shared_ptr<const GrammarBundle>
-llstar::makeGrammarBundle(std::string_view Bytes, DiagnosticEngine &Diags) {
+llstar::makeGrammarBundle(std::string_view Bytes, DiagnosticEngine &Diags,
+                          BackendKind Backend) {
   auto Bundle = std::shared_ptr<GrammarBundle>(new GrammarBundle());
   Bundle->Hash = hashBytes(Bytes);
 
   if (looksLikeBundle(Bytes)) {
+    // Serialized bundles carry their producing backend in the container
+    // header; the caller's preference applies to source text only.
     std::unique_ptr<CompiledGrammar> CG = readBundle(Bytes, Diags);
     if (!CG)
       return nullptr;
@@ -22,7 +25,7 @@ llstar::makeGrammarBundle(std::string_view Bytes, DiagnosticEngine &Diags) {
                                           std::move(CG->LexerTypes));
     Bundle->AG = std::move(CG->AG);
   } else {
-    Bundle->AG = analyzeGrammarText(Bytes, Diags);
+    Bundle->AG = analyzeGrammarText(Bytes, Diags, Backend);
     if (!Bundle->AG)
       return nullptr;
     // Compile the lexer once here rather than per request; lexer-spec
@@ -49,8 +52,12 @@ const compiled::CompiledResolution &GrammarBundle::compiledTables() const {
 }
 
 std::shared_ptr<const GrammarBundle>
-GrammarBundleCache::get(std::string_view Bytes, DiagnosticEngine &Diags) {
-  uint64_t Key = hashBytes(Bytes);
+GrammarBundleCache::get(std::string_view Bytes, DiagnosticEngine &Diags,
+                        BackendKind Backend) {
+  // Salt the content hash with the backend: identical grammar source
+  // analyzed under different backends must not alias in the cache.
+  uint64_t Key = hashBytes(Bytes) ^
+                 (uint64_t(Backend) * 0x9e3779b97f4a7c15ull);
   {
     std::lock_guard<std::mutex> Lock(Mu);
     auto It = Map.find(Key);
@@ -63,7 +70,8 @@ GrammarBundleCache::get(std::string_view Bytes, DiagnosticEngine &Diags) {
   // Load outside the lock: analysis can be slow and must not stall workers
   // fetching unrelated bundles. Two threads racing on the same new content
   // both load; the first insert wins and the duplicate is dropped.
-  std::shared_ptr<const GrammarBundle> Bundle = makeGrammarBundle(Bytes, Diags);
+  std::shared_ptr<const GrammarBundle> Bundle =
+      makeGrammarBundle(Bytes, Diags, Backend);
 
   std::lock_guard<std::mutex> Lock(Mu);
   if (!Bundle) {
@@ -76,7 +84,8 @@ GrammarBundleCache::get(std::string_view Bytes, DiagnosticEngine &Diags) {
 }
 
 std::shared_ptr<const GrammarBundle>
-GrammarBundleCache::getFile(const std::string &Path, DiagnosticEngine &Diags) {
+GrammarBundleCache::getFile(const std::string &Path, DiagnosticEngine &Diags,
+                            BackendKind Backend) {
   std::ifstream In(Path, std::ios::binary);
   if (!In) {
     Diags.error("cannot read grammar file '" + Path + "'");
@@ -84,7 +93,7 @@ GrammarBundleCache::getFile(const std::string &Path, DiagnosticEngine &Diags) {
   }
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
-  return get(Buffer.str(), Diags);
+  return get(Buffer.str(), Diags, Backend);
 }
 
 GrammarBundleCache::CacheStats GrammarBundleCache::stats() const {

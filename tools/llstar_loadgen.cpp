@@ -132,13 +132,19 @@ bool writeStatsProfile(const std::string &Path, const GrammarBundle &Bundle,
     DS.MaxK = D.key("maxK").integer(0);
     DS.BacktrackEvents = D.key("backtrackEvents").integer(0);
     DS.BacktrackTotalK = D.key("backtrackTotalK").integer(0);
+    size_t Bucket = 0;
+    for (const json::Value &H : D.key("kHistogram").elements())
+      if (Bucket < DS.KHist.size())
+        DS.KHist[Bucket++] = H.integer(0);
     for (const json::Value &A : D.key("altEvents").elements())
       DS.AltEvents.push_back(A.integer(0));
   }
   std::vector<DecisionKey> Keys = Bundle.analyzed().decisionKeys();
   std::string Json = "{\"llstarProfile\":1,\"grammar\":\"" + Bundle.name() +
                      "\",\"stats\":" +
-                     S.json(/*IncludeDecisions=*/true, &Keys) + "}";
+                     S.json(/*IncludeDecisions=*/true, &Keys,
+                            Bundle.analyzed().backendName()) +
+                     "}";
   if (Path == "-") {
     std::printf("%s\n", Json.c_str());
     return true;

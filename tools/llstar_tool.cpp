@@ -4,17 +4,23 @@
 // DFAs and ATNs, tokenize and parse input files, and compare against the
 // packrat baseline — without writing any C++.
 //
-//   llstar analyze <grammar.g> [--dfa [rule]] [--dot <decision>] [--atn]
+//   llstar analyze <grammar.g> [--backend <name>] [--dfa [rule]]
+//                  [--dot <decision>] [--atn]
 //   llstar tokens  <grammar.g> <input>
-//   llstar parse   <grammar.g> <input> [--start <rule>] [--tree]
-//                  [--stats] [--stats-json] [--peg] [--no-memoize]
+//   llstar parse   <grammar.g> <input> [--backend <name>] [--start <rule>]
+//                  [--tree] [--stats] [--stats-json] [--peg] [--no-memoize]
 //                  [--recover]
-//   llstar compile <grammar.g> -o <out.llb>
-//   llstar lint    <grammar.g> [--format=text|json|sarif] [--werror]
+//   llstar compile <grammar.g> [--backend <name>] -o <out.llb>
+//   llstar lint    <grammar.g> [--backend <name>]
+//                  [--format=text|json|sarif] [--werror]
 //                  [--budget <k>] [--dfa-budget <n>] [--profile-notes]
 //                  [--profile <stats.json>]... [--fixes]
 //                  [--apply [--dry-run] [--fix-id <id>]...]
 //                  [--disable <id>[,id...]] [-o <file>]
+//
+// `--backend {llstar,llfinite}` selects the prediction-analysis backend
+// (analyze/parse/compile/lint); every subcommand answers `--help` with its
+// own usage plus the uniform exit-code table.
 //
 // Exit codes (all commands): 0 clean, 1 warnings under --werror, 2 errors
 // (unreadable files, grammar errors, failed parses), 3 usage errors.
@@ -65,19 +71,25 @@ enum ExitCode {
   ExitUsage = 3,    ///< bad command line
 };
 
-int usage() {
+/// The uniform exit-code contract, printed by the global usage text and by
+/// every subcommand's --help.
+const char ExitCodesLine[] =
+    "exit codes: 0 clean, 1 warnings under --werror, 2 errors, 3 usage\n";
+
+void printUsage(std::FILE *Out) {
   std::fprintf(
-      stderr,
+      Out,
       "usage: llstar <command> ...\n"
-      "  analyze <grammar.g> [--dfa [rule]] [--dot <decision>] [--atn]\n"
+      "  analyze <grammar.g> [--backend <name>] [--dfa [rule]]\n"
+      "          [--dot <decision>] [--atn]\n"
       "      analyze a grammar; print the decision summary, optionally the\n"
       "      lookahead DFA of every decision (or just one rule's), a\n"
       "      Graphviz dump of one decision, or the whole ATN\n"
       "  tokens <grammar.g> <input>\n"
       "      tokenize an input file with the grammar's lexer rules\n"
-      "  parse <grammar.g> <input> [--start <rule>] [--tree] [--stats]\n"
-      "        [--stats-json] [--peg] [--no-memoize] [--recover]\n"
-      "        [--compiled]\n"
+      "  parse <grammar.g> <input> [--backend <name>] [--start <rule>]\n"
+      "        [--tree] [--stats] [--stats-json] [--peg] [--no-memoize]\n"
+      "        [--recover] [--compiled]\n"
       "      parse an input file; --peg uses the packrat baseline;\n"
       "      --compiled runs the dense-table fast path (a checked-in\n"
       "      compiled module when its payload hash matches, else tables\n"
@@ -85,9 +97,10 @@ int usage() {
       "      --stats-json prints the full ParserStats as JSON;\n"
       "      --recover repairs syntax errors (error leaves in the tree,\n"
       "      sorted diagnostics) and exits 0 instead of 2 (1 with --werror)\n"
-      "  compile <grammar.g> -o <out.llb>\n"
+      "  compile <grammar.g> [--backend <name>] -o <out.llb>\n"
       "      analyze once and write a versioned grammar bundle that\n"
       "      llstar-batch and the ParseService load without re-analysis\n"
+      "      (the v3 bundle header records the producing backend)\n"
       "  compile <grammar.g> --emit-cpp -o <out.cpp>\n"
       "      emit a self-contained C++ module: dense dispatch tables and\n"
       "      switch predictors feeding the compiled parser fast path\n"
@@ -95,7 +108,8 @@ int usage() {
       "  generate <grammar.g> <ClassName> [-o <dir>]\n"
       "      emit <dir>/<ClassName>.h/.cpp embedding the precompiled\n"
       "      grammar tables (link against the llstar runtime)\n"
-      "  lint <grammar.g> [--format=text|json|sarif] [--werror]\n"
+      "  lint <grammar.g> [--backend <name>] [--format=text|json|sarif]\n"
+      "       [--werror]\n"
       "       [--budget <k>] [--dfa-budget <n>] [--profile-notes]\n"
       "       [--profile <stats.json>]... [--fixes]\n"
       "       [--apply [--dry-run] [--fix-id <id>]...]\n"
@@ -108,8 +122,99 @@ int usage() {
       "      auto-fixes; --apply writes verified fixes back to the\n"
       "      grammar (--dry-run prints a unified diff instead, --fix-id\n"
       "      selects specific fixes)\n"
-      "exit codes: 0 clean, 1 warnings under --werror, 2 errors, 3 usage\n");
+      "analyze/parse/compile/lint accept --backend {%s}: the\n"
+      "prediction-analysis backend building the lookahead DFAs (default\n"
+      "llstar); every subcommand answers --help with its own usage\n"
+      "%s",
+      analysisBackendNames(), ExitCodesLine);
+}
+
+int usage() {
+  printUsage(stderr);
   return ExitUsage;
+}
+
+/// Per-subcommand --help: the subcommand's synopsis plus the uniform
+/// exit-code table. Printed to stdout; exits clean.
+int subcommandHelp(const std::string &Cmd) {
+  std::string Synopsis;
+  if (Cmd == "analyze")
+    Synopsis =
+        "usage: llstar analyze <grammar.g> [--backend <name>] [--dfa [rule]]\n"
+        "                      [--dot <decision>] [--atn] [--werror]\n"
+        "analyze a grammar and print the decision summary and per-decision\n"
+        "classes; --dfa prints lookahead DFAs, --dot one decision as\n"
+        "Graphviz, --atn the whole ATN\n";
+  else if (Cmd == "tokens")
+    Synopsis = "usage: llstar tokens <grammar.g> <input>\n"
+               "tokenize an input file with the grammar's lexer rules\n";
+  else if (Cmd == "parse")
+    Synopsis =
+        "usage: llstar parse <grammar.g> <input> [--backend <name>]\n"
+        "                    [--start <rule>] [--tree] [--stats]\n"
+        "                    [--stats-json] [--peg] [--no-memoize]\n"
+        "                    [--recover] [--compiled] [--werror]\n"
+        "parse an input file; --peg uses the packrat baseline, --compiled\n"
+        "the dense-table fast path, --recover repairs syntax errors\n";
+  else if (Cmd == "compile")
+    Synopsis =
+        "usage: llstar compile <grammar.g> [--backend <name>] -o <out.llb>\n"
+        "       llstar compile <grammar.g> --emit-cpp -o <out.cpp>\n"
+        "write a versioned grammar bundle (the v3 header records the\n"
+        "producing backend) or emit a self-contained C++ module\n";
+  else if (Cmd == "generate")
+    Synopsis =
+        "usage: llstar generate <grammar.g> <ClassName> [-o <dir>]\n"
+        "emit <dir>/<ClassName>.h/.cpp embedding the precompiled tables\n";
+  else if (Cmd == "lint")
+    Synopsis =
+        "usage: llstar lint <grammar.g> [--backend <name>]\n"
+        "                   [--format=text|json|sarif] [--werror]\n"
+        "                   [--budget <k>] [--dfa-budget <n>]\n"
+        "                   [--profile-notes] [--profile <stats.json>]...\n"
+        "                   [--fixes] [--apply [--dry-run]\n"
+        "                   [--fix-id <id>]...] [--disable <id>[,id...]]\n"
+        "                   [-o <file>]\n"
+        "run the grammar static-analysis passes; --apply writes verified\n"
+        "fixes back to the grammar\n";
+  bool TakesBackend = Cmd == "analyze" || Cmd == "parse" ||
+                      Cmd == "compile" || Cmd == "lint";
+  std::printf("%s%s%s", Synopsis.c_str(),
+              TakesBackend
+                  ? formatString("--backend selects the prediction analysis: "
+                                 "%s (default llstar)\n",
+                                 analysisBackendNames())
+                        .c_str()
+                  : "",
+              ExitCodesLine);
+  return ExitClean;
+}
+
+/// True when \p Args asks for --help.
+bool wantsHelp(const std::vector<std::string> &Args) {
+  for (const std::string &A : Args)
+    if (A == "--help" || A == "-h")
+      return true;
+  return false;
+}
+
+/// Pulls `--backend <name>` out of \p Args (analyze/parse/compile/lint).
+/// Returns false on an unknown backend name (a usage error).
+bool extractBackend(std::vector<std::string> &Args, BackendKind &Backend) {
+  for (size_t I = 0; I + 1 < Args.size(); ++I) {
+    if (Args[I] != "--backend")
+      continue;
+    const AnalysisBackend *B = findAnalysisBackend(Args[I + 1]);
+    if (!B) {
+      std::fprintf(stderr, "error: unknown backend '%s' (valid: %s)\n",
+                   Args[I + 1].c_str(), analysisBackendNames());
+      return false;
+    }
+    Backend = B->kind();
+    Args.erase(Args.begin() + long(I), Args.begin() + long(I) + 2);
+    return true;
+  }
+  return true;
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -127,15 +232,16 @@ void printDiags(const DiagnosticEngine &Diags) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
 }
 
-std::unique_ptr<AnalyzedGrammar> loadGrammar(const std::string &Path,
-                                             unsigned *WarningsOut = nullptr) {
+std::unique_ptr<AnalyzedGrammar>
+loadGrammar(const std::string &Path, unsigned *WarningsOut = nullptr,
+            BackendKind Backend = BackendKind::LLStar) {
   std::string Text;
   if (!readFile(Path, Text)) {
     std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
     return nullptr;
   }
   DiagnosticEngine Diags;
-  auto AG = analyzeGrammarText(Text, Diags);
+  auto AG = analyzeGrammarText(Text, Diags, Backend);
   printDiags(Diags);
   if (WarningsOut)
     *WarningsOut = Diags.warningCount();
@@ -154,11 +260,14 @@ const char *className(DecisionClass C) {
   return "?";
 }
 
-int cmdAnalyze(const std::vector<std::string> &Args) {
+int cmdAnalyze(std::vector<std::string> Args) {
+  BackendKind Backend = BackendKind::LLStar;
+  if (!extractBackend(Args, Backend))
+    return usage();
   if (Args.empty())
     return usage();
   unsigned Warnings = 0;
-  auto AG = loadGrammar(Args[0], &Warnings);
+  auto AG = loadGrammar(Args[0], &Warnings, Backend);
   if (!AG)
     return ExitErrors;
 
@@ -226,11 +335,14 @@ int cmdTokens(const std::vector<std::string> &Args) {
   return Diags.hasErrors() ? ExitErrors : ExitClean;
 }
 
-int cmdParse(const std::vector<std::string> &Args) {
+int cmdParse(std::vector<std::string> Args) {
+  BackendKind Backend = BackendKind::LLStar;
+  if (!extractBackend(Args, Backend))
+    return usage();
   if (Args.size() < 2)
     return usage();
   unsigned GrammarWarnings = 0;
-  auto AG = loadGrammar(Args[0], &GrammarWarnings);
+  auto AG = loadGrammar(Args[0], &GrammarWarnings, Backend);
   if (!AG)
     return ExitErrors;
   std::string Input;
@@ -349,7 +461,9 @@ int cmdParse(const std::vector<std::string> &Args) {
     // the profile joinable by `llstar lint --profile` across runs, worker
     // pools, and daemon fleets.
     std::vector<DecisionKey> Keys = AG->decisionKeys();
-    std::printf("%s\n", Stats.json(/*IncludeDecisions=*/true, &Keys).c_str());
+    std::printf("%s\n", Stats.json(/*IncludeDecisions=*/true, &Keys,
+                                   AG->backendName())
+                            .c_str());
   }
   if (!Ok && !Recover)
     return ExitErrors;
@@ -359,7 +473,10 @@ int cmdParse(const std::vector<std::string> &Args) {
   return WError && (Warnings || !Ok) ? ExitWarnings : ExitClean;
 }
 
-int cmdCompile(const std::vector<std::string> &Args) {
+int cmdCompile(std::vector<std::string> Args) {
+  BackendKind Backend = BackendKind::LLStar;
+  if (!extractBackend(Args, Backend))
+    return usage();
   if (Args.empty())
     return usage();
   std::string OutPath;
@@ -377,7 +494,7 @@ int cmdCompile(const std::vector<std::string> &Args) {
   if (OutPath.empty())
     return usage();
   unsigned Warnings = 0;
-  auto AG = loadGrammar(Args[0], &Warnings);
+  auto AG = loadGrammar(Args[0], &Warnings, Backend);
   if (!AG)
     return ExitErrors;
   if (EmitCpp) {
@@ -437,7 +554,10 @@ int cmdGenerate(const std::vector<std::string> &Args) {
   return ExitClean;
 }
 
-int cmdLint(const std::vector<std::string> &Args) {
+int cmdLint(std::vector<std::string> Args) {
+  BackendKind Backend = BackendKind::LLStar;
+  if (!extractBackend(Args, Backend))
+    return usage();
   if (Args.empty())
     return usage();
   std::string Format = "text", OutPath;
@@ -495,7 +615,7 @@ int cmdLint(const std::vector<std::string> &Args) {
     return ExitErrors;
   }
   DiagnosticEngine Diags;
-  auto AG = analyzeGrammarText(Source, Diags);
+  auto AG = analyzeGrammarText(Source, Diags, Backend);
   if (!AG || Diags.hasErrors()) {
     // Grammar does not even build: report the front end's errors directly.
     printDiags(Diags);
@@ -629,6 +749,14 @@ int main(int Argc, char **Argv) {
     return usage();
   std::string Cmd = Args[0];
   Args.erase(Args.begin());
+  if (Cmd == "--help" || Cmd == "-h") {
+    printUsage(stdout);
+    return ExitClean;
+  }
+  bool Known = Cmd == "analyze" || Cmd == "tokens" || Cmd == "parse" ||
+               Cmd == "compile" || Cmd == "generate" || Cmd == "lint";
+  if (Known && wantsHelp(Args))
+    return subcommandHelp(Cmd);
   if (Cmd == "analyze")
     return cmdAnalyze(Args);
   if (Cmd == "tokens")
